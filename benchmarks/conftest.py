@@ -1,0 +1,14 @@
+"""Benchmark-suite helpers.
+
+Each benchmark regenerates one of the paper's figures (reduced epochs),
+asserts its qualitative *shape* — who wins, roughly by how much, where the
+crossovers sit — and prints the reproduced table.  Timings reported by
+pytest-benchmark measure the full figure regeneration.
+"""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, fn):
+    """Run a figure regeneration exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

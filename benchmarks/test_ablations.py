@@ -1,0 +1,73 @@
+"""Ablation benches for the design choices DESIGN.md calls out."""
+
+import pytest
+from conftest import run_once
+
+from repro.experiments.figures import ablation
+
+
+def test_ablation_inclusive_migration(benchmark):
+    result = run_once(benchmark, lambda: ablation.run_migration_ablation(epochs=5))
+    print(result.render())
+    rows = {row["migration"]: row for row in result.rows}
+    # The entire directory contention hinges on the migration mechanism.
+    assert rows["on"]["xmem_miss_at_9_10"] > 0.5
+    assert rows["off"]["xmem_miss_at_9_10"] < 0.05
+    assert rows["off"]["dpdk_migrations"] == 0
+
+
+def test_ablation_ddio_write_update(benchmark):
+    result = run_once(benchmark, lambda: ablation.run_write_update_ablation(epochs=5))
+    print(result.render())
+    rows = {row["write_update"]: row for row in result.rows}
+    # With updates disabled every ring reuse becomes a fresh allocation.
+    assert rows["on"]["ddio_updates"] > 0
+    assert rows["off"]["ddio_updates"] == 0
+    assert rows["off"]["ddio_allocates"] > rows["on"]["ddio_allocates"]
+
+
+def test_ablation_replacement_policy(benchmark):
+    result = run_once(benchmark, lambda: ablation.run_replacement_ablation(epochs=5))
+    print(result.render())
+    rows = {row["policy"]: row for row in result.rows}
+    # Plain RRIP cannot beat LRU here (victim-cache lines are single-use),
+    # but the dead-block hint protects the bystander measurably.
+    assert rows["deadblock"]["xmem_miss"] < rows["lru"]["xmem_miss"] - 0.03
+    assert rows["srrip"]["xmem_miss"] == pytest.approx(
+        rows["lru"]["xmem_miss"], abs=0.05
+    )
+
+
+def test_related_self_invalidation(benchmark):
+    result = run_once(
+        benchmark, lambda: ablation.run_self_invalidation_study(epochs=5)
+    )
+    print(result.render())
+    rows = {
+        (row["hierarchy"], row["xmem_ways"]): row for row in result.rows
+    }
+    # The hardware baseline removes both contentions entirely.
+    assert rows[("self-invalidate", "way[9:10]")]["xmem_miss"] < 0.05
+    assert rows[("self-invalidate", "way[5:6]")]["xmem_miss"] < 0.05
+    assert rows[("self-invalidate", "way[5:6]")]["dpdk_bloats"] == 0
+    assert rows[("baseline", "way[9:10]")]["xmem_miss"] > 0.5
+
+
+def test_related_ddio_ways(benchmark):
+    result = run_once(benchmark, lambda: ablation.run_ddio_ways_study(epochs=5))
+    print(result.render())
+    rows = {row["ddio_ways"]: row for row in result.rows}
+    # Widening DDIO eventually absorbs the flood (lower network tail)...
+    assert rows[6]["dpdk_p99"] < 0.5 * rows[2]["dpdk_p99"]
+    # ...but the bystander pays for the carve-out.
+    assert rows[6]["xmem_miss"] > rows[2]["xmem_miss"]
+
+
+def test_ablation_trash_floor(benchmark):
+    result = run_once(benchmark, lambda: ablation.run_trash_floor_ablation(epochs=5))
+    print(result.render())
+    by_floor = {row["fio_trash_ways"]: row for row in result.rows}
+    assert by_floor[1]["xmem_miss"] <= by_floor[4]["xmem_miss"]
+    assert by_floor[1]["fio_tput"] == pytest.approx(
+        by_floor[4]["fio_tput"], rel=0.1
+    )

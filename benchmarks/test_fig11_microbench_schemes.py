@@ -1,0 +1,27 @@
+"""Fig. 11 — X-Mem IPC / LLC hit rates vs packet size under the three
+schemes: A4 keeps the cache-sensitive HPW flat and fast."""
+
+from conftest import run_once
+
+from repro.experiments.figures import fig11
+
+PACKETS = (256, 1514)
+
+
+def test_fig11(benchmark):
+    result = run_once(
+        benchmark,
+        lambda: fig11.run(epochs=16, warmup=4, packet_sizes=PACKETS),
+    )
+    print(result.render())
+    rows = {(row["scheme"], row["pkt"]): row for row in result.rows}
+    for pkt in ("256B", "1514B"):
+        default = rows[("default", pkt)]
+        a4 = rows[("a4", pkt)]
+        # Paper: X-Mem 1 speedups of 1.3x-1.78x with ~97% hit rates.
+        assert a4["x1_ipc"] > 1.3 * default["x1_ipc"]
+        assert a4["x1_hit"] > 0.9
+    # A4's X-Mem 1 is insensitive to packet size (stable hit rate).
+    assert abs(rows[("a4", "256B")]["x1_hit"] - rows[("a4", "1514B")]["x1_hit"]) < 0.05
+    # Isolate's rigidity never beats A4 for the cache-sensitive HPW.
+    assert rows[("a4", "1514B")]["x1_ipc"] >= rows[("isolate", "1514B")]["x1_ipc"]

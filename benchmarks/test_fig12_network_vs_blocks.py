@@ -1,0 +1,34 @@
+"""Fig. 12 — network latency/throughput vs storage block size: A4 holds
+the network HPW near its stand-alone operating point."""
+
+from conftest import run_once
+
+from repro.experiments.figures import fig12
+
+KB = 1024
+MB = 1024 * KB
+SIZES = (32 * KB, 2 * MB)
+
+
+def test_fig12(benchmark):
+    result = run_once(
+        benchmark,
+        lambda: fig12.run(epochs=16, warmup=4, block_sizes=SIZES),
+    )
+    print(result.render())
+    rows = {(row["scheme"], row["block"]): row for row in result.rows}
+    # At the largest blocks, A4 cuts network latency vs Default (paper: -58%).
+    assert (
+        rows[("a4", "2048KB")]["avg_lat"]
+        < 0.7 * rows[("default", "2048KB")]["avg_lat"]
+    )
+    # And throughput does not regress.
+    assert (
+        rows[("a4", "2048KB")]["net_tput"]
+        >= rows[("default", "2048KB")]["net_tput"] * 0.98
+    )
+    # FIO keeps its throughput under A4 despite the DCA disable.
+    assert (
+        rows[("a4", "2048KB")]["fio_tput"]
+        > 0.85 * rows[("default", "2048KB")]["fio_tput"]
+    )

@@ -1,0 +1,50 @@
+"""Fig. 13 — the real-world co-location study: Default vs Isolate vs
+A4-a..d, HPW-heavy and LPW-heavy."""
+
+from conftest import run_once
+
+from repro.experiments.figures import fig13
+
+SCHEMES = ("default", "isolate", "a4-a", "a4-b", "a4-d")
+
+
+def rel(rows, scheme, workload):
+    for row in rows:
+        if row["scheme"] == scheme and row["workload"] == workload:
+            return row["rel_perf"]
+    raise KeyError((scheme, workload))
+
+
+def test_fig13a_hpw_heavy(benchmark):
+    result = run_once(
+        benchmark,
+        lambda: fig13.run_hpw_heavy(epochs=18, warmup=5, schemes=SCHEMES),
+    )
+    print(result.render())
+    rows = result.rows
+    # Isolate's rigid partitioning does not beat Default for the network HPW.
+    assert rel(rows, "isolate", "fastclick") < 1.1
+    # Safeguarding I/O buffers (A4-b) is the big Fastclick win over A4-a.
+    assert rel(rows, "a4-b", "fastclick") > 1.2 * rel(rows, "a4-a", "fastclick")
+    # Full A4 clearly beats Default for the network HPW.
+    assert rel(rows, "a4-d", "fastclick") > 1.1
+    # The heavy storage LPW is insensitive (paper: FFSB-H unaffected).
+    assert 0.85 < rel(rows, "a4-d", "ffsb-h") < 1.15
+    # Streaming antagonists don't care about their LLC share.
+    assert rel(rows, "a4-d", "bwaves") > 0.8
+
+
+def test_fig13b_lpw_heavy(benchmark):
+    result = run_once(
+        benchmark,
+        lambda: fig13.run_lpw_heavy(
+            epochs=18, warmup=5, schemes=("default", "a4-d")
+        ),
+    )
+    print(result.render())
+    rows = result.rows
+    # The network HPW still wins under full A4 in the LPW-heavy mix.
+    assert rel(rows, "a4-d", "fastclick") > 1.05
+    # LPWs stay within an acceptable band (no collapse).
+    for lpw in ("x264", "parest", "ffsb-h"):
+        assert rel(rows, "a4-d", lpw) > 0.6

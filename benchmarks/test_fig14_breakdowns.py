@@ -1,0 +1,23 @@
+"""Fig. 14 — latency breakdowns and system-wide metrics."""
+
+import pytest
+from conftest import run_once
+
+from repro.experiments.figures import fig14
+
+
+def test_fig14(benchmark):
+    result = run_once(benchmark, lambda: fig14.run(epochs=18, warmup=5))
+    print(result.render())
+    rows = {row["scheme"]: row for row in result.rows}
+    default = rows["default"]
+    a4 = rows["a4-d"]
+    # A4 shortens the Fastclick latency parts vs Default (paper: -15/-20/-23%).
+    assert a4["fc_access"] < default["fc_access"]
+    assert a4["fc_queueing"] <= default["fc_queueing"] * 1.05
+    # Reduced latency translates into network throughput (Fig. 14c).
+    assert a4["fc_tput"] >= default["fc_tput"]
+    # FFSB-H is insensitive to the scheme (Fig. 14b/c).
+    assert a4["ffsbh_tput"] == pytest.approx(default["ffsbh_tput"], rel=0.15)
+    # Memory read bandwidth drops despite higher I/O throughput (Fig. 14d).
+    assert a4["mem_rd_bw"] < default["mem_rd_bw"] * 1.05

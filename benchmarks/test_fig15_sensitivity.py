@@ -1,0 +1,58 @@
+"""Fig. 15 — sensitivity of A4 to thresholds and timing."""
+
+from conftest import run_once
+
+from repro.experiments.figures import fig15
+
+
+def test_fig15a_partitioning_thresholds(benchmark):
+    result = run_once(
+        benchmark,
+        lambda: fig15.run_partitioning(
+            epochs=16, warmup=5, t1_values=(0.10, 0.40), t5_values=(0.80, 0.95)
+        ),
+    )
+    print(result.render())
+    rows = {(row["param"], row["value"]): row for row in result.rows}
+    # A4 beats Default across the threshold range.
+    for row in result.rows:
+        assert row["hpw_rel_perf"] > 1.0
+    # An aggressive T5 detects at least as many antagonists.
+    assert (
+        rows[("T5", 0.80)]["n_antagonists"]
+        >= rows[("T5", 0.95)]["n_antagonists"]
+    )
+
+
+def test_fig15b_leak_thresholds(benchmark):
+    # Sweep T3, the storage share of PCIe write throughput: FFSB-H's DCA
+    # and LLC miss-rate signatures sit near 100%, so (as in the paper's
+    # Fig. 15b) the share threshold is the one that can be raised past the
+    # workload's signature.
+    sweeps = {"T3_io_tp": ("dmalk_io_tp_thr", (0.35, 0.95))}
+    result = run_once(
+        benchmark,
+        lambda: fig15.run_leak_thresholds(epochs=16, warmup=5, sweeps=sweeps),
+    )
+    print(result.render())
+    rows = {row["value"]: row for row in result.rows}
+    # At the paper's threshold FFSB-H is detected; raised past its
+    # signature, the detection (and the benefit) disappears.
+    assert rows[0.35]["ffsbh_detected"] == "yes"
+    assert rows[0.95]["ffsbh_detected"] == "no"
+    assert rows[0.35]["hpw_rel_perf"] >= rows[0.95]["hpw_rel_perf"] * 0.95
+
+
+def test_fig15c_stable_interval(benchmark):
+    result = run_once(
+        benchmark,
+        lambda: fig15.run_timing(epochs=26, warmup=5, stable_intervals=(2, 10)),
+    )
+    print(result.render())
+    rows = {row["stable_interval"]: row for row in result.rows}
+    oracle = rows["oracle"]["hpw_rel_perf"]
+    # Frequent reverting costs performance; the paper's 10 s interval is
+    # within ~1% of the oracle (we allow a wider band at reduced epochs).
+    assert rows[10]["hpw_rel_perf"] >= rows[2]["hpw_rel_perf"] * 0.95
+    assert rows[10]["hpw_rel_perf"] >= oracle * 0.85
+    assert rows[2]["reverts"] >= rows[10]["reverts"]

@@ -1,0 +1,40 @@
+"""Fig. 3 — the three I/O-driven contention groups in the way sweep."""
+
+from conftest import run_once
+
+from repro.experiments.figures import fig3
+
+POSITIONS = [(0, 1), (3, 4), (5, 6), (9, 10)]
+
+
+def miss_by_ways(result):
+    return {row["xmem_ways"]: row["xmem_llc_miss"] for row in result.rows}
+
+
+def test_fig3a_dpdk_nt(benchmark):
+    result = run_once(
+        benchmark, lambda: fig3.run_fig3a(epochs=6, positions=POSITIONS)
+    )
+    print(result.render())
+    miss = miss_by_ways(result)
+    # Latent contention in the DCA ways only.
+    assert miss["way[0:1]"] > 0.4
+    # No bloat, no directory contention without consumption.
+    assert miss["way[3:4]"] < 0.1
+    assert miss["way[5:6]"] < 0.1
+    assert miss["way[9:10]"] < 0.15
+
+
+def test_fig3b_dpdk_t(benchmark):
+    result = run_once(
+        benchmark, lambda: fig3.run_fig3b(epochs=6, positions=POSITIONS)
+    )
+    print(result.render())
+    miss = miss_by_ways(result)
+    # Standard ways stay clean.
+    assert miss["way[3:4]"] < 0.1
+    # DMA bloat where DPDK-T's CAT mask points.
+    assert miss["way[5:6]"] > 0.25
+    # The newly discovered directory contention in the inclusive ways.
+    assert miss["way[9:10]"] > 0.5
+    assert miss["way[9:10]"] > miss["way[3:4]"] + 0.4

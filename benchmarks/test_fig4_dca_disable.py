@@ -1,0 +1,20 @@
+"""Fig. 4 — disabling the NIC's DCA removes directory contention, at an
+unacceptable network-latency price."""
+
+from conftest import run_once
+
+from repro.experiments.figures import fig4
+
+
+def test_fig4(benchmark):
+    result = run_once(benchmark, lambda: fig4.run(epochs=6))
+    print(result.render())
+    rows = {row["xmem_ways"]: row for row in result.rows}
+    inclusive = rows["way[9:10]"]
+    # DCA on: heavy contention at the inclusive ways; DCA off: gone.
+    assert inclusive["miss_dca_on"] > 0.5
+    assert inclusive["miss_dca_off"] < 0.15
+    # Standard ways unaffected either way.
+    assert rows["way[3:4]"]["miss_dca_on"] < 0.1
+    # The price: DPDK-T latency explodes without DCA.
+    assert inclusive["dpdk_lat_off"] > 5 * inclusive["dpdk_lat_on"]

@@ -1,0 +1,32 @@
+"""Fig. 5 — storage throughput saturates with block size regardless of
+DCA; large blocks leak from the DCA ways."""
+
+import pytest
+from conftest import run_once
+
+from repro.experiments.figures import fig5
+
+KB = 1024
+MB = 1024 * KB
+SIZES = (4 * KB, 32 * KB, 128 * KB, 2 * MB)
+
+
+def test_fig5(benchmark):
+    result = run_once(benchmark, lambda: fig5.run(epochs=5, block_sizes=SIZES))
+    print(result.render())
+    rows = {row["block"]: row for row in result.rows}
+    # Throughput rises with block size and saturates.
+    assert rows["128KB"]["tput_dca_on"] > 3 * rows["4KB"]["tput_dca_on"]
+    assert rows["2048KB"]["tput_dca_on"] == pytest.approx(
+        rows["128KB"]["tput_dca_on"], rel=0.35
+    )
+    # DCA does not change storage throughput (the paper's key negative).
+    for block in ("32KB", "128KB", "2048KB"):
+        assert rows[block]["tput_dca_on"] == pytest.approx(
+            rows[block]["tput_dca_off"], rel=0.15
+        )
+    # DMA leak appears only past the saturation block size.
+    assert rows["32KB"]["leak_frac_on"] < 0.05
+    assert rows["2048KB"]["leak_frac_on"] > 0.5
+    # With DCA off, memory bandwidth ~= 2x throughput (write + read back).
+    assert rows["128KB"]["membw_dca_off"] > 1.7 * rows["128KB"]["tput_dca_off"]

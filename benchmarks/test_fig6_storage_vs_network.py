@@ -1,0 +1,25 @@
+"""Fig. 6 — storage blocks inflate network latency with DCA on; turning
+all DCA off is uniformly unacceptable."""
+
+from conftest import run_once
+
+from repro.experiments.figures import fig6
+
+KB = 1024
+MB = 1024 * KB
+SIZES = (32 * KB, 192 * KB, 384 * KB, 2 * MB)
+
+
+def test_fig6(benchmark):
+    result = run_once(benchmark, lambda: fig6.run(epochs=7, block_sizes=SIZES))
+    print(result.render())
+    rows = {row["block"]: row for row in result.rows}
+    baseline_tail = rows["32KB"]["TL_on"]
+    # Tail latency grows with block size under DCA...
+    worst_tail = max(row["TL_on"] for row in result.rows)
+    assert worst_tail > 1.2 * baseline_tail
+    # ...while all-DCA-off is far worse than co-running under DCA at the
+    # small-block end (the paper's "unacceptable increase").
+    assert rows["32KB"]["AL_alloff"] > 5 * rows["32KB"]["AL_on"]
+    # FIO throughput still saturates near its large-block peak.
+    assert rows["2048KB"]["fio_tput"] > rows["32KB"]["fio_tput"]

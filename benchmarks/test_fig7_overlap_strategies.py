@@ -1,0 +1,20 @@
+"""Fig. 7 — (n+2)-Overlap is never worse than n-Exclude: consumed I/O
+lines migrate into the inclusive ways regardless of CAT, so excluding them
+buys nothing."""
+
+from conftest import run_once
+
+from repro.experiments.figures import fig7
+
+
+def test_fig7(benchmark):
+    result = run_once(benchmark, lambda: fig7.run(epochs=6, n_values=(2, 4)))
+    print(result.render())
+    rows = {row["strategy"]: row for row in result.rows}
+    for n in (2, 4):
+        exclude = rows[f"{n}-Exclude"]
+        overlap = rows[f"{n + 2}-Overlap"]
+        # Overlap matches or beats Exclude on latency and memory bandwidth
+        # while nominally using two more ways that Exclude wastes anyway.
+        assert overlap["AL"] <= exclude["AL"] * 1.05
+        assert overlap["mem_bw"] <= exclude["mem_bw"] * 1.05

@@ -1,0 +1,41 @@
+"""Fig. 8 — the two mitigation knobs: per-SSD DCA disable (a) and trash
+ways (b)."""
+
+import pytest
+from conftest import run_once
+
+from repro.experiments.figures import fig8
+
+KB = 1024
+MB = 1024 * KB
+
+
+def test_fig8a_ssd_dca_off(benchmark):
+    result = run_once(
+        benchmark,
+        lambda: fig8.run_fig8a(epochs=7, block_sizes=(32 * KB, 512 * KB, 2 * MB)),
+    )
+    print(result.render())
+    rows = {row["block"]: row for row in result.rows}
+    for block in ("512KB", "2048KB"):
+        # [SSD-DCA off] at least matches [DCA on] on network latency...
+        assert rows[block]["AL_ssdoff"] <= rows[block]["AL_on"] * 1.02
+        assert rows[block]["TL_ssdoff"] <= rows[block]["TL_on"] * 1.02
+        # ...without costing the SSD throughput.
+        assert rows[block]["fio_ssdoff"] == pytest.approx(
+            rows[block]["fio_on"], rel=0.12
+        )
+    # Somewhere in the sweep the DCA-on latency tax is visible.
+    assert any(
+        row["TL_on"] > 1.15 * row["TL_ssdoff"] for row in result.rows
+    )
+
+
+def test_fig8b_trash_ways(benchmark):
+    result = run_once(benchmark, lambda: fig8.run_fig8b(epochs=6))
+    print(result.render())
+    first, last = result.rows[0], result.rows[-1]
+    # Shrinking FIO from 4 shared ways to 1 protects the bystander...
+    assert last["xmem_miss"] < first["xmem_miss"] - 0.1
+    # ...and storage throughput stays flat (O5).
+    assert last["fio_tput"] == pytest.approx(first["fio_tput"], rel=0.1)

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Datacenter co-location study (the paper's §7.2 scenario).
+
+Runs the Table 2 real-world mix — Fastclick, FFSB-H/L, a Redis pair, and
+six SPEC CPU2017 analogues — under Default, Isolate, and the staged A4
+variants, and prints each workload's performance relative to Default.
+
+Run:  python examples/datacenter_colocation.py
+"""
+
+from repro.experiments.figures.fig13 import performance_of
+from repro.experiments.scenarios import build_server, hpw_heavy_workloads
+from repro.telemetry.pcm import PRIORITY_HIGH
+
+SCHEMES = ("default", "isolate", "a4-a", "a4-b", "a4-c", "a4-d")
+EPOCHS = 22
+WARMUP = 6
+
+
+def main() -> None:
+    baselines = {}
+    rows = {}
+    detected = {}
+    for scheme in SCHEMES:
+        workloads = hpw_heavy_workloads()
+        server = build_server(workloads, scheme=scheme)
+        result = server.run(epochs=EPOCHS, warmup=WARMUP)
+        for workload in workloads:
+            perf = performance_of(result, workload)
+            if scheme == "default":
+                baselines[workload.name] = perf or 1e-12
+            rows.setdefault(workload.name, {})[scheme] = (
+                perf / baselines[workload.name]
+            )
+        detected[scheme] = sorted(getattr(server.manager, "antagonists", {}))
+
+    workloads = hpw_heavy_workloads()
+    print(f"{'workload':<12} {'prio':<4} " + " ".join(f"{s:>8}" for s in SCHEMES))
+    for workload in workloads:
+        cells = " ".join(
+            f"{rows[workload.name][scheme]:>8.2f}" for scheme in SCHEMES
+        )
+        print(f"{workload.name:<12} {workload.priority:<4} {cells}")
+
+    hpw_names = [w.name for w in workloads if w.priority == PRIORITY_HIGH]
+    print("\nHPW mean relative performance:")
+    for scheme in SCHEMES:
+        mean = sum(rows[name][scheme] for name in hpw_names) / len(hpw_names)
+        extra = f"  (antagonists: {', '.join(detected[scheme])})" if detected[scheme] else ""
+        print(f"  {scheme:>8}: {mean:5.2f}x{extra}")
+
+
+if __name__ == "__main__":
+    main()

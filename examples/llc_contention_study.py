@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Re-discover the paper's hidden LLC contentions interactively.
+
+Sweeps a cache-sensitive X-Mem across all two-way LLC allocations while a
+DPDK workload runs at way[5:6], once without touching packets (DPDK-NT) and
+once touching them (DPDK-T).  The three contention groups of Fig. 3 —
+latent (DCA ways), DMA bloat (shared ways), and the hidden directory
+contention (inclusive ways) — show up as miss-rate spikes.
+
+Run:  python examples/llc_contention_study.py
+"""
+
+from repro.experiments.figures import fig3, fig4
+
+
+def bar(fraction: float, width: int = 40) -> str:
+    filled = int(round(fraction * width))
+    return "#" * filled + "." * (width - filled)
+
+
+def main() -> None:
+    for runner, label in (
+        (fig3.run_fig3a, "DPDK-NT (packets not touched)"),
+        (fig3.run_fig3b, "DPDK-T (packets touched)"),
+    ):
+        result = runner(epochs=6)
+        print(f"\n=== {label}: X-Mem LLC miss rate per allocation ===")
+        for row in result.rows:
+            miss = row["xmem_llc_miss"]
+            print(f"  {row['xmem_ways']:>10} {bar(miss)} {100 * miss:5.1f}%")
+        for note in result.notes:
+            print(f"  ({note})")
+
+    print("\n=== validation: disable the NIC's DCA (Fig. 4) ===")
+    result = fig4.run(epochs=6)
+    print(result.render())
+    print(
+        "\nTakeaway: consumed DMA lines migrate into the inclusive ways "
+        "(way[9:10]); the contention there follows the I/O consumption, "
+        "not the CAT masks."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""The hidden knob, live: flip a single device's DCA off at runtime.
+
+Phase 1 — DPDK-T and a 2 MB-block FIO share the LLC with DCA enabled for
+both devices: storage blocks flood the DCA ways and network latency
+suffers.  Phase 2 — we write the SSD port's ``perfctrlsts`` register
+(NoSnoopOpWrEn := 1, Use_Allocating_Flow_Wr := 0), exactly what A4's F2
+does, and watch network latency recover while storage throughput is
+unchanged.
+
+Run:  python examples/selective_ddio.py
+"""
+
+from repro.experiments.harness import Server
+from repro.workloads.dpdk import DpdkWorkload
+from repro.workloads.fio import FioWorkload
+
+MB = 1024 * 1024
+PHASE_EPOCHS = 12
+WARMUP = 4
+
+
+def main() -> None:
+    server = Server(cores=10)
+    # Modest rings: even a fully backlogged Rx ring fits within the DCA
+    # ways, so the network app can recover once the storage flood stops.
+    # (With much larger rings a saturated backlog overflows the DCA ways
+    # and keeps evicting itself — a metastable congestion state.)
+    dpdk = DpdkWorkload(
+        name="dpdk-t", touch=True, cores=4, packet_bytes=1514,
+        ring_entries=5, priority="HPW",
+    )
+    fio = FioWorkload(
+        name="fio", block_bytes=2 * MB, cores=4, io_depth=32, priority="LPW"
+    )
+    server.add_workload(dpdk)
+    server.add_workload(fio)
+    server.cat.set_mask(server.clos_of("dpdk-t"), range(4, 6))
+    server.cat.set_mask(server.clos_of("fio"), range(2, 4))
+
+    phase1 = server.run(epochs=PHASE_EPOCHS, warmup=WARMUP)
+    d1, f1 = phase1.aggregate("dpdk-t"), phase1.aggregate("fio")
+
+    ssd_port = server.pcie.port(fio.port_id)
+    print("flipping perfctrlsts on the SSD port:",
+          f"dca_enabled {ssd_port.dca_enabled} -> ", end="")
+    ssd_port.disable_dca()
+    print(ssd_port.dca_enabled)
+
+    phase2 = server.run(epochs=PHASE_EPOCHS, warmup=WARMUP)
+    d2, f2 = phase2.aggregate("dpdk-t"), phase2.aggregate("fio")
+
+    print(f"\n{'':24} {'DCA both on':>14} {'SSD-DCA off':>14}")
+    print(f"{'dpdk avg latency (cyc)':<24} {d1.avg_latency:>14.0f} {d2.avg_latency:>14.0f}")
+    print(f"{'dpdk p99 latency (cyc)':<24} {d1.p99_latency:>14.0f} {d2.p99_latency:>14.0f}")
+    print(f"{'dpdk throughput (l/c)':<24} {d1.throughput:>14.4f} {d2.throughput:>14.4f}")
+    print(f"{'fio  throughput (l/c)':<24} {f1.throughput:>14.4f} {f2.throughput:>14.4f}")
+    print(f"{'fio  DMA leaks':<24} {f1.dma_leaks:>14} {f2.dma_leaks:>14}")
+    print(
+        "\nSelective DCA disabling removes the storage-driven latency tax "
+        "without costing the SSD anything (paper O4)."
+    )
+
+
+if __name__ == "__main__":
+    main()

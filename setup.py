@@ -1,0 +1,12 @@
+"""Setup shim.
+
+The offline evaluation environment ships pip without the ``wheel`` package,
+so PEP 660 editable installs (which build an editable wheel) fail.  Keeping a
+classic ``setup.py`` alongside ``pyproject.toml`` lets ``pip install -e .``
+fall back to the legacy ``setup.py develop`` path, which works offline.
+All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

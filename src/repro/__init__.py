@@ -1,0 +1,25 @@
+"""repro — a full-system reproduction of "A4: Microarchitecture-Aware LLC
+Management for Datacenter Servers with Emerging I/O Devices" (ISCA 2025).
+
+The package is organised bottom-up:
+
+* :mod:`repro.sim` — discrete-event engine;
+* :mod:`repro.cache` — MLCs, non-inclusive LLC, inclusive directory;
+* :mod:`repro.uncore` — memory controller, PCIe ports, IIO/DDIO agent;
+* :mod:`repro.rdt` — CAT way masks and occupancy monitoring;
+* :mod:`repro.devices` — NIC and NVMe SSD models;
+* :mod:`repro.workloads` — DPDK/FIO/X-Mem microbenchmarks and the paper's
+  real-world workload analogues;
+* :mod:`repro.telemetry` — PCM-style counters and latency percentiles;
+* :mod:`repro.core` — **the paper's contribution**: the A4 controller, its
+  staged variants (A4-a..d), and the Default/Isolate baselines;
+* :mod:`repro.experiments` — harness + regeneration of every figure.
+
+Quickstart::
+
+    from repro.experiments import harness, scenarios
+    result = harness.run(scenarios.microbenchmark_scenario(scheme="a4"))
+    print(result.summary())
+"""
+
+__version__ = "1.0.0"

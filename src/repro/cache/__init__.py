@@ -1,0 +1,32 @@
+"""Cache substrate: MLCs, the non-inclusive LLC, and the inclusive directory.
+
+This package models the microarchitectural properties the paper depends on:
+
+* a non-inclusive, victim-cache LLC (Skylake-SP style, 11 ways);
+* DDIO write-allocate restricted to the two left-most (*DCA*) ways;
+* the hidden *inclusive ways* (the two right-most ways): any line resident in
+  both an MLC and the LLC must live there, so consumed I/O lines *migrate*
+  into them (the paper's newly discovered directory contention, O1);
+* an extended directory (snoop filter) whose evictions back-invalidate MLCs;
+* CAT way masks constraining CPU-side LLC victim selection.
+"""
+
+from repro.cache.hierarchy import CacheHierarchy, HierarchyConfig
+from repro.cache.line import LlcLine, MlcLine
+from repro.cache.llc import LastLevelCache, LlcConfig
+from repro.cache.mlc import MidLevelCache
+from repro.cache.directory import SnoopFilter
+from repro.cache.replacement import ReplacementPolicy, make_policy
+
+__all__ = [
+    "CacheHierarchy",
+    "HierarchyConfig",
+    "LastLevelCache",
+    "LlcConfig",
+    "LlcLine",
+    "MidLevelCache",
+    "MlcLine",
+    "SnoopFilter",
+    "ReplacementPolicy",
+    "make_policy",
+]

@@ -1,0 +1,106 @@
+"""Extended directory (snoop filter) for MLC-resident lines.
+
+Per Yan et al. (S&P'19), each Skylake LLC set is backed by 11 traditional
+directory ways (one per data way) plus 12 *extended* directory ways that
+track lines living in MLCs.  Two entries are shared between the groups and
+coupled one-to-one with the two right-most data ways — which is why a line
+present in both an MLC and the LLC (an *inclusive* line) can only occupy
+those data ways.
+
+This module models the extended group: a per-set, 12-entry tracker of
+MLC-resident lines.  Entries that correspond to inclusive lines are pinned
+(their lifetime is governed by the coupled data way instead); when the
+non-pinned portion overflows, the LRU entry is evicted and the caller must
+back-invalidate the MLCs holding it.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional, Set
+
+from repro import config
+
+
+@dataclass
+class DirectoryEntry:
+    addr: int
+    holders: Set[int] = field(default_factory=set)
+    inclusive: bool = False
+    lru: int = 0
+
+
+class SnoopFilter:
+    """Extended-directory model, one bucket per LLC set."""
+
+    def __init__(
+        self,
+        sets: int = config.LLC_SETS,
+        ways: int = config.EXTENDED_DIR_WAYS,
+    ):
+        if ways < len(config.INCLUSIVE_WAYS):
+            raise ValueError("extended directory smaller than shared ways")
+        self.sets = sets
+        self.ways = ways
+        self._sets: list[dict[int, DirectoryEntry]] = [dict() for _ in range(sets)]
+        self._tick = itertools.count()
+        self.back_invalidations = 0
+
+    def _bucket(self, addr: int) -> dict[int, DirectoryEntry]:
+        return self._sets[addr % self.sets]
+
+    def entry(self, addr: int) -> Optional[DirectoryEntry]:
+        return self._bucket(addr).get(addr)
+
+    def track(self, addr: int, core: int, inclusive: bool) -> Optional[DirectoryEntry]:
+        """Record that ``core``'s MLC now holds ``addr``.
+
+        Returns an evicted entry when the set overflows; the caller must
+        back-invalidate that entry's holders.
+        """
+        bucket = self._bucket(addr)
+        entry = bucket.get(addr)
+        if entry is not None:
+            entry.holders.add(core)
+            entry.inclusive = entry.inclusive or inclusive
+            entry.lru = next(self._tick)
+            return None
+        victim = None
+        if len(bucket) >= self.ways:
+            victim = self._choose_victim(bucket)
+            if victim is not None:
+                del bucket[victim.addr]
+                self.back_invalidations += 1
+        entry = DirectoryEntry(addr, {core}, inclusive, next(self._tick))
+        bucket[addr] = entry
+        return victim
+
+    def _choose_victim(self, bucket: dict[int, DirectoryEntry]) -> Optional[DirectoryEntry]:
+        evictable = [e for e in bucket.values() if not e.inclusive]
+        if not evictable:
+            # All entries pinned to data ways; structurally impossible with
+            # only two inclusive ways, but guard against misuse.
+            raise RuntimeError("snoop filter set has no evictable entry")
+        return min(evictable, key=lambda e: e.lru)
+
+    def set_inclusive(self, addr: int, inclusive: bool) -> None:
+        entry = self.entry(addr)
+        if entry is not None:
+            entry.inclusive = inclusive
+
+    def drop_holder(self, addr: int, core: int) -> None:
+        """``core``'s MLC no longer holds ``addr``."""
+        bucket = self._bucket(addr)
+        entry = bucket.get(addr)
+        if entry is None:
+            return
+        entry.holders.discard(core)
+        if not entry.holders:
+            del bucket[addr]
+
+    def remove(self, addr: int) -> Optional[DirectoryEntry]:
+        return self._bucket(addr).pop(addr, None)
+
+    def occupancy(self, addr_set: int) -> int:
+        return len(self._sets[addr_set % self.sets])

@@ -1,0 +1,453 @@
+"""The cache hierarchy: per-core MLCs + shared LLC + directory + memory.
+
+This module wires the structural models together and implements the data
+movement rules the paper's contentions emerge from:
+
+* **Non-inclusive fill** — a CPU miss in both MLC and LLC fills the MLC
+  only; the LLC is a victim cache.
+* **Victim-cache eviction (DMA bloat)** — MLC evictions allocate into the
+  LLC inside the evicting core's CAT mask.  Consumed I/O lines taking this
+  path are counted as *DMA bloat*.
+* **Inclusive-way migration (directory contention, O1)** — when a CPU read
+  hits an LLC line, the line also enters the reader's MLC and thus becomes
+  LLC-inclusive; such lines may only live in the two inclusive ways, so the
+  LLC copy migrates there, evicting whatever occupied them — regardless of
+  any CAT mask.
+* **DDIO flows** — inbound DMA writes either *write-update* a resident LLC
+  line in place, *write-allocate* into the DCA ways, or (non-allocating
+  flow, DCA disabled for the port) go straight to memory.
+* **DMA leak** — an unconsumed DMA-written line evicted from the LLC is
+  counted as a leak against its stream; the eventual CPU read then misses
+  to memory (raising the stream's *DCA miss rate*).
+* **Egress read-allocate** — device reads of MLC-only lines copy them into
+  the inclusive ways; uncached lines are read from memory without
+  allocation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro import config
+from repro.cache.directory import SnoopFilter
+from repro.cache.line import LlcLine, MlcLine
+from repro.cache.llc import LastLevelCache, LlcConfig
+from repro.cache.mlc import MidLevelCache
+from repro.rdt.cat import CacheAllocation
+from repro.telemetry.counters import CounterBank
+from repro.uncore.memory import MemoryController
+
+
+@dataclass
+class HierarchyConfig:
+    """Geometry and latency knobs for one simulated socket."""
+
+    cores: int = 18
+    llc: LlcConfig = field(default_factory=LlcConfig)
+    mlc_sets: int = config.MLC_SETS
+    mlc_ways: int = config.MLC_WAYS
+    mlc_hit_cycles: float = config.MLC_HIT_CYCLES
+    llc_hit_cycles: float = config.LLC_HIT_CYCLES
+    snoop_hit_cycles: float = config.LLC_HIT_CYCLES + 16
+    """Cache-to-cache transfer from a peer MLC via the extended directory."""
+    ddio_write_update: bool = True
+    """Real DDIO write-updates LLC-resident lines in place wherever they
+    live.  Set False (ablation) to force every inbound write to re-allocate
+    into the DCA ways — Fig. 7's Overlap advantage then disappears because
+    I/O lines can no longer be refreshed inside the inclusive ways."""
+    next_line_prefetch: bool = False
+    """Optional L2 next-line prefetcher: a demand miss also pulls the
+    following line into the MLC (uncharged, like a timely hardware
+    prefetch).  Off by default — the paper's contentions are orthogonal to
+    prefetching, but the knob lets users study their interaction."""
+    self_invalidate_consumed: bool = False
+    """Related-work baseline (§8: IDIO / Sweeper): consumed I/O lines are
+    self-invalidated — the LLC copy is dropped on consumption instead of
+    migrating to the inclusive ways, and MLC evictions of consumed I/O
+    lines are discarded instead of bloating the LLC.  Eliminates both the
+    directory contention and DMA bloat at the cost of hardware changes the
+    paper's software-only approach avoids."""
+
+
+class CacheHierarchy:
+    """One socket's cache hierarchy plus its memory interface."""
+
+    def __init__(
+        self,
+        cfg: HierarchyConfig,
+        cat: CacheAllocation,
+        memory: MemoryController,
+        counters: CounterBank,
+        mba=None,
+    ):
+        self.cfg = cfg
+        self.cat = cat
+        self.memory = memory
+        self.counters = counters
+        self.mba = mba
+        """Optional :class:`repro.rdt.mba.MemoryBandwidthAllocation`:
+        throttles memory latency per the accessing core's CLOS."""
+        self.llc = LastLevelCache(cfg.llc)
+        self.sf = SnoopFilter(sets=cfg.llc.sets)
+        self.mlcs = [
+            MidLevelCache(core, cfg.mlc_sets, cfg.mlc_ways)
+            for core in range(cfg.cores)
+        ]
+
+    # ------------------------------------------------------------------
+    # CPU side
+    # ------------------------------------------------------------------
+
+    def cpu_access(
+        self,
+        now: float,
+        core: int,
+        addr: int,
+        stream: str,
+        write: bool = False,
+        io_read: bool = False,
+    ) -> float:
+        """One CPU load/store; returns its load-to-use latency in cycles.
+
+        ``io_read`` marks reads of device-DMA-written data (ring descriptors,
+        packet payloads, storage blocks); misses on such reads are the
+        realised cost of DMA leaks and feed the stream's DCA miss rate.
+        """
+        counters = self.counters.stream(stream)
+        if io_read:
+            counters.io_reads += 1
+
+        mlc = self.mlcs[core]
+        mlc_line = mlc.lookup(addr)
+        if mlc_line is not None:
+            counters.mlc_hits += 1
+            if write:
+                mlc_line.dirty = True
+                self._invalidate_llc_copy_for_store(addr)
+            return self.cfg.mlc_hit_cycles
+
+        counters.mlc_misses += 1
+        llc_line = self.llc.lookup(addr)
+        if llc_line is not None:
+            counters.llc_hits += 1
+            self._consume_if_io(now, llc_line)
+            if write:
+                # RFO: the MLC takes exclusive ownership; the LLC copy dies.
+                dirty = True
+                io_flag = llc_line.io
+                self._detach_llc_line(llc_line)
+                self.llc.remove(llc_line)
+                self._fill_mlc(now, core, addr, stream, dirty=dirty, io=io_flag)
+            elif llc_line.io and self.cfg.self_invalidate_consumed:
+                # IDIO/Sweeper baseline: the consumed copy self-invalidates.
+                self._detach_llc_line(llc_line)
+                self.llc.remove(llc_line)
+                self._fill_mlc(now, core, addr, stream, dirty=False, io=True)
+            elif llc_line.io:
+                # A DMA-written line transitions modified -> shared on its
+                # first CPU read (Wang et al.): the LLC keeps a copy, which
+                # as an LLC-inclusive line must migrate into the inclusive
+                # ways (Yan et al.) — the paper's directory contention.
+                self._make_inclusive(now, llc_line)
+                self._fill_mlc(now, core, addr, stream, dirty=False, io=True)
+            else:
+                # Regular non-inclusive victim-cache hit: the line transfers
+                # to the reader's MLC and the LLC copy is invalidated.
+                self._detach_llc_line(llc_line)
+                self.llc.remove(llc_line)
+                self._fill_mlc(
+                    now, core, addr, stream, dirty=llc_line.dirty, io=False
+                )
+            return self.cfg.llc_hit_cycles
+
+        entry = self.sf.entry(addr)
+        if entry is not None and entry.holders:
+            # MLC-only line held by a peer core: serve via a snoop.
+            counters.llc_hits += 1
+            if write:
+                self._invalidate_peers(now, addr, keep_core=None)
+                self._fill_mlc(now, core, addr, stream, dirty=True, io=False)
+            else:
+                self._fill_mlc(now, core, addr, stream, dirty=False, io=False)
+            return self.cfg.snoop_hit_cycles
+
+        # Full miss: fill the MLC straight from memory (non-inclusive).
+        counters.llc_misses += 1
+        if io_read:
+            counters.io_read_misses += 1
+        self.memory.read(now, 1, stream)
+        latency = self.memory.access_latency()
+        if self.mba is not None:
+            latency *= self.mba.latency_factor(self.cat.clos_of(core))
+        self._fill_mlc(now, core, addr, stream, dirty=write, io=io_read)
+        if self.cfg.next_line_prefetch and not io_read:
+            self._prefetch(now, core, addr + 1, stream)
+        return latency
+
+    def _prefetch(self, now: float, core: int, addr: int, stream: str) -> None:
+        """Timely next-line prefetch into the MLC (no latency charged)."""
+        if self.mlcs[core].peek(addr) is not None:
+            return
+        if self.llc.lookup(addr, touch=False) is not None:
+            return  # leave LLC-resident lines alone (no speculative moves)
+        counters = self.counters.stream(stream)
+        counters.prefetch_fills += 1
+        self.memory.read(now, 1, stream)
+        self._fill_mlc(now, core, addr, stream, dirty=False, io=False)
+
+    # ------------------------------------------------------------------
+    # DMA side
+    # ------------------------------------------------------------------
+
+    def dma_write(self, now: float, addr: int, stream: str, allocating: bool) -> None:
+        """Inbound device write of one line.
+
+        ``allocating`` selects the DDIO allocating flow (write-update /
+        write-allocate into DCA ways) vs. the memory flow (DCA disabled).
+        """
+        counters = self.counters.stream(stream)
+        counters.dma_writes += 1
+
+        # The device takes ownership: cached CPU copies become stale.
+        self._invalidate_peers(now, addr, keep_core=None, silent=True)
+        llc_line = self.llc.lookup(addr, touch=False)
+        if llc_line is not None:
+            llc_line.holders.clear()
+
+        if allocating:
+            if llc_line is not None and not self.cfg.ddio_write_update:
+                # Ablation: no in-place updates; drop the stale copy and
+                # fall through to a fresh DCA-way allocation.
+                self._detach_llc_line(llc_line)
+                self.llc.remove(llc_line)
+                llc_line = None
+            if llc_line is not None:
+                counters.ddio_updates += 1
+                llc_line.dirty = True
+                llc_line.io = True
+                llc_line.consumed = False
+                llc_line.stream = stream
+                self.llc.touch(llc_line)
+            else:
+                counters.ddio_allocates += 1
+                _, victim = self.llc.allocate(
+                    addr,
+                    stream,
+                    self.llc.dca_ways,
+                    dirty=True,
+                    io=True,
+                    consumed=False,
+                )
+                if victim is not None:
+                    self._dispose_victim(now, victim)
+        else:
+            self.memory.write(now, 1, stream)
+            if llc_line is not None:
+                # Stale copy invalidated without write-back.
+                self.llc.remove(llc_line)
+
+    def dma_read(self, now: float, addr: int, stream: str) -> None:
+        """Outbound device read of one line (egress path)."""
+        counters = self.counters.stream(stream)
+        counters.dma_reads += 1
+
+        llc_line = self.llc.lookup(addr)
+        if llc_line is not None:
+            return  # served directly from the LLC
+
+        entry = self.sf.entry(addr)
+        if entry is not None and entry.holders:
+            # MLC-only data: read-allocate a copy into the inclusive ways.
+            holder = next(iter(entry.holders))
+            mlc_line = self.mlcs[holder].peek(addr)
+            dirty = bool(mlc_line and mlc_line.dirty)
+            owner_stream = mlc_line.stream if mlc_line else stream
+            new_line, victim = self.llc.allocate(
+                addr,
+                owner_stream,
+                self.cfg.llc.inclusive_ways,
+                dirty=dirty,
+                io=False,
+            )
+            new_line.holders = set(entry.holders)
+            self.sf.set_inclusive(addr, True)
+            if mlc_line is not None:
+                mlc_line.dirty = False
+            if victim is not None:
+                self._dispose_victim(now, victim)
+            return
+
+        # Uncached: DMA-read from memory, no LLC allocation (NetCAT finding).
+        self.memory.read(now, 1, stream)
+
+    # ------------------------------------------------------------------
+    # Internal mechanics
+    # ------------------------------------------------------------------
+
+    def _consume_if_io(self, now: float, llc_line: LlcLine) -> None:
+        """First CPU touch of a DMA-written line: mark consumed and perform
+        the modified-to-shared coherence write-back (Wang et al.)."""
+        if llc_line.io and not llc_line.consumed:
+            llc_line.consumed = True
+            if llc_line.dirty:
+                self.memory.write(now, 1, llc_line.stream)
+                llc_line.dirty = False
+
+    def _make_inclusive(self, now: float, llc_line: LlcLine) -> None:
+        """A read is about to put ``llc_line`` into an MLC as well: enforce
+        the shared-directory placement constraint (migrate into the
+        inclusive ways), unless disabled for ablation."""
+        if not self.cfg.llc.inclusive_migration:
+            return
+        if llc_line.way in self.cfg.llc.inclusive_ways:
+            return
+        victim = self.llc.migrate_to_inclusive(llc_line)
+        self.counters.stream(llc_line.stream).migrations += 1
+        if victim is not None:
+            self._dispose_victim(now, victim)
+
+    def _fill_mlc(
+        self, now: float, core: int, addr: int, stream: str, dirty: bool, io: bool
+    ) -> None:
+        line = MlcLine(addr=addr, stream=stream, dirty=dirty, io=io)
+        victim = self.mlcs[core].insert(line)
+        self._track_mlc(now, core, addr)
+        if victim is not None:
+            self._handle_mlc_eviction(now, core, victim)
+
+    def _track_mlc(self, now: float, core: int, addr: int) -> None:
+        llc_line = self.llc.lookup(addr, touch=False)
+        inclusive = llc_line is not None
+        evicted_entry = self.sf.track(addr, core, inclusive)
+        if llc_line is not None:
+            llc_line.holders.add(core)
+        if evicted_entry is not None:
+            self._back_invalidate(now, evicted_entry)
+
+    def _untrack_mlc(self, addr: int, core: int) -> None:
+        self.sf.drop_holder(addr, core)
+        llc_line = self.llc.lookup(addr, touch=False)
+        if llc_line is not None:
+            llc_line.holders.discard(core)
+            if not llc_line.holders:
+                self.sf.set_inclusive(addr, False)
+
+    def _handle_mlc_eviction(self, now: float, core: int, mlc_line: MlcLine) -> None:
+        """Victim-cache behaviour: an evicted MLC line allocates into the LLC
+        within the evicting core's CAT mask (unless already resident)."""
+        addr = mlc_line.addr
+        self._untrack_mlc(addr, core)
+
+        llc_line = self.llc.lookup(addr, touch=False)
+        if llc_line is not None:
+            # Was inclusive: the LLC copy absorbs the eviction.
+            llc_line.dirty = llc_line.dirty or mlc_line.dirty
+            return
+
+        entry = self.sf.entry(addr)
+        if entry is not None and entry.holders:
+            # A peer MLC still holds the line: silent drop of this copy.
+            if mlc_line.dirty:
+                peer = next(iter(entry.holders))
+                peer_line = self.mlcs[peer].peek(addr)
+                if peer_line is not None:
+                    peer_line.dirty = True
+            return
+
+        if mlc_line.io and self.cfg.self_invalidate_consumed:
+            # IDIO/Sweeper baseline: consumed I/O lines never bloat the LLC.
+            if mlc_line.dirty:
+                self.memory.write(now, 1, mlc_line.stream)
+            return
+
+        counters = self.counters.stream(mlc_line.stream)
+        counters.llc_fills += 1
+        if mlc_line.io:
+            counters.dma_bloats += 1
+        _, victim = self.llc.allocate(
+            addr,
+            mlc_line.stream,
+            self.cat.ways_for_core(core),
+            dirty=mlc_line.dirty,
+            io=mlc_line.io,
+            consumed=mlc_line.io,  # an I/O line reached the MLC => consumed
+        )
+        if victim is not None:
+            self._dispose_victim(now, victim)
+
+    def _dispose_victim(self, now: float, victim: LlcLine) -> None:
+        """Account for an LLC line displaced by a fill or migration."""
+        counters = self.counters.stream(victim.stream)
+        counters.llc_evictions_suffered += 1
+        if victim.holders:
+            # Inclusive line losing only its LLC data copy: the MLC copies
+            # live on, tracked by extended directory entries instead.
+            counters.inclusive_downgrades += 1
+            if victim.dirty:
+                holder = next(iter(victim.holders))
+                holder_line = self.mlcs[holder].peek(victim.addr)
+                if holder_line is not None:
+                    holder_line.dirty = True
+            self.sf.set_inclusive(victim.addr, False)
+            return
+        if victim.io and not victim.consumed:
+            counters.dma_leaks += 1
+        if victim.dirty:
+            self.memory.write(now, 1, victim.stream)
+
+    def _detach_llc_line(self, llc_line: LlcLine) -> None:
+        """Prepare an LLC line for removal: release directory coupling."""
+        if llc_line.holders:
+            self.sf.set_inclusive(llc_line.addr, False)
+            llc_line.holders.clear()
+
+    def _invalidate_llc_copy_for_store(self, addr: int) -> None:
+        """A store hit in an MLC invalidates any (now stale) LLC copy."""
+        llc_line = self.llc.lookup(addr, touch=False)
+        if llc_line is not None:
+            self._detach_llc_line(llc_line)
+            self.llc.remove(llc_line)
+
+    def _invalidate_peers(
+        self,
+        now: float,
+        addr: int,
+        keep_core: Optional[int],
+        silent: bool = False,
+    ) -> bool:
+        """Invalidate MLC copies of ``addr`` (except ``keep_core``'s).
+
+        Returns True when a dirty copy was dropped.  ``silent`` suppresses
+        the write-back (used for DMA writes that overwrite the data anyway).
+        """
+        entry = self.sf.entry(addr)
+        if entry is None:
+            return False
+        dirty_dropped = False
+        for core in list(entry.holders):
+            if core == keep_core:
+                continue
+            dropped = self.mlcs[core].invalidate(addr)
+            self.sf.drop_holder(addr, core)
+            if dropped is not None and dropped.dirty:
+                dirty_dropped = True
+                if not silent:
+                    self.memory.write(now, 1, dropped.stream)
+        llc_line = self.llc.lookup(addr, touch=False)
+        if llc_line is not None:
+            llc_line.holders = {
+                c for c in llc_line.holders if c == keep_core
+            }
+            if not llc_line.holders:
+                self.sf.set_inclusive(addr, False)
+        return dirty_dropped
+
+    def _back_invalidate(self, now: float, entry) -> None:
+        """An extended-directory eviction forces MLC copies out."""
+        for core in list(entry.holders):
+            dropped = self.mlcs[core].invalidate(entry.addr)
+            if dropped is not None:
+                self.counters.stream(dropped.stream).back_invalidations += 1
+                if dropped.dirty:
+                    self.memory.write(now, 1, dropped.stream)

@@ -1,0 +1,52 @@
+"""Cache-line records for the MLC and LLC models.
+
+Rather than a full MESIF protocol, lines carry the placement and provenance
+bits the paper's contentions hinge on:
+
+* ``io``            — the line was DMA-written by an I/O device;
+* ``consumed``      — an ``io`` line that a CPU core has since read.  An
+  *unconsumed* ``io`` line evicted from the LLC is a **DMA leak**;
+* ``dirty``         — holds data newer than memory;
+* LLC lines also know which way they occupy, whether they are
+  **LLC-inclusive** (also resident in some MLC — such lines may only occupy
+  the two inclusive ways), and which stream (workload) allocated them, for
+  attribution of evictions and leaks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Set
+
+
+@dataclass
+class MlcLine:
+    """A line resident in a private mid-level cache."""
+
+    addr: int
+    stream: str
+    dirty: bool = False
+    io: bool = False
+    lru: int = 0
+
+
+@dataclass
+class LlcLine:
+    """A line resident in the shared last-level cache."""
+
+    addr: int
+    stream: str
+    way: int
+    dirty: bool = False
+    io: bool = False
+    consumed: bool = False
+    lru: int = 0
+    holders: Set[int] = field(default_factory=set)
+    """Core ids whose MLC also holds this line (non-empty => LLC-inclusive)."""
+    meta: Dict[str, int] = field(default_factory=dict)
+    """Replacement-policy metadata (e.g. the RRIP re-reference value)."""
+
+    @property
+    def inclusive(self) -> bool:
+        """True when the line is resident in both the LLC and some MLC."""
+        return bool(self.holders)

@@ -1,0 +1,160 @@
+"""Non-inclusive last-level cache with DCA and inclusive ways.
+
+Geometry follows the paper's Skylake-SP part: 11 ways, of which the two
+left-most are the DDIO (*DCA*) ways and the two right-most are the hidden
+*inclusive* ways coupled with the shared directory entries.  The LLC itself
+is policy-free: victim masks are supplied per call (by CAT for CPU fills,
+by the IIO agent for DMA fills), and the hierarchy layer decides what an
+eviction means.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Sequence, Tuple
+
+from repro import config
+from repro.cache.line import LlcLine
+from repro.cache.replacement import make_policy
+from repro.cache.sets import WaySet
+
+
+@dataclass(frozen=True)
+class LlcConfig:
+    """Geometry and behavioural switches of the LLC model."""
+
+    sets: int = config.LLC_SETS
+    ways: int = config.LLC_WAYS
+    dca_ways: Tuple[int, ...] = config.DCA_WAYS
+    inclusive_ways: Tuple[int, ...] = config.INCLUSIVE_WAYS
+    inclusive_migration: bool = True
+    """When True (real hardware), a line that becomes resident in both an MLC
+    and the LLC migrates into the inclusive ways.  Exposed for the ablation
+    bench showing Fig. 3b's third contention group vanish without it."""
+    replacement: str = "lru"
+    """Replacement policy: 'lru' (default), 'srrip', 'brrip', or 'nru' —
+    the RRIP family are the §8 hardware alternatives to pseudo bypassing."""
+
+    def __post_init__(self) -> None:
+        for way in (*self.dca_ways, *self.inclusive_ways):
+            if not 0 <= way < self.ways:
+                raise ValueError(f"way {way} outside 0..{self.ways - 1}")
+        if set(self.dca_ways) & set(self.inclusive_ways):
+            raise ValueError("DCA and inclusive ways overlap")
+
+    @property
+    def standard_ways(self) -> Tuple[int, ...]:
+        special = set(self.dca_ways) | set(self.inclusive_ways)
+        return tuple(w for w in range(self.ways) if w not in special)
+
+
+class LastLevelCache:
+    """The shared LLC data array."""
+
+    def __init__(self, cfg: Optional[LlcConfig] = None):
+        self.cfg = cfg or LlcConfig()
+        self._sets = [WaySet(self.cfg.ways) for _ in range(self.cfg.sets)]
+        self.policy = make_policy(self.cfg.replacement)
+        self.dca_ways: Tuple[int, ...] = tuple(self.cfg.dca_ways)
+        """The ways DDIO write-allocates into.  Runtime-mutable through the
+        IIO LLC WAYS register (``repro.uncore.msr``), as on real Skylake-SP
+        where the 0xC8B MSR widens/narrows DDIO capacity."""
+
+    def set_dca_ways(self, ways: Sequence[int]) -> None:
+        """Reprogram the DDIO way mask (existing lines stay where they are,
+        exactly like reprogramming the real MSR)."""
+        mask = tuple(sorted(set(ways)))
+        if not mask:
+            raise ValueError("DDIO needs at least one way")
+        for way in mask:
+            if not 0 <= way < self.cfg.ways:
+                raise ValueError(f"way {way} outside 0..{self.cfg.ways - 1}")
+        self.dca_ways = mask
+
+    # -- basic operations ---------------------------------------------------
+
+    def set_of(self, addr: int) -> WaySet:
+        return self._sets[addr % self.cfg.sets]
+
+    def lookup(self, addr: int, touch: bool = True) -> Optional[LlcLine]:
+        line = self.set_of(addr).lookup(addr)
+        if line is not None and touch:
+            self.policy.on_hit(line)
+        return line
+
+    def touch(self, line: LlcLine) -> None:
+        """Refresh ``line``'s recency without a lookup."""
+        self.policy.on_hit(line)
+
+    def allocate(
+        self,
+        addr: int,
+        stream: str,
+        allowed_ways: Sequence[int],
+        dirty: bool = False,
+        io: bool = False,
+        consumed: bool = False,
+    ) -> Tuple[LlcLine, Optional[LlcLine]]:
+        """Install ``addr`` into one of ``allowed_ways``.
+
+        Returns ``(new_line, victim)``; the caller owns victim disposal.
+        """
+        wayset = self.set_of(addr)
+        if wayset.lookup(addr) is not None:
+            raise ValueError(f"addr {addr:#x} already resident in LLC")
+        way = self.policy.victim_way(wayset.slots, allowed_ways)
+        victim = wayset.slots[way]
+        if victim is not None:
+            wayset.remove(victim)
+        line = LlcLine(
+            addr=addr,
+            stream=stream,
+            way=way,
+            dirty=dirty,
+            io=io,
+            consumed=consumed,
+        )
+        self.policy.on_fill(line)
+        wayset.install(line, way)
+        return line, victim
+
+    def remove(self, line: LlcLine) -> None:
+        self.set_of(line.addr).remove(line)
+
+    def migrate_to_inclusive(self, line: LlcLine) -> Optional[LlcLine]:
+        """Relocate ``line`` into an inclusive way of its set.
+
+        Models the shared-directory coupling: a line resident in both MLC and
+        LLC may only occupy the inclusive ways.  Returns the displaced victim
+        (None if an inclusive way was free).  No-op if already there.
+        """
+        if line.way in self.cfg.inclusive_ways:
+            self.policy.on_hit(line)
+            return None
+        wayset = self.set_of(line.addr)
+        way = self.policy.victim_way(wayset.slots, self.cfg.inclusive_ways)
+        victim = wayset.slots[way]
+        if victim is not None:
+            wayset.remove(victim)
+        wayset.remove(line)
+        self.policy.on_hit(line)
+        wayset.install(line, way)
+        return victim
+
+    # -- inspection -----------------------------------------------------------
+
+    def resident(self) -> Iterable[LlcLine]:
+        for wayset in self._sets:
+            yield from wayset.occupants()
+
+    def occupancy_by_way(self) -> Dict[int, int]:
+        counts = {w: 0 for w in range(self.cfg.ways)}
+        for line in self.resident():
+            counts[line.way] += 1
+        return counts
+
+    def occupancy_by_stream(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for line in self.resident():
+            counts[line.stream] = counts.get(line.stream, 0) + 1
+        return counts

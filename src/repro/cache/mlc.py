@@ -1,0 +1,73 @@
+"""Private mid-level cache (MLC / L2) model.
+
+Plain set-associative LRU.  In the non-inclusive hierarchy modelled here the
+MLC is where demand fills land first; its evictions are what the paper calls
+*DMA bloat* when they carry consumed I/O data back into the LLC.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Optional
+
+from repro import config
+from repro.cache.line import MlcLine
+
+
+class MidLevelCache:
+    """One core's private L2."""
+
+    def __init__(
+        self,
+        core_id: int,
+        sets: int = config.MLC_SETS,
+        ways: int = config.MLC_WAYS,
+    ):
+        if sets <= 0 or ways <= 0:
+            raise ValueError("MLC geometry must be positive")
+        self.core_id = core_id
+        self.sets = sets
+        self.ways = ways
+        self._sets: list[dict[int, MlcLine]] = [dict() for _ in range(sets)]
+        self._tick = itertools.count()
+
+    @property
+    def capacity_lines(self) -> int:
+        return self.sets * self.ways
+
+    def _set_for(self, addr: int) -> dict[int, MlcLine]:
+        return self._sets[addr % self.sets]
+
+    def lookup(self, addr: int) -> Optional[MlcLine]:
+        line = self._set_for(addr).get(addr)
+        if line is not None:
+            line.lru = next(self._tick)
+        return line
+
+    def peek(self, addr: int) -> Optional[MlcLine]:
+        """Lookup without perturbing LRU (for inspection and invalidation)."""
+        return self._set_for(addr).get(addr)
+
+    def insert(self, line: MlcLine) -> Optional[MlcLine]:
+        """Install ``line``; returns the evicted victim, if any."""
+        bucket = self._set_for(line.addr)
+        if line.addr in bucket:
+            raise ValueError(f"addr {line.addr:#x} already resident")
+        victim = None
+        if len(bucket) >= self.ways:
+            victim_addr = min(bucket, key=lambda a: bucket[a].lru)
+            victim = bucket.pop(victim_addr)
+        line.lru = next(self._tick)
+        bucket[line.addr] = line
+        return victim
+
+    def invalidate(self, addr: int) -> Optional[MlcLine]:
+        """Drop ``addr`` if resident, returning the dropped line."""
+        return self._set_for(addr).pop(addr, None)
+
+    def resident(self) -> Iterable[MlcLine]:
+        for bucket in self._sets:
+            yield from bucket.values()
+
+    def occupancy(self) -> int:
+        return sum(len(bucket) for bucket in self._sets)

@@ -1,0 +1,64 @@
+"""Way-organised cache set with masked LRU victim selection.
+
+Used by the LLC: every set holds one slot per way, a tag index for O(1)
+lookup, and picks victims only among an *allowed* subset of ways — this is
+how both CAT way masks (CPU fills) and the DDIO way mask (DMA fills) are
+enforced.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from repro.cache.line import LlcLine
+
+
+class WaySet:
+    """One LLC set: ``ways`` slots, each holding at most one line."""
+
+    __slots__ = ("slots", "index")
+
+    def __init__(self, ways: int):
+        self.slots: list[Optional[LlcLine]] = [None] * ways
+        self.index: dict[int, int] = {}
+
+    def lookup(self, addr: int) -> Optional[LlcLine]:
+        way = self.index.get(addr)
+        return None if way is None else self.slots[way]
+
+    def victim_way(self, allowed: Sequence[int], exclude: Iterable[int] = ()) -> int:
+        """Pick a victim way among ``allowed``: an empty way if any, else LRU.
+
+        ``exclude`` removes ways from consideration (used when relocating a
+        line so it never chooses its own slot).
+        """
+        banned = set(exclude)
+        candidates = [w for w in allowed if w not in banned]
+        if not candidates:
+            raise ValueError("no candidate ways for victim selection")
+        best = None
+        best_lru = None
+        for way in candidates:
+            line = self.slots[way]
+            if line is None:
+                return way
+            if best_lru is None or line.lru < best_lru:
+                best, best_lru = way, line.lru
+        return best
+
+    def install(self, line: LlcLine, way: int) -> None:
+        """Place ``line`` into ``way`` (the slot must be empty)."""
+        if self.slots[way] is not None:
+            raise ValueError(f"way {way} is occupied")
+        line.way = way
+        self.slots[way] = line
+        self.index[line.addr] = way
+
+    def remove(self, line: LlcLine) -> None:
+        if self.slots[line.way] is not line:
+            raise ValueError("line is not resident where it claims to be")
+        self.slots[line.way] = None
+        del self.index[line.addr]
+
+    def occupants(self) -> Iterable[LlcLine]:
+        return (line for line in self.slots if line is not None)

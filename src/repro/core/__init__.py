@@ -1,0 +1,26 @@
+"""The paper's contribution: the A4 LLC-management framework.
+
+* :mod:`repro.core.policy` — thresholds T1–T5 and timing parameters
+  (paper Table 1 + §5.7);
+* :mod:`repro.core.zones` — HP/LP/DCA zone bookkeeping over CAT masks;
+* :mod:`repro.core.detectors` — DMA-leak, antagonist, and phase detectors;
+* :mod:`repro.core.a4` — the runtime controller (Fig. 9 execution flow);
+* :mod:`repro.core.baselines` — the Default and Isolate comparison models;
+* :mod:`repro.core.variants` — the staged A4-a/b/c/d variants of §7.2.
+"""
+
+from repro.core.manager import LlcManager
+from repro.core.policy import A4Policy
+from repro.core.baselines import DefaultManager, IsolateManager
+from repro.core.a4 import A4Manager
+from repro.core.variants import make_manager, A4_VARIANTS
+
+__all__ = [
+    "LlcManager",
+    "A4Policy",
+    "DefaultManager",
+    "IsolateManager",
+    "A4Manager",
+    "make_manager",
+    "A4_VARIANTS",
+]

@@ -1,0 +1,434 @@
+"""The A4 runtime LLC-management controller (paper §5, Fig. 9).
+
+Per monitoring epoch (the paper's 1 second), the controller:
+
+1. **Restores** workloads whose antagonistic phase ended (§5.6);
+2. **Detects** storage-driven DMA leak (§5.4: T2/T3/T4 → disable that
+   device's DCA via its PCIe port register, demote the workload to LPW) and
+   non-I/O antagonists (§5.5: T5 → pseudo LLC bypassing);
+3. Runs the **allocation state machine**:
+
+   * ``baseline``  — the epoch right after (re)allocation to the *initial
+     partitions*; HPW LLC hit rates recorded here are the T1 reference;
+   * ``expanding`` — every ``expand_interval`` epochs LP Zone grows one way
+     leftward until an HPW's hit rate drops more than T1 (then one step is
+     rolled back) or the leftmost extent is reached;
+   * ``stable``    — monitors for phase changes (hit-rate fluctuations
+     beyond T1); after ``stable_interval`` epochs it temporarily
+   * ``reverting`` — re-applies the initial partitions for
+     ``revert_interval`` epoch(s) to measure the *highest attainable* hit
+     rate; a gap beyond T1 triggers full reallocation, otherwise the stable
+     allocation is restored.
+
+4. Advances **pseudo LLC bypassing**: each identified antagonist is squeezed
+   one way per epoch from LP Zone toward the right-most standard way
+   (way[8]), ceasing on >10% instability in its own metric or system memory
+   bandwidth.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core import detectors
+from repro.core.detectors import AntagonistState, RestoreChecker
+from repro.core.manager import LlcManager
+from repro.core.policy import A4Policy
+from repro.core.zones import ZoneLayout
+from repro.telemetry.pcm import (
+    EpochSample,
+    KIND_STORAGE,
+    PRIORITY_HIGH,
+    PRIORITY_LOW,
+    StreamSample,
+)
+
+PHASE_BASELINE = "baseline"
+PHASE_EXPANDING = "expanding"
+PHASE_STABLE = "stable"
+PHASE_REVERTING = "reverting"
+
+
+class A4Manager(LlcManager):
+    """Share more, interfere less."""
+
+    name = "a4"
+
+    def __init__(self, policy: Optional[A4Policy] = None):
+        super().__init__()
+        self.policy = policy or A4Policy()
+        self.layout: ZoneLayout = None
+        self.antagonists: Dict[str, AntagonistState] = {}
+        self.demoted: set = set()
+        self.restore_checker = RestoreChecker(self.policy)
+        self.phase = PHASE_BASELINE
+        self.baseline_hits: Dict[str, float] = {}
+        self.stable_hits: Dict[str, float] = {}
+        self.reallocations = 0
+        self.reverts = 0
+        self._epochs_in_phase = 0
+        self._stable_epochs = 0
+        self._saved_lp_left: Optional[int] = None
+        self._detect_cooldown: Dict[str, int] = {}
+        """Epochs left before a just-restored workload may be re-detected —
+        hysteresis against detect/restore ping-pong on borderline cases."""
+        self.bloat_treated: set = set()
+        """Network workloads under the §1 network-bloat extension: their CAT
+        mask points at the trash ways (affecting only their MLC evictions)."""
+        self.events: List[str] = []
+        """Human-readable decision log (for tests and examples)."""
+
+    # ------------------------------------------------------------------
+    # Workload classification
+    # ------------------------------------------------------------------
+
+    def _effective_priority(self, workload) -> str:
+        if workload.name in self.demoted:
+            return PRIORITY_LOW
+        return workload.priority
+
+    def _hpws(self) -> List:
+        return [
+            w
+            for w in self.server.workloads
+            if self._effective_priority(w) == PRIORITY_HIGH
+        ]
+
+    def _io_hpw_present(self) -> bool:
+        return any(w.kind != "non-io" for w in self._hpws())
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def on_attach(self) -> None:
+        self.layout = ZoneLayout(self.policy, self._io_hpw_present())
+        self._begin_reallocation("attach")
+
+    def on_workload_change(self) -> None:
+        """§5.6 condition (1): new HPW combinations at launch/termination."""
+        for name in list(self.antagonists):
+            if not any(w.name == name for w in self.server.workloads):
+                del self.antagonists[name]
+                self.demoted.discard(name)
+        self._begin_reallocation("workload launched or terminated")
+
+    def _begin_reallocation(self, reason: str) -> None:
+        """Apply the initial partitions and restart the state machine."""
+        self.reallocations += 1
+        self.events.append(f"reallocate: {reason}")
+        self.layout.io_hpw_present = self._io_hpw_present()
+        self.layout.reset_lp()
+        self.baseline_hits = {}
+        self.stable_hits = {}
+        self.phase = PHASE_BASELINE
+        self._epochs_in_phase = 0
+        self._stable_epochs = 0
+        for state in self.antagonists.values():
+            # The reallocation perturbs everyone's operating point; re-base
+            # restoration references once things settle.
+            state.grace_epochs = max(state.grace_epochs, 2)
+        self._apply_layout()
+
+    def _apply_layout(self) -> None:
+        """Push the current zone decision into CAT masks."""
+        for workload in self.server.workloads:
+            state = self.antagonists.get(workload.name)
+            if workload.name in self.bloat_treated:
+                first, last = self.layout.trash_span(self.policy.trash_way)
+            elif state is not None and self.policy.pseudo_llc_bypass:
+                first, last = self.layout.trash_span(state.span_left)
+            elif self._effective_priority(workload) == PRIORITY_LOW:
+                first, last = self.layout.lp_span()
+            elif workload.kind == "non-io":
+                first, last = self.layout.non_io_hpw_span()
+            else:
+                first, last = self.layout.io_hpw_span()
+            self.set_ways(workload.name, first, last)
+
+    # ------------------------------------------------------------------
+    # Epoch handler
+    # ------------------------------------------------------------------
+
+    def on_epoch(self, sample: EpochSample) -> None:
+        if self.phase == PHASE_REVERTING:
+            self._finish_revert(sample)
+            return
+
+        for name in list(self._detect_cooldown):
+            self._detect_cooldown[name] -= 1
+            if self._detect_cooldown[name] <= 0:
+                del self._detect_cooldown[name]
+
+        changed = self._check_restorations(sample)
+        changed = self._check_storage_antagonists(sample) or changed
+        if self.phase != PHASE_BASELINE:
+            changed = self._check_cpu_antagonists(sample) or changed
+        self._check_network_bloat(sample)
+        if changed:
+            self._begin_reallocation("workload set changed")
+            return
+
+        if self.phase == PHASE_BASELINE:
+            self._record_baseline(sample)
+            self.phase = PHASE_EXPANDING
+            self._epochs_in_phase = 0
+            return
+
+        self._advance_bypass(sample)
+
+        if self.phase == PHASE_EXPANDING:
+            self._expand_step(sample)
+        elif self.phase == PHASE_STABLE:
+            self._stable_step(sample)
+
+    # ------------------------------------------------------------------
+    # Baseline & expansion (§5.2)
+    # ------------------------------------------------------------------
+
+    def _record_baseline(self, sample: EpochSample) -> None:
+        for workload in self._hpws():
+            stream = sample.streams.get(workload.name)
+            if stream is not None:
+                self.baseline_hits[workload.name] = stream.llc_hit_rate
+
+    def _hpw_degraded(self, sample: EpochSample) -> bool:
+        for workload in self._hpws():
+            stream = sample.streams.get(workload.name)
+            baseline = self.baseline_hits.get(workload.name, 0.0)
+            if stream is not None and detectors.hpw_hit_rate_degraded(
+                self.policy, baseline, stream.llc_hit_rate
+            ):
+                return True
+        return False
+
+    def _expand_step(self, sample: EpochSample) -> None:
+        self._epochs_in_phase += 1
+        if self._epochs_in_phase % self.policy.expand_interval:
+            return
+        if self._hpw_degraded(sample):
+            # The last expansion hurt an HPW: roll it back and settle.
+            if self.layout.lp_left < self.layout.initial_lp_left:
+                self.layout.contract()
+                self._apply_layout()
+            self._enter_stable()
+            return
+        if self.layout.can_expand():
+            self.layout.expand()
+            self.events.append(f"LP zone expands to way{self.layout.lp_span()}")
+            self._apply_layout()
+        else:
+            self._enter_stable()
+
+    def _enter_stable(self) -> None:
+        self.phase = PHASE_STABLE
+        self._stable_epochs = 0
+        self.events.append(f"stable at LP zone way{self.layout.lp_span()}")
+
+    # ------------------------------------------------------------------
+    # Stable phase, periodic revert (§5.6)
+    # ------------------------------------------------------------------
+
+    def _stable_step(self, sample: EpochSample) -> None:
+        phase_change = False
+        for workload in self._hpws():
+            stream = sample.streams.get(workload.name)
+            baseline = self.baseline_hits.get(workload.name, 0.0)
+            if stream is None:
+                continue
+            prior = self.stable_hits.get(workload.name)
+            smoothed = (
+                stream.llc_hit_rate
+                if prior is None
+                else 0.5 * prior + 0.5 * stream.llc_hit_rate
+            )
+            self.stable_hits[workload.name] = smoothed
+            if detectors.hpw_hit_rate_degraded(self.policy, baseline, smoothed):
+                phase_change = True
+        if phase_change:
+            self._begin_reallocation("HPW hit-rate fluctuation beyond T1")
+            return
+        self._stable_epochs += 1
+        if self._stable_epochs >= self.policy.stable_interval:
+            self._start_revert()
+
+    def _start_revert(self) -> None:
+        self.reverts += 1
+        self._saved_lp_left = self.layout.lp_left
+        self.layout.reset_lp()
+        self._apply_layout()
+        self.phase = PHASE_REVERTING
+        self._epochs_in_phase = 0
+        self.events.append("revert to initial partitions")
+
+    def _finish_revert(self, sample: EpochSample) -> None:
+        self._epochs_in_phase += 1
+        if self._epochs_in_phase < self.policy.revert_interval:
+            return
+        # ``sample`` was measured under the initial partitions: the highest
+        # attainable hit rates at this moment.
+        reallocate = False
+        for workload in self._hpws():
+            stream = sample.streams.get(workload.name)
+            if stream is None:
+                continue
+            attainable = stream.llc_hit_rate
+            stable = self.stable_hits.get(workload.name, attainable)
+            if attainable > 0 and (
+                (attainable - stable) / attainable > self.policy.hpw_llc_hit_thr
+            ):
+                reallocate = True
+        if reallocate:
+            self._begin_reallocation("uncapturable phase change found by revert")
+            return
+        self.layout.lp_left = self._saved_lp_left
+        self._apply_layout()
+        self.phase = PHASE_STABLE
+        self._stable_epochs = 0
+
+    # ------------------------------------------------------------------
+    # Antagonist detection, bypass, restoration (§5.4–§5.6)
+    # ------------------------------------------------------------------
+
+    def _check_storage_antagonists(self, sample: EpochSample) -> bool:
+        if not self.policy.selective_dca_disable:
+            return False
+        changed = False
+        for workload in self.server.workloads:
+            if (
+                workload.kind != KIND_STORAGE
+                or workload.name in self.antagonists
+                or workload.name in self._detect_cooldown
+            ):
+                continue
+            stream = sample.streams.get(workload.name)
+            if stream is None:
+                continue
+            if detectors.storage_leak_detected(self.policy, sample, stream):
+                self.antagonists[workload.name] = AntagonistState(
+                    name=workload.name,
+                    kind="storage",
+                    original_priority=workload.priority,
+                    detection_metric=stream.io_throughput_lines_per_cycle,
+                    span_left=min(
+                        self.layout.lp_span()[0], self.policy.trash_way
+                    ),
+                )
+                self.demoted.add(workload.name)
+                if workload.port_id is not None:
+                    self.set_port_dca(workload.port_id, enabled=False)
+                self.events.append(f"disable DCA for {workload.name} (DMA leak)")
+                changed = True
+        return changed
+
+    def _check_cpu_antagonists(self, sample: EpochSample) -> bool:
+        if not self.policy.pseudo_llc_bypass:
+            return False
+        changed = False
+        for workload in self.server.workloads:
+            if (
+                workload.kind != "non-io"
+                or workload.name in self.antagonists
+                or workload.name in self._detect_cooldown
+            ):
+                continue
+            stream = sample.streams.get(workload.name)
+            if stream is None:
+                continue
+            if detectors.cpu_antagonist_detected(self.policy, stream):
+                self.antagonists[workload.name] = AntagonistState(
+                    name=workload.name,
+                    kind="cpu",
+                    original_priority=workload.priority,
+                    detection_metric=stream.llc_miss_rate,
+                    span_left=min(
+                        self.layout.lp_span()[0], self.policy.trash_way
+                    ),
+                )
+                self.demoted.add(workload.name)
+                self.events.append(f"{workload.name} detected as non-I/O antagonist")
+                changed = True
+        return changed
+
+    def _advance_bypass(self, sample: EpochSample) -> None:
+        if not self.policy.pseudo_llc_bypass:
+            return
+        membw = sample.mem_total_bw
+        for state in self.antagonists.values():
+            if state.settled:
+                continue
+            stream = sample.streams.get(state.name)
+            if stream is None:
+                continue
+            metric = (
+                stream.llc_miss_rate
+                if state.kind == "cpu"
+                else stream.io_throughput_lines_per_cycle
+            )
+            if state.last_reduction_metric is not None:
+                unstable = (
+                    detectors.relative_change(metric, state.last_reduction_metric)
+                    > self.policy.instability_thr
+                    or detectors.relative_change(membw, state.last_reduction_membw)
+                    > self.policy.instability_thr
+                )
+                if unstable:
+                    # Undo the last squeeze and freeze (§5.5 guardrail).
+                    state.span_left = max(
+                        self.layout.lp_span()[0], state.span_left - 1
+                    )
+                    state.settled = True
+                    self._apply_layout()
+                    self.events.append(
+                        f"bypass of {state.name} halted (instability)"
+                    )
+                    continue
+            if state.span_left < self.policy.trash_way:
+                state.span_left += 1
+                state.last_reduction_metric = metric
+                state.last_reduction_membw = membw
+                self._apply_layout()
+            else:
+                state.settled = True
+
+    def _check_network_bloat(self, sample: EpochSample) -> None:
+        """§1 extension: trash-way the MLC evictions of bloating network
+        workloads (no demotion, no reallocation — mask change only)."""
+        if not self.policy.network_bloat_bypass:
+            return
+        for workload in self.server.workloads:
+            if workload.kind != "network-io":
+                continue
+            stream = sample.streams.get(workload.name)
+            if stream is None or stream.counters.dma_writes < 100:
+                continue
+            rate = stream.counters.dma_bloats / stream.counters.dma_writes
+            if workload.name not in self.bloat_treated:
+                if rate > self.policy.net_bloat_thr:
+                    self.bloat_treated.add(workload.name)
+                    self.events.append(
+                        f"{workload.name}: network DMA bloat -> trash ways"
+                    )
+                    self._apply_layout()
+            elif rate < self.policy.net_bloat_thr / 2:
+                self.bloat_treated.discard(workload.name)
+                self.events.append(f"{workload.name}: bloat subsided, restored")
+                self._apply_layout()
+
+    def _check_restorations(self, sample: EpochSample) -> bool:
+        changed = False
+        for name in list(self.antagonists):
+            state = self.antagonists[name]
+            stream = sample.streams.get(name)
+            if stream is None:
+                continue
+            if self.restore_checker.should_restore(state, stream):
+                del self.antagonists[name]
+                self.demoted.discard(name)
+                self._detect_cooldown[name] = 5
+                workload = self.server.workload(name)
+                if state.kind == "storage" and workload.port_id is not None:
+                    self.set_port_dca(workload.port_id, enabled=True)
+                self.events.append(f"restore {name} (phase change ended)")
+                changed = True
+        return changed

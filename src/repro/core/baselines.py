@@ -1,0 +1,63 @@
+"""Baseline LLC-management schemes the paper compares against (§6).
+
+* **Default** — all workloads share the whole LLC; no CAT masks are set
+  and DCA stays enabled for every device.
+* **Isolate** — static workload-wise isolation: each workload receives a
+  contiguous block of LLC ways proportional to its core count, assigned
+  left to right in launch order.  DCA stays enabled.  (Its rigidity —
+  ignoring cache sensitivity and working-set size — is what Figs. 11–13
+  show losing to even the Default model.)
+"""
+
+from __future__ import annotations
+
+from repro import config
+from repro.core.manager import LlcManager
+from repro.telemetry.pcm import EpochSample
+
+
+class DefaultManager(LlcManager):
+    """Share everything: the hardware default."""
+
+    name = "default"
+
+    def on_epoch(self, sample: EpochSample) -> None:
+        """The Default model never reacts."""
+
+
+class IsolateManager(LlcManager):
+    """Static per-workload LLC partitions proportional to core counts."""
+
+    name = "isolate"
+
+    def __init__(self, ways: int = config.LLC_WAYS):
+        super().__init__()
+        self.total_ways = ways
+
+    def on_attach(self) -> None:
+        workloads = self.server.workloads
+        total_cores = sum(w.num_cores for w in workloads) or 1
+        # Provisional proportional share, at least one way each.
+        shares = [
+            max(1, round(w.num_cores / total_cores * self.total_ways))
+            for w in workloads
+        ]
+        # Trim overshoot from the largest shares, grow undershoot on the
+        # smallest, so shares sum to the way count (when feasible).
+        while sum(shares) > self.total_ways and max(shares) > 1:
+            shares[shares.index(max(shares))] -= 1
+        while sum(shares) < self.total_ways:
+            shares[shares.index(min(shares))] += 1
+        cursor = 0
+        for workload, share in zip(workloads, shares):
+            first = min(cursor, self.total_ways - 1)
+            last = min(cursor + share - 1, self.total_ways - 1)
+            self.set_ways(workload.name, first, last)
+            cursor = last + 1 if last + 1 < self.total_ways else self.total_ways - 1
+
+    def on_epoch(self, sample: EpochSample) -> None:
+        """Static: never reallocates during execution."""
+
+    def on_workload_change(self) -> None:
+        """Launch/termination re-derives the static proportional split."""
+        self.on_attach()

@@ -1,0 +1,134 @@
+"""A4's runtime detectors (paper §5.4–§5.6).
+
+All detectors consume only :class:`~repro.telemetry.pcm.EpochSample` data —
+the same per-interval counter rates the real daemon reads from Intel PCM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.policy import A4Policy
+from repro.telemetry.pcm import EpochSample, StreamSample
+
+MIN_LLC_ACCESSES = 50
+"""Below this many LLC accesses in an epoch, rates are noise; detectors
+treat the stream as idle rather than classify it."""
+
+
+def relative_change(now: float, reference: float) -> float:
+    """|now - reference| relative to the reference (0 when both idle)."""
+    if reference == 0.0:
+        return 0.0 if now == 0.0 else 1.0
+    return abs(now - reference) / abs(reference)
+
+
+def storage_leak_detected(
+    policy: A4Policy, sample: EpochSample, stream: StreamSample
+) -> bool:
+    """§5.4: storage I/O is causing DMA leak and gaining nothing from DCA.
+
+    Requires all three signals:
+    (1) frequent eviction of I/O lines before consumption — DCA miss rate
+        above ``DMALK_DCA_MS_THR``;
+    (2) significant DMA leak — the workload's LLC miss rate above
+        ``DMALK_LLC_MS_THR``;
+    (3) storage dominating inbound DMA — storage share of PCIe write
+        throughput above ``DMALK_IO_TP_THR``.
+    """
+    if stream.counters.io_reads < MIN_LLC_ACCESSES:
+        return False
+    return (
+        stream.dca_miss_rate > policy.dmalk_dca_ms_thr
+        and stream.llc_miss_rate > policy.dmalk_llc_ms_thr
+        and sample.storage_io_share() > policy.dmalk_io_tp_thr
+    )
+
+
+def cpu_antagonist_detected(policy: A4Policy, stream: StreamSample) -> bool:
+    """§5.5: a non-I/O workload whose MLC *and* LLC miss rates both exceed
+    ``ANT_CACHE_MISS_THR`` derives minimal benefit from LLC caching."""
+    if stream.counters.llc_accesses < MIN_LLC_ACCESSES:
+        return False
+    return (
+        stream.mlc_miss_rate > policy.ant_cache_miss_thr
+        and stream.llc_miss_rate > policy.ant_cache_miss_thr
+    )
+
+
+def hpw_hit_rate_degraded(
+    policy: A4Policy, baseline_hit_rate: float, current_hit_rate: float
+) -> bool:
+    """T1 check: the HPW's LLC hit rate fell more than ``HPW_LLC_HIT_THR``
+    relative to the recorded baseline."""
+    if baseline_hit_rate <= 0.0:
+        return False
+    drop = (baseline_hit_rate - current_hit_rate) / baseline_hit_rate
+    return drop > policy.hpw_llc_hit_thr
+
+
+def hpw_phase_changed(
+    policy: A4Policy, baseline_hit_rate: float, current_hit_rate: float
+) -> bool:
+    """§5.6 condition (2)/(3): hit rate *fluctuates* beyond T1 in either
+    direction relative to the recorded reference."""
+    return relative_change(current_hit_rate, baseline_hit_rate) > policy.hpw_llc_hit_thr
+
+
+@dataclass
+class AntagonistState:
+    """Book-keeping for one workload under antagonist treatment."""
+
+    name: str
+    kind: str
+    """'storage' (DCA-disabled, §5.4) or 'cpu' (pseudo bypass only, §5.5)."""
+    original_priority: str
+    detection_metric: float
+    """LLC miss rate (cpu) or I/O throughput (storage) at detection time,
+    the reference for §5.6 restoration."""
+    span_left: int
+    """Current left way of its squeezed allocation."""
+    settled: bool = False
+    """True once reduction stopped (reached the trash way or instability)."""
+    last_reduction_metric: Optional[float] = None
+    last_reduction_membw: Optional[float] = None
+    grace_epochs: int = 3
+    """Epochs to wait after the treatment changed the workload's own
+    operating point before §5.6 restoration checks use the reference —
+    when it expires the reference is re-based on the settled behaviour,
+    preventing detect/restore flapping on the treatment transient."""
+
+
+class RestoreChecker:
+    """§5.6 'Re-assigning priorities': detect the end of antagonistic
+    behaviour and hand the workload back its original treatment."""
+
+    def __init__(self, policy: A4Policy):
+        self.policy = policy
+
+    def should_restore(self, state: AntagonistState, stream: StreamSample) -> bool:
+        if state.grace_epochs > 0:
+            state.grace_epochs -= 1
+            if state.grace_epochs == 0 and state.kind == "storage":
+                state.detection_metric = stream.io_throughput_lines_per_cycle
+            return False
+        if state.kind == "cpu":
+            if stream.counters.llc_accesses < MIN_LLC_ACCESSES:
+                # The workload went idle: the antagonistic phase is over
+                # (e.g. a scanning daemon between bursts) — hand back its
+                # original treatment; the detector will re-engage if the
+                # next phase is antagonistic again.
+                return True
+            # The streaming phase ended: misses dropped clearly below T5.
+            return (
+                stream.mlc_miss_rate < self.policy.ant_cache_miss_thr * 0.95
+                or stream.llc_miss_rate < self.policy.ant_cache_miss_thr * 0.95
+            )
+        # Storage: a significant throughput swing marks a phase change.
+        return (
+            relative_change(
+                stream.io_throughput_lines_per_cycle, state.detection_metric
+            )
+            > self.policy.storage_restore_thr
+        )

@@ -1,0 +1,62 @@
+"""Interface every LLC-management scheme implements.
+
+A manager sees exactly what the paper's daemon sees: launch-time workload
+metadata, per-epoch PCM samples, CAT, and the PCIe port registers.  It never
+touches the cache models directly.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING
+
+from repro.telemetry.pcm import EpochSample
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.experiments.harness import Server
+
+
+class LlcManager(abc.ABC):
+    """Base class for Default / Isolate / A4 managers."""
+
+    name = "manager"
+
+    def __init__(self) -> None:
+        self.server: "Server" = None
+
+    def attach(self, server: "Server") -> None:
+        """Bind to a server after all workloads are added; apply the initial
+        allocation."""
+        self.server = server
+        self.on_attach()
+
+    def on_attach(self) -> None:
+        """Set the initial CAT masks / DCA state.  Default: no-op."""
+
+    def on_workload_change(self) -> None:
+        """A workload was launched or terminated (paper Fig. 9, step 1).
+        Default: no reaction (the Default model); overridden by schemes
+        that must re-derive their allocation."""
+
+    @abc.abstractmethod
+    def on_epoch(self, sample: EpochSample) -> None:
+        """React to one monitoring interval's counters."""
+
+    # -- convenience accessors (the daemon's 'system call' surface) -------
+
+    def set_ways(self, workload_name: str, first: int, last: int) -> None:
+        """Point the workload's CLOS at way[first:last] (paper notation)."""
+        server = self.server
+        clos = server.clos_of(workload_name)
+        server.cat.set_mask(clos, range(first, last + 1))
+
+    def ways_of(self, workload_name: str):
+        server = self.server
+        return server.cat.mask(server.clos_of(workload_name))
+
+    def set_port_dca(self, port_id: int, enabled: bool) -> None:
+        port = self.server.pcie.port(port_id)
+        if enabled:
+            port.enable_dca()
+        else:
+            port.disable_dca()

@@ -1,0 +1,73 @@
+"""The staged A4 variants evaluated in §7.2 plus a manager factory.
+
+The paper applies its techniques to the Default model one by one
+(Fig. 10a–d):
+
+* **A4-a** — priority-based LLC allocation only (§5.2);
+* **A4-b** — + safeguarding I/O buffers: DCA Zone reserved for I/O HPWs,
+  LP Zone kept out of the inclusive ways (§5.3);
+* **A4-c** — + selectively disabling DCA for leak-causing storage devices
+  (§5.4);
+* **A4-d** — + pseudo LLC bypassing of antagonists via trash ways (§5.5)
+  — this is full A4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional
+
+from repro.core.a4 import A4Manager
+from repro.core.baselines import DefaultManager, IsolateManager
+from repro.core.manager import LlcManager
+from repro.core.policy import A4Policy
+
+
+def a4_variant(stage: str, policy: Optional[A4Policy] = None) -> A4Manager:
+    """Build A4 limited to the techniques of ``stage`` ('a'..'d')."""
+    if stage not in "abcd" or len(stage) != 1:
+        raise ValueError(f"stage must be one of a/b/c/d, got {stage!r}")
+    base = policy or A4Policy()
+    flags = {
+        "a": dict(
+            safeguard_io_buffers=False,
+            selective_dca_disable=False,
+            pseudo_llc_bypass=False,
+        ),
+        "b": dict(
+            safeguard_io_buffers=True,
+            selective_dca_disable=False,
+            pseudo_llc_bypass=False,
+        ),
+        "c": dict(
+            safeguard_io_buffers=True,
+            selective_dca_disable=True,
+            pseudo_llc_bypass=False,
+        ),
+        "d": dict(
+            safeguard_io_buffers=True,
+            selective_dca_disable=True,
+            pseudo_llc_bypass=True,
+        ),
+    }[stage]
+    manager = A4Manager(replace(base, **flags))
+    manager.name = f"a4-{stage}"
+    return manager
+
+
+A4_VARIANTS = ("a4-a", "a4-b", "a4-c", "a4-d")
+
+SCHEMES = ("default", "isolate") + A4_VARIANTS + ("a4",)
+
+
+def make_manager(scheme: str, policy: Optional[A4Policy] = None) -> LlcManager:
+    """Factory used throughout the experiment harness and benches."""
+    if scheme == "default":
+        return DefaultManager()
+    if scheme == "isolate":
+        return IsolateManager()
+    if scheme == "a4":
+        return A4Manager(policy or A4Policy())
+    if scheme.startswith("a4-"):
+        return a4_variant(scheme[3:], policy)
+    raise ValueError(f"unknown scheme {scheme!r}; expected one of {SCHEMES}")

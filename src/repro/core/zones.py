@@ -1,0 +1,97 @@
+"""LLC zone bookkeeping for A4 (paper Fig. 10).
+
+A :class:`ZoneLayout` translates A4's logical state — does an I/O HPW exist
+(so DCA Zone is reserved and LP Zone must shun the inclusive ways), how far
+has LP Zone expanded, how far has each antagonist been squeezed toward the
+trash way — into the concrete way[m:n] span for every workload class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.core.policy import A4Policy
+
+Span = Tuple[int, int]
+"""Inclusive (first_way, last_way), the paper's way[m:n] notation."""
+
+
+@dataclass
+class ZoneLayout:
+    """The current partitioning decision."""
+
+    policy: A4Policy
+    io_hpw_present: bool = False
+    lp_left: int = 0
+    """Left edge of LP Zone (it expands leftward, Fig. 10a red arrow)."""
+
+    def __post_init__(self) -> None:
+        self.lp_left = self.initial_lp_left
+
+    # -- derived geometry ---------------------------------------------------
+
+    @property
+    def safeguarding(self) -> bool:
+        """DCA Zone reserved + inclusive ways off-limits for LP Zone: active
+        once I/O HPWs run and the A4-b feature is on (§5.3)."""
+        return self.policy.safeguard_io_buffers and self.io_hpw_present
+
+    @property
+    def lp_right(self) -> int:
+        """LP Zone's right edge: the last way overall, unless safeguarding
+        keeps LPWs out of the inclusive ways."""
+        if self.safeguarding:
+            return self.policy.inclusive_first_way - 1
+        return self.policy.total_ways - 1
+
+    @property
+    def initial_lp_left(self) -> int:
+        """Initial partition: a two-way LP Zone at its right edge."""
+        return self.lp_right - 1
+
+    @property
+    def min_lp_left(self) -> int:
+        return self.policy.min_lp_left
+
+    def reset_lp(self) -> None:
+        self.lp_left = self.initial_lp_left
+
+    def can_expand(self) -> bool:
+        return self.lp_left > self.min_lp_left
+
+    def expand(self) -> None:
+        """Grow LP Zone one way leftward (checked by the caller against T1)."""
+        if not self.can_expand():
+            raise RuntimeError("LP Zone already at its leftmost extent")
+        self.lp_left -= 1
+
+    def contract(self) -> None:
+        """Undo one expansion step."""
+        if self.lp_left >= self.initial_lp_left:
+            raise RuntimeError("LP Zone already at its initial extent")
+        self.lp_left += 1
+
+    # -- per-class spans ---------------------------------------------------
+
+    def io_hpw_span(self) -> Span:
+        """I/O HPWs are never explicitly constrained: the full LLC,
+        including the DCA Zone reserved for their buffers."""
+        return (0, self.policy.total_ways - 1)
+
+    def non_io_hpw_span(self) -> Span:
+        """Non-I/O HPWs get everything except the DCA Zone when I/O HPWs
+        are being safeguarded (the §5.5/§1-extension latent-contention fix);
+        otherwise the full LLC."""
+        if self.safeguarding:
+            return (self.policy.dca_last_way + 1, self.policy.total_ways - 1)
+        return (0, self.policy.total_ways - 1)
+
+    def lp_span(self, initial: bool = False) -> Span:
+        left = self.initial_lp_left if initial else self.lp_left
+        return (left, self.lp_right)
+
+    def trash_span(self, left: int) -> Span:
+        """An antagonist squeezed to way[left : trash_way] (§5.5)."""
+        trash = self.policy.trash_way
+        return (min(left, trash), trash)

@@ -1,0 +1,18 @@
+"""I/O device models: NIC with Rx rings, NVMe SSD, and traffic generation."""
+
+from repro.devices.ring import RxRing, RingEntry
+from repro.devices.nic import Nic, NicConfig
+from repro.devices.nvme import NvmeSsd, NvmeConfig, NvmeCommand
+from repro.devices.packetgen import PacketGenerator, PacketGenConfig
+
+__all__ = [
+    "RxRing",
+    "RingEntry",
+    "Nic",
+    "NicConfig",
+    "NvmeSsd",
+    "NvmeConfig",
+    "NvmeCommand",
+    "PacketGenerator",
+    "PacketGenConfig",
+]

@@ -1,0 +1,99 @@
+"""Client-side traffic generation (the paper's DPDK Pktgen machine).
+
+Produces a deterministic-with-jitter arrival process at a configured line
+rate.  The paper's client saturates a 100 Gbps link; the simulated default
+rate is the capacity-scaled equivalent (``config.NIC_LINE_RATE...``).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from repro import config
+
+IMIX_SIMPLE: Tuple[Tuple[int, float], ...] = (
+    (64, 7 / 12),
+    (576, 4 / 12),
+    (1514, 1 / 12),
+)
+"""The classic 'simple IMIX' size mix (bytes, probability)."""
+
+
+@dataclass
+class PacketGenConfig:
+    packet_bytes: int = 1024
+    line_rate_lines_per_cycle: float = config.NIC_LINE_RATE_LINES_PER_CYCLE
+    jitter: float = 0.2
+    """Fractional uniform jitter on inter-arrival gaps (0 = periodic)."""
+    size_mix: Optional[Sequence[Tuple[int, float]]] = None
+    """Optional (bytes, weight) mixture, e.g. :data:`IMIX_SIMPLE`; when set,
+    each packet's size is drawn from it and ``packet_bytes`` only bounds
+    the ring slot size."""
+
+    def __post_init__(self) -> None:
+        if self.packet_bytes <= 0:
+            raise ValueError("packet_bytes must be positive")
+        if self.line_rate_lines_per_cycle <= 0:
+            raise ValueError("line rate must be positive")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
+        if self.size_mix is not None:
+            total = sum(weight for _, weight in self.size_mix)
+            if not self.size_mix or abs(total - 1.0) > 1e-6:
+                raise ValueError("size_mix weights must sum to 1")
+            if any(size <= 0 for size, _ in self.size_mix):
+                raise ValueError("size_mix sizes must be positive")
+
+    @property
+    def packet_lines(self) -> int:
+        return config.packet_lines(self.packet_bytes)
+
+    @property
+    def max_packet_lines(self) -> int:
+        """Slot sizing: the largest packet the generator can emit."""
+        if self.size_mix is None:
+            return self.packet_lines
+        return max(config.packet_lines(size) for size, _ in self.size_mix)
+
+    @property
+    def mean_packet_lines(self) -> float:
+        if self.size_mix is None:
+            return float(self.packet_lines)
+        return sum(
+            config.packet_lines(size) * weight for size, weight in self.size_mix
+        )
+
+    @property
+    def mean_gap_cycles(self) -> float:
+        """Inter-arrival gap that achieves the configured line rate."""
+        return self.mean_packet_lines / self.line_rate_lines_per_cycle
+
+
+class PacketGenerator:
+    """Yields successive packet sizes and inter-arrival gaps."""
+
+    def __init__(self, cfg: PacketGenConfig, rng: random.Random):
+        self.cfg = cfg
+        self.rng = rng
+        self._mix = list(cfg.size_mix) if cfg.size_mix is not None else None
+
+    def next_packet_lines(self) -> int:
+        """Size of the next packet in cache lines."""
+        if self._mix is None:
+            return self.cfg.packet_lines
+        draw = self.rng.random()
+        cumulative = 0.0
+        for size, weight in self._mix:
+            cumulative += weight
+            if draw <= cumulative:
+                return config.packet_lines(size)
+        return config.packet_lines(self._mix[-1][0])
+
+    def next_gap(self) -> float:
+        gap = self.cfg.mean_gap_cycles
+        if self.cfg.jitter:
+            spread = self.cfg.jitter * gap
+            gap += self.rng.uniform(-spread, spread)
+        return max(gap, 0.1)

@@ -1,0 +1,86 @@
+"""Receive descriptor ring shared between a NIC and one consumer core.
+
+Each entry owns a fixed buffer of ``slot_lines`` host cache lines.  The NIC
+fills entries in order (head), the consumer drains them in order (tail) —
+matching a DPDK-style run-to-completion Rx ring.  When the ring is full the
+NIC drops the packet, which is how offered load beyond the consumer's
+capacity shows up as loss rather than unbounded queueing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass
+class RingEntry:
+    """One Rx descriptor slot."""
+
+    index: int
+    buffer_addr: int
+    packet_lines: int = 0
+    arrival_time: float = 0.0
+    filled: bool = False
+
+
+class RxRing:
+    """Fixed-size single-producer / single-consumer descriptor ring."""
+
+    def __init__(self, base_addr: int, entries: int, slot_lines: int):
+        if entries <= 0 or slot_lines <= 0:
+            raise ValueError("ring geometry must be positive")
+        self.base_addr = base_addr
+        self.slot_lines = slot_lines
+        self.entries = [
+            RingEntry(i, base_addr + i * slot_lines) for i in range(entries)
+        ]
+        self._head = 0  # next slot the NIC fills
+        self._tail = 0  # next slot the consumer drains
+        self._count = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def capacity(self) -> int:
+        return len(self.entries)
+
+    @property
+    def full(self) -> bool:
+        return self._count == len(self.entries)
+
+    @property
+    def empty(self) -> bool:
+        return self._count == 0
+
+    def push(self, packet_lines: int, now: float) -> Optional[RingEntry]:
+        """Producer side: claim the head slot for an arriving packet.
+
+        Returns None when the ring is full (the packet is dropped).
+        """
+        if self.full:
+            return None
+        entry = self.entries[self._head]
+        entry.packet_lines = packet_lines
+        entry.arrival_time = now
+        entry.filled = True
+        self._head = (self._head + 1) % len(self.entries)
+        self._count += 1
+        return entry
+
+    def peek(self) -> Optional[RingEntry]:
+        """Consumer side: the oldest filled entry, without removing it."""
+        if self.empty:
+            return None
+        return self.entries[self._tail]
+
+    def pop(self) -> RingEntry:
+        """Consumer side: release the oldest filled entry back to the NIC."""
+        if self.empty:
+            raise IndexError("pop from empty ring")
+        entry = self.entries[self._tail]
+        entry.filled = False
+        self._tail = (self._tail + 1) % len(self.entries)
+        self._count -= 1
+        return entry

@@ -1,0 +1,5 @@
+"""Experiment harness, workload scenarios, and figure regeneration."""
+
+from repro.experiments.harness import RunResult, Server, StreamAggregate
+
+__all__ = ["RunResult", "Server", "StreamAggregate"]

@@ -1,0 +1,87 @@
+"""Command-line figure regeneration.
+
+Usage::
+
+    python -m repro.experiments --list
+    python -m repro.experiments fig3a fig5
+    python -m repro.experiments --all
+    python -m repro.experiments --all --quick   # reduced epochs
+
+``--quick`` trims epochs for a fast sanity pass; default lengths match the
+EXPERIMENTS.md numbers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.figures import REGISTRY
+
+QUICK_KWARGS = {
+    "fig3a": dict(epochs=6),
+    "fig3b": dict(epochs=6),
+    "fig4": dict(epochs=6),
+    "fig5": dict(epochs=5),
+    "fig6": dict(epochs=6),
+    "fig7": dict(epochs=6),
+    "fig8a": dict(epochs=6),
+    "fig8b": dict(epochs=6),
+    "fig11": dict(epochs=14, warmup=4),
+    "fig12": dict(epochs=14, warmup=4),
+    "fig13a": dict(epochs=18, warmup=5),
+    "fig13b": dict(epochs=18, warmup=5),
+    "fig14": dict(epochs=18, warmup=5),
+    "fig15a": dict(epochs=16, warmup=5),
+    "fig15b": dict(epochs=16, warmup=5),
+    "fig15c": dict(epochs=24, warmup=5),
+    "ablation-migration": dict(epochs=5),
+    "ablation-write-update": dict(epochs=5),
+    "ablation-replacement": dict(epochs=5),
+    "ablation-trash-floor": dict(epochs=5),
+    "related-self-invalidation": dict(epochs=5),
+    "related-ddio-ways": dict(epochs=5),
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument("figures", nargs="*", help="figure ids (e.g. fig3a fig13a)")
+    parser.add_argument("--all", action="store_true", help="run every figure")
+    parser.add_argument("--list", action="store_true", help="list figure ids")
+    parser.add_argument("--quick", action="store_true", help="reduced epochs")
+    parser.add_argument("--seed", type=int, default=0xA4)
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name in REGISTRY:
+            print(name)
+        return 0
+
+    targets = list(REGISTRY) if args.all else args.figures
+    if not targets:
+        parser.print_help()
+        return 2
+    unknown = [t for t in targets if t not in REGISTRY]
+    if unknown:
+        print(f"unknown figures: {unknown}; use --list", file=sys.stderr)
+        return 2
+
+    for name in targets:
+        runner = REGISTRY[name]
+        kwargs = dict(seed=args.seed)
+        if args.quick:
+            kwargs.update(QUICK_KWARGS.get(name, {}))
+        started = time.time()
+        result = runner(**kwargs)
+        print(result.render())
+        print(f"[{name} done in {time.time() - started:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

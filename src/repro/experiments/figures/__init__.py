@@ -1,0 +1,45 @@
+"""One module per reproduced table/figure of the paper.
+
+Each module exposes ``run(**kwargs) -> FigureResult`` (some return several)
+with ``epochs``/``seed`` knobs so benches can run them quickly and scripts
+can run them at full length.  ``REGISTRY`` maps figure ids to runners.
+"""
+
+from repro.experiments.figures import (
+    ablation,
+    fig3,
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    fig11,
+    fig12,
+    fig13,
+    fig14,
+    fig15,
+)
+
+REGISTRY = {
+    "fig3a": fig3.run_fig3a,
+    "fig3b": fig3.run_fig3b,
+    "fig4": fig4.run,
+    "fig5": fig5.run,
+    "fig6": fig6.run,
+    "fig7": fig7.run,
+    "fig8a": fig8.run_fig8a,
+    "fig8b": fig8.run_fig8b,
+    "fig11": fig11.run,
+    "fig12": fig12.run,
+    "fig13a": fig13.run_hpw_heavy,
+    "fig13b": fig13.run_lpw_heavy,
+    "fig14": fig14.run,
+    "fig15a": fig15.run_partitioning,
+    "fig15b": fig15.run_leak_thresholds,
+    "fig15c": fig15.run_timing,
+}
+REGISTRY.update(ablation.ABLATIONS)
+
+__all__ = ["REGISTRY", "ablation"] + [
+    f"fig{n}" for n in (3, 4, 5, 6, 7, 8, 11, 12, 13, 14, 15)
+]

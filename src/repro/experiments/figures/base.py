@@ -1,0 +1,52 @@
+"""Shared machinery for the figure runners.
+
+The motivation experiments (Figs. 3–8) all follow one template: build a
+small server, pin workloads to way ranges with CAT, optionally flip DCA off
+for some devices, run, and read aggregates.  :func:`run_setup` packages
+that.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.experiments.harness import RunResult, Server
+from repro.workloads.base import Workload
+
+DEFAULT_EPOCHS = 8
+DEFAULT_WARMUP = 2
+
+
+def run_setup(
+    workloads: Iterable[Workload],
+    masks: Optional[Dict[str, Tuple[int, int]]] = None,
+    dca_off: Iterable[str] = (),
+    epochs: int = DEFAULT_EPOCHS,
+    warmup: int = DEFAULT_WARMUP,
+    seed: int = 0xA4,
+    spare_cores: int = 2,
+) -> RunResult:
+    """Run a manager-less setup with explicit CAT masks.
+
+    ``masks`` maps workload name to an inclusive way range (the paper's
+    way[m:n]); ``dca_off`` names workloads whose device port runs the
+    non-allocating flow.
+    """
+    workloads = list(workloads)
+    cores = sum(w.num_cores for w in workloads) + spare_cores
+    server = Server(cores=cores, seed=seed)
+    for workload in workloads:
+        server.add_workload(workload)
+    for name, (first, last) in (masks or {}).items():
+        server.cat.set_mask(server.clos_of(name), range(first, last + 1))
+    for name in dca_off:
+        workload = server.workload(name)
+        if workload.port_id is None:
+            raise ValueError(f"{name} has no I/O device to disable DCA for")
+        server.pcie.port(workload.port_id).disable_dca()
+    return server.run(epochs=epochs, warmup=warmup)
+
+
+def way_label(first: int, last: int) -> str:
+    """The paper's way[m:n] notation."""
+    return f"way[{first}:{last}]"

@@ -1,0 +1,64 @@
+"""Fig. 14 — I/O latency breakdowns and system-wide metrics for the
+HPW-heavy scenario.
+
+* (a) Fastclick network latency split into Rx-ring queueing, packet-pointer
+  access, and processing — A4 shortens all three vs Default;
+* (b) FFSB-H storage latency (device residency vs host-side read/scan) —
+  largely insensitive to the scheme, and reads are no slower with the SSD's
+  DCA disabled (A4) than with it enabled (Default);
+* (c) I/O throughput per scheme;
+* (d) memory read/write bandwidth per scheme — A4 reduces read bandwidth
+  via better caching of high-locality data despite higher I/O throughput.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.experiments.report import FigureResult
+from repro.experiments.scenarios import build_server, hpw_heavy_workloads
+
+SCHEMES: Tuple[str, ...] = ("default", "isolate", "a4-d")
+
+
+def run(epochs: int = 26, warmup: int = 6, seed: int = 0xA4, schemes=SCHEMES) -> FigureResult:
+    result = FigureResult(
+        figure="Fig. 14",
+        title="latency breakdown + I/O throughput + memory bandwidth (HPW-heavy)",
+        columns=[
+            "scheme",
+            "fc_queueing",
+            "fc_access",
+            "fc_processing",
+            "fc_tput",
+            "ffsbh_lat",
+            "ffsbh_tput",
+            "mem_rd_bw",
+            "mem_wr_bw",
+        ],
+    )
+    for scheme in schemes:
+        server = build_server(hpw_heavy_workloads(), scheme=scheme, seed=seed)
+        run_result = server.run(epochs=epochs, warmup=warmup)
+        fastclick = run_result.aggregate("fastclick")
+        ffsbh = run_result.aggregate("ffsb-h")
+        components = fastclick.latency_components
+        result.add_row(
+            scheme=scheme,
+            fc_queueing=components.get("queueing", 0.0),
+            fc_access=components.get("access", 0.0),
+            fc_processing=components.get("processing", 0.0),
+            fc_tput=fastclick.throughput,
+            ffsbh_lat=ffsbh.avg_latency,
+            ffsbh_tput=ffsbh.throughput,
+            mem_rd_bw=run_result.mem_read_bw,
+            mem_wr_bw=run_result.mem_write_bw,
+        )
+    result.notes.append(
+        "A4 shrinks all three Fastclick latency parts; FFSB-H is scheme-insensitive"
+    )
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run().render())

@@ -1,0 +1,187 @@
+"""Fig. 15 — sensitivity of A4 to its thresholds and timing parameters,
+on the HPW-heavy scenario, performance normalised to the Default model.
+
+* (a) partitioning thresholds: T1 (HPW_LLC_HIT_THR) and T5
+  (ANT_CACHE_MISS_THR).  Lower T1 favours HPWs; an aggressive T5 (80%)
+  detects extra "antagonists" and sacrifices a legitimate non-I/O HPW;
+* (b) leak-detection thresholds T2/T3/T4: raised far enough, FFSB-H stops
+  being detected and performance turns suboptimal;
+* (c) timing: longer stable intervals approach the oracle (never-revert)
+  policy; the paper's 10 s reaches ~99% of it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, Optional
+
+from repro.core.policy import A4Policy
+from repro.experiments.figures.fig13 import performance_of
+from repro.experiments.report import FigureResult, geometric_mean
+from repro.experiments.scenarios import build_server, hpw_heavy_workloads
+from repro.telemetry.pcm import PRIORITY_HIGH
+
+
+def _hpw_relative_perf(
+    policy: Optional[A4Policy],
+    scheme: str,
+    epochs: int,
+    warmup: int,
+    seed: int,
+    baselines: Dict[str, float],
+) -> Dict[str, float]:
+    """Run one configuration; return per-workload performance."""
+    workloads = hpw_heavy_workloads()
+    server = build_server(workloads, scheme=scheme, seed=seed, policy=policy)
+    run = server.run(epochs=epochs, warmup=warmup)
+    perfs = {w.name: performance_of(run, w) for w in workloads}
+    perfs["__hpw_geomean__"] = geometric_mean(
+        [
+            perfs[w.name] / (baselines.get(w.name) or 1e-12)
+            for w in workloads
+            if w.priority == PRIORITY_HIGH
+        ]
+        if baselines
+        else [1.0]
+    )
+    perfs["__n_antagonists__"] = len(getattr(server.manager, "antagonists", {}))
+    return perfs
+
+
+def _default_baseline(epochs, warmup, seed) -> Dict[str, float]:
+    workloads = hpw_heavy_workloads()
+    server = build_server(workloads, scheme="default", seed=seed)
+    run = server.run(epochs=epochs, warmup=warmup)
+    return {w.name: performance_of(run, w) for w in workloads}
+
+
+def run_partitioning(
+    epochs: int = 24,
+    warmup: int = 6,
+    seed: int = 0xA4,
+    t1_values=(0.10, 0.20, 0.40),
+    t5_values=(0.80, 0.90, 0.95),
+) -> FigureResult:
+    """Fig. 15a: T1 and T5 sweeps."""
+    result = FigureResult(
+        figure="Fig. 15a",
+        title="A4 sensitivity to T1 (HPW_LLC_HIT) and T5 (ANT_CACHE_MISS)",
+        columns=["param", "value", "hpw_rel_perf", "n_antagonists"],
+    )
+    baselines = _default_baseline(epochs, warmup, seed)
+    for t1 in t1_values:
+        perfs = _hpw_relative_perf(
+            A4Policy(hpw_llc_hit_thr=t1), "a4", epochs, warmup, seed, baselines
+        )
+        result.add_row(
+            param="T1",
+            value=t1,
+            hpw_rel_perf=perfs["__hpw_geomean__"],
+            n_antagonists=perfs["__n_antagonists__"],
+        )
+    for t5 in t5_values:
+        perfs = _hpw_relative_perf(
+            A4Policy(ant_cache_miss_thr=t5), "a4", epochs, warmup, seed, baselines
+        )
+        result.add_row(
+            param="T5",
+            value=t5,
+            hpw_rel_perf=perfs["__hpw_geomean__"],
+            n_antagonists=perfs["__n_antagonists__"],
+        )
+    result.notes.append("lower T1 favours HPWs; aggressive T5 detects more antagonists")
+    return result
+
+
+def run_leak_thresholds(
+    epochs: int = 24,
+    warmup: int = 6,
+    seed: int = 0xA4,
+    sweeps=None,
+) -> FigureResult:
+    """Fig. 15b: T2/T3/T4 sweeps — find where FFSB-H stops being detected."""
+    result = FigureResult(
+        figure="Fig. 15b",
+        title="A4 sensitivity to DMA-leak thresholds (T2/T3/T4)",
+        columns=["param", "value", "hpw_rel_perf", "ffsbh_detected"],
+    )
+    baselines = _default_baseline(epochs, warmup, seed)
+    sweeps = sweeps or {
+        "T2_dca_ms": ("dmalk_dca_ms_thr", (0.40, 0.70, 0.95)),
+        "T3_io_tp": ("dmalk_io_tp_thr", (0.35, 0.60, 0.90)),
+        "T4_llc_ms": ("dmalk_llc_ms_thr", (0.40, 0.70, 0.95)),
+    }
+    for label, (field_name, values) in sweeps.items():
+        for value in values:
+            policy = replace(A4Policy(), **{field_name: value})
+            workloads = hpw_heavy_workloads()
+            server = build_server(workloads, scheme="a4", seed=seed, policy=policy)
+            run = server.run(epochs=epochs, warmup=warmup)
+            perfs = {w.name: performance_of(run, w) for w in workloads}
+            hpw_rel = geometric_mean(
+                [
+                    perfs[w.name] / (baselines.get(w.name) or 1e-12)
+                    for w in workloads
+                    if w.priority == PRIORITY_HIGH
+                ]
+            )
+            detected = "ffsb-h" in getattr(server.manager, "antagonists", {})
+            result.add_row(
+                param=label,
+                value=value,
+                hpw_rel_perf=hpw_rel,
+                ffsbh_detected="yes" if detected else "no",
+            )
+    result.notes.append(
+        "once a threshold exceeds FFSB-H's signature the detection (and the win) is lost"
+    )
+    return result
+
+
+def run_timing(
+    epochs: int = 30,
+    warmup: int = 6,
+    seed: int = 0xA4,
+    stable_intervals=(2, 5, 10, 20),
+) -> FigureResult:
+    """Fig. 15c: stable-interval sweep vs the oracle (never revert)."""
+    result = FigureResult(
+        figure="Fig. 15c",
+        title="A4 periodic-revert overhead vs stable interval (oracle = never revert)",
+        columns=["stable_interval", "hpw_rel_perf", "reverts"],
+    )
+    baselines = _default_baseline(epochs, warmup, seed)
+
+    def one(policy) -> Dict[str, float]:
+        workloads = hpw_heavy_workloads()
+        server = build_server(workloads, scheme="a4", seed=seed, policy=policy)
+        run = server.run(epochs=epochs, warmup=warmup)
+        perfs = {w.name: performance_of(run, w) for w in workloads}
+        rel = geometric_mean(
+            [
+                perfs[w.name] / (baselines.get(w.name) or 1e-12)
+                for w in workloads
+                if w.priority == PRIORITY_HIGH
+            ]
+        )
+        return {"rel": rel, "reverts": server.manager.reverts}
+
+    oracle = one(A4Policy(stable_interval=10 ** 9))
+    result.add_row(
+        stable_interval="oracle", hpw_rel_perf=oracle["rel"], reverts=0
+    )
+    for interval in stable_intervals:
+        out = one(A4Policy(stable_interval=interval))
+        result.add_row(
+            stable_interval=interval,
+            hpw_rel_perf=out["rel"],
+            reverts=out["reverts"],
+        )
+    result.notes.append("longer stable intervals approach the oracle policy")
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run_partitioning().render())
+    print(run_leak_thresholds().render())
+    print(run_timing().render())

@@ -1,0 +1,96 @@
+"""Fig. 3 — contention between I/O-intensive DPDK and cache-sensitive X-Mem
+as X-Mem's two allocated LLC ways sweep from the DCA ways to the inclusive
+ways.
+
+Expected shape (paper §3.1):
+
+* **Fig. 3a (DPDK-NT)** — X-Mem's LLC miss rate spikes only where its ways
+  overlap the DCA ways (latent contention); way[5:6] (shared with DPDK-NT)
+  and way[9:10] (inclusive) stay clean because untouched packets never
+  enter MLCs.
+* **Fig. 3b (DPDK-T)** — three contention groups: DCA overlap (latent),
+  way[5:6] (DMA bloat of consumed packets), and way[9:10] — the newly
+  discovered *directory contention* from I/O lines migrating into the
+  inclusive ways on consumption (O1).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.experiments.figures.base import run_setup, way_label
+from repro.experiments.report import FigureResult
+from repro.telemetry.pcm import PRIORITY_HIGH, PRIORITY_LOW
+from repro.workloads.dpdk import DpdkWorkload
+from repro.workloads.xmem import xmem
+
+SWEEP: Tuple[Tuple[int, int], ...] = tuple((m, m + 1) for m in range(10))
+"""X-Mem allocations way[0:1] .. way[9:10]."""
+
+DPDK_WAYS = (5, 6)
+
+
+def _run(touch: bool, positions, epochs: int, seed: int) -> FigureResult:
+    flavour = "DPDK-T" if touch else "DPDK-NT"
+    result = FigureResult(
+        figure="Fig. 3b" if touch else "Fig. 3a",
+        title=f"{flavour} vs X-Mem: X-Mem LLC miss rate by allocated ways",
+        columns=["xmem_ways", "xmem_llc_miss", "xmem_mem_bw", "dpdk_avg_lat"],
+    )
+    for first, last in positions:
+        run = run_setup(
+            [
+                DpdkWorkload(
+                    name="dpdk",
+                    touch=touch,
+                    cores=4,
+                    packet_bytes=1024,
+                    priority=PRIORITY_HIGH,
+                ),
+                xmem("xmem", 4.0, cores=2, priority=PRIORITY_LOW),
+            ],
+            masks={"dpdk": DPDK_WAYS, "xmem": (first, last)},
+            epochs=epochs,
+            seed=seed,
+        )
+        xm = run.aggregate("xmem")
+        window = run.window
+        xmem_bw = sum(
+            s.streams["xmem"].counters.mem_reads
+            + s.streams["xmem"].counters.mem_writes
+            for s in window
+        ) / (len(window) * run.server.epoch_cycles)
+        result.add_row(
+            xmem_ways=way_label(first, last),
+            xmem_llc_miss=xm.llc_miss_rate,
+            xmem_mem_bw=xmem_bw,
+            dpdk_avg_lat=run.aggregate("dpdk").avg_latency,
+        )
+    result.notes.append(
+        "expect spikes at DCA overlap (way[0:1]/way[1:2])"
+        + (
+            ", at way[5:6] (DMA bloat) and way[9:10] (directory contention)"
+            if touch
+            else "; way[5:6] and way[9:10] stay clean without consumption"
+        )
+    )
+    return result
+
+
+def run_fig3a(
+    epochs: int = 8, seed: int = 0xA4, positions: Optional[List[Tuple[int, int]]] = None
+) -> FigureResult:
+    """DPDK-NT (no touch) vs X-Mem."""
+    return _run(False, positions or SWEEP, epochs, seed)
+
+
+def run_fig3b(
+    epochs: int = 8, seed: int = 0xA4, positions: Optional[List[Tuple[int, int]]] = None
+) -> FigureResult:
+    """DPDK-T (touch) vs X-Mem."""
+    return _run(True, positions or SWEEP, epochs, seed)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run_fig3a().render())
+    print(run_fig3b().render())

@@ -1,0 +1,276 @@
+"""The simulated server testbed and run harness.
+
+:class:`Server` assembles one socket — simulator, cache hierarchy, CAT,
+memory, PCIe/IIO, PCM — then accepts workloads and an optional LLC manager
+(Default / Isolate / A4).  :func:`Server.run` advances the simulation epoch
+by epoch, sampling counters and invoking the manager at each boundary,
+mirroring the paper's 1-second monitoring loop, and returns a
+:class:`RunResult` aggregated over the post-warm-up window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro import config
+from repro.cache.hierarchy import CacheHierarchy, HierarchyConfig
+from repro.rdt.cat import CacheAllocation
+from repro.rdt.mba import MemoryBandwidthAllocation
+from repro.rdt.monitor import OccupancyMonitor
+from repro.sim.engine import Simulator
+from repro.sim.rng import DeterministicRng
+from repro.telemetry.counters import CounterBank
+from repro.telemetry.pcm import EpochSample, PcmSampler
+from repro.uncore.iio import IIOAgent
+from repro.uncore.memory import MemoryController
+from repro.uncore.msr import MsrFile
+from repro.uncore.pcie import PcieComplex, PciePort
+from repro.workloads.base import Workload
+
+REGION_PAD_LINES = 32
+"""Guard gap between allocated regions (keeps streams' sets decorrelated)."""
+
+
+class Server:
+    """One simulated datacenter server socket."""
+
+    def __init__(
+        self,
+        cores: int = 18,
+        epoch_cycles: float = config.EPOCH_CYCLES,
+        seed: int = 0xA4,
+        hierarchy_cfg: Optional[HierarchyConfig] = None,
+    ):
+        self.sim = Simulator()
+        self.rng = DeterministicRng(seed)
+        self.counters = CounterBank()
+        self.cat = CacheAllocation()
+        self.mba = MemoryBandwidthAllocation()
+        self.memory = MemoryController(self.counters)
+        hierarchy_cfg = hierarchy_cfg or HierarchyConfig(cores=cores)
+        hierarchy_cfg.cores = cores
+        self.hierarchy = CacheHierarchy(
+            hierarchy_cfg, self.cat, self.memory, self.counters, mba=self.mba
+        )
+        self.iio = IIOAgent(self.hierarchy)
+        self.msr = MsrFile(self.hierarchy.llc)
+        self.pcie = PcieComplex(self.counters)
+        self.pcm = PcmSampler(self.counters, epoch_cycles)
+        self.monitor = OccupancyMonitor(self.hierarchy.llc)
+        self.epoch_cycles = epoch_cycles
+        self.total_cores = cores
+        self.workloads: List[Workload] = []
+        self.manager = None
+        self._next_core = 0
+        self._next_addr = 1 << 20
+        self._next_port = 0
+        self._next_clos = 1
+        self._clos: Dict[str, int] = {}
+
+    # -- resource allocation ------------------------------------------------
+
+    def alloc_cores(self, n: int) -> Tuple[int, ...]:
+        if self._next_core + n > self.total_cores:
+            raise RuntimeError(
+                f"out of cores: need {n}, have {self.total_cores - self._next_core}"
+            )
+        cores = tuple(range(self._next_core, self._next_core + n))
+        self._next_core += n
+        return cores
+
+    def alloc_region(self, lines: int) -> int:
+        base = self._next_addr
+        self._next_addr += lines + REGION_PAD_LINES
+        return base
+
+    def add_port(self, name: str = "") -> PciePort:
+        port = self.pcie.add_port(self._next_port, name)
+        self._next_port += 1
+        return port
+
+    # -- workload / manager management -------------------------------------
+
+    def add_workload(self, workload: Workload) -> Workload:
+        """Set a workload up: cores, regions, devices, CLOS, registration.
+
+        May also be called mid-run (between ``run`` calls): the paper's
+        Fig. 9 step 1 — the manager is notified so it can re-derive its
+        initial partitions for the new workload combination.
+        """
+        workload.setup(self)
+        clos = self._next_clos
+        self._next_clos += 1
+        self._clos[workload.name] = clos
+        for core in workload.cores:
+            self.cat.associate(core, clos)
+        self.workloads.append(workload)
+        self.pcm.register(workload.info())
+        if self.manager is not None:
+            self.manager.on_workload_change()
+        return workload
+
+    def terminate_workload(self, name: str) -> Workload:
+        """Remove a workload from management (its processes idle out; the
+        paper's termination event).  Freed cores are not recycled — the
+        testbed pins workloads to cores for a run, as in §6."""
+        workload = self.workload(name)
+        self.workloads.remove(workload)
+        self.pcm.unregister(name)
+        if self.manager is not None:
+            self.manager.on_workload_change()
+        return workload
+
+    def add_workloads(self, workloads) -> None:
+        for workload in workloads:
+            self.add_workload(workload)
+
+    def clos_of(self, name: str) -> int:
+        return self._clos[name]
+
+    def workload(self, name: str) -> Workload:
+        for workload in self.workloads:
+            if workload.name == name:
+                return workload
+        raise KeyError(name)
+
+    def set_manager(self, manager) -> None:
+        self.manager = manager
+        manager.attach(self)
+
+    # -- execution -------------------------------------------------------------
+
+    def run(self, epochs: int, warmup: int = config.WARMUP_EPOCHS) -> "RunResult":
+        if epochs <= warmup:
+            raise ValueError("need more epochs than warm-up intervals")
+        samples: List[EpochSample] = []
+        for _ in range(epochs):
+            self.sim.run_until(self.sim.now + self.epoch_cycles)
+            sample = self.pcm.sample(self.sim.now)
+            samples.append(sample)
+            if self.manager is not None:
+                self.manager.on_epoch(sample)
+        return RunResult(samples=samples, warmup=warmup, server=self)
+
+
+@dataclass
+class StreamAggregate:
+    """One workload's metrics averaged over the measurement window."""
+
+    name: str
+    ipc: float = 0.0
+    llc_hit_rate: float = 0.0
+    llc_miss_rate: float = 0.0
+    mlc_miss_rate: float = 0.0
+    dca_miss_rate: float = 0.0
+    throughput: float = 0.0
+    """Completed I/O in lines per cycle."""
+    avg_latency: float = 0.0
+    p99_latency: float = 0.0
+    latency_components: Dict[str, float] = field(default_factory=dict)
+    requests: int = 0
+    dma_leaks: int = 0
+    dma_bloats: int = 0
+    migrations: int = 0
+    packets_dropped: int = 0
+
+
+@dataclass
+class RunResult:
+    """Outcome of one experiment run."""
+
+    samples: List[EpochSample]
+    warmup: int
+    server: Server
+
+    @property
+    def window(self) -> List[EpochSample]:
+        return self.samples[self.warmup:]
+
+    def stream_names(self) -> List[str]:
+        names: List[str] = []
+        for sample in self.samples:
+            for name in sample.streams:
+                if name not in names:
+                    names.append(name)
+        return names
+
+    def aggregate(self, name: str) -> StreamAggregate:
+        window = [s.streams[name] for s in self.window if name in s.streams]
+        if not window:
+            return StreamAggregate(name)
+        n = len(window)
+        agg = StreamAggregate(name)
+        agg.ipc = sum(s.ipc for s in window) / n
+        agg.llc_hit_rate = sum(s.llc_hit_rate for s in window) / n
+        agg.llc_miss_rate = sum(s.llc_miss_rate for s in window) / n
+        agg.mlc_miss_rate = sum(s.mlc_miss_rate for s in window) / n
+        agg.dca_miss_rate = sum(s.dca_miss_rate for s in window) / n
+        agg.throughput = sum(s.io_throughput_lines_per_cycle for s in window) / n
+        agg.requests = sum(s.latency.count for s in window)
+        if agg.requests:
+            agg.avg_latency = (
+                sum(s.latency.mean * s.latency.count for s in window)
+                / agg.requests
+            )
+            weighted = [s for s in window if s.latency.count]
+            agg.p99_latency = sum(s.latency.p99 for s in weighted) / len(weighted)
+            components: Dict[str, float] = {}
+            for s in weighted:
+                for key, value in s.latency.components.items():
+                    components[key] = components.get(key, 0.0) + value
+            agg.latency_components = {
+                key: value / len(weighted) for key, value in components.items()
+            }
+        agg.dma_leaks = sum(s.counters.dma_leaks for s in window)
+        agg.dma_bloats = sum(s.counters.dma_bloats for s in window)
+        agg.migrations = sum(s.counters.migrations for s in window)
+        agg.packets_dropped = sum(s.counters.packets_dropped for s in window)
+        return agg
+
+    def aggregates(self) -> Dict[str, StreamAggregate]:
+        return {name: self.aggregate(name) for name in self.stream_names()}
+
+    @property
+    def mem_read_bw(self) -> float:
+        window = self.window
+        return sum(s.mem_read_bw for s in window) / max(1, len(window))
+
+    @property
+    def mem_write_bw(self) -> float:
+        window = self.window
+        return sum(s.mem_write_bw for s in window) / max(1, len(window))
+
+    @property
+    def mem_total_bw(self) -> float:
+        return self.mem_read_bw + self.mem_write_bw
+
+    def export_csv(
+        self,
+        path: str,
+        metrics=("ipc", "llc_hit_rate", "io_throughput", "avg_latency"),
+    ) -> None:
+        """Dump the per-epoch, per-stream time series to ``path`` (CSV)."""
+        from repro.telemetry import trace
+
+        trace.write_csv(self.samples, path, metrics)
+
+    def summary(self) -> str:
+        """Human-readable per-workload table."""
+        lines = [
+            f"{'workload':<12} {'IPC':>7} {'LLChit%':>8} {'MLCmiss%':>9} "
+            f"{'tput l/c':>9} {'avg lat':>9} {'p99 lat':>9} {'leaks':>7}"
+        ]
+        for name in self.stream_names():
+            agg = self.aggregate(name)
+            lines.append(
+                f"{name:<12} {agg.ipc:>7.3f} {100 * agg.llc_hit_rate:>8.1f} "
+                f"{100 * agg.mlc_miss_rate:>9.1f} {agg.throughput:>9.4f} "
+                f"{agg.avg_latency:>9.1f} {agg.p99_latency:>9.1f} "
+                f"{agg.dma_leaks:>7}"
+            )
+        lines.append(
+            f"memory bandwidth: read {self.mem_read_bw:.4f} "
+            f"write {self.mem_write_bw:.4f} lines/cycle"
+        )
+        return "\n".join(lines)

@@ -1,0 +1,82 @@
+"""Plain-text rendering of figure results.
+
+Every figure module returns a :class:`FigureResult`; this module renders it
+as the aligned ASCII table the bench harness prints — the textual analogue
+of the paper's plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Union
+
+Cell = Union[str, int, float]
+
+
+@dataclass
+class FigureResult:
+    """A reproduced table/figure: rows of named columns plus prose notes."""
+
+    figure: str
+    title: str
+    columns: Sequence[str]
+    rows: List[Dict[str, Cell]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, **cells: Cell) -> None:
+        self.rows.append(cells)
+
+    def column(self, name: str) -> List[Cell]:
+        return [row.get(name) for row in self.rows]
+
+    def render(self) -> str:
+        return render_table(self)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()
+
+
+def format_cell(value: Cell) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.4f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def render_table(result: FigureResult) -> str:
+    columns = list(result.columns)
+    table = [[format_cell(row.get(c, "")) for c in columns] for row in result.rows]
+    widths = [
+        max(len(c), *(len(r[i]) for r in table)) if table else len(c)
+        for i, c in enumerate(columns)
+    ]
+    header = "  ".join(c.ljust(w) for c, w in zip(columns, widths))
+    rule = "-" * len(header)
+    lines = [f"== {result.figure}: {result.title} ==", header, rule]
+    for row in table:
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+    for note in result.notes:
+        lines.append(f"note: {note}")
+    return "\n".join(lines)
+
+
+def normalize(values: Sequence[float], reference: float) -> List[float]:
+    """Values relative to ``reference`` (1.0 = reference; 0s stay 0)."""
+    if reference == 0:
+        return [0.0 for _ in values]
+    return [v / reference for v in values]
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    positives = [v for v in values if v > 0]
+    if not positives:
+        return 0.0
+    product = 1.0
+    for value in positives:
+        product *= value
+    return product ** (1.0 / len(positives))

@@ -1,0 +1,127 @@
+"""Workload combinations used by the paper's evaluation (§6, §7).
+
+* :func:`microbenchmark_workloads` — §7.1: DPDK-T (HPW) + FIO (LPW) + the
+  three X-Mem instances of Table 3;
+* :func:`hpw_heavy_workloads` — Fig. 13a: seven HPWs, four LPWs;
+* :func:`lpw_heavy_workloads` — Fig. 13b: four HPWs, seven LPWs;
+* :func:`build_server` — assemble a server with a scheme manager attached.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.policy import A4Policy
+from repro.core.variants import make_manager
+from repro.experiments.harness import Server
+from repro.telemetry.pcm import PRIORITY_HIGH, PRIORITY_LOW
+from repro.workloads.base import Workload
+from repro.workloads.dpdk import DpdkWorkload
+from repro.workloads.fastclick import fastclick
+from repro.workloads.ffsb import ffsb_heavy, ffsb_light
+from repro.workloads.fio import FioWorkload
+from repro.workloads.redis import redis_pair
+from repro.workloads.spec import spec_workload
+from repro.workloads.xmem import xmem_table3
+
+KB = 1024
+MB = 1024 * KB
+
+SERVER_CORES = 18
+"""The paper's Xeon Gold 6140 core count (one core is the A4 daemon's)."""
+
+
+def microbenchmark_workloads(
+    packet_bytes: int = 1024,
+    block_bytes: int = 2 * MB,
+) -> List[Workload]:
+    """§7.1 setup: DPDK-T (HPW, 4 cores) + FIO (LPW, 4 cores) + Table 3."""
+    workloads: List[Workload] = [
+        DpdkWorkload(
+            name="dpdk-t",
+            touch=True,
+            cores=4,
+            packet_bytes=packet_bytes,
+            priority=PRIORITY_HIGH,
+        ),
+        FioWorkload(
+            name="fio",
+            block_bytes=block_bytes,
+            cores=4,
+            io_depth=32,
+            priority=PRIORITY_LOW,
+        ),
+    ]
+    workloads.extend(xmem_table3())
+    return workloads
+
+
+def hpw_heavy_workloads() -> List[Workload]:
+    """Fig. 13a: HPWs in bold — Fastclick, FFSB-L, Redis-S/C, x264, parest,
+    xalancbmk; LPWs — FFSB-H, bwaves, lbm, mcf."""
+    redis_s, redis_c = redis_pair(PRIORITY_HIGH, PRIORITY_HIGH)
+    return [
+        fastclick(priority=PRIORITY_HIGH),
+        ffsb_heavy(priority=PRIORITY_LOW),
+        ffsb_light(priority=PRIORITY_HIGH),
+        redis_s,
+        redis_c,
+        spec_workload("x264", PRIORITY_HIGH),
+        spec_workload("parest", PRIORITY_HIGH),
+        spec_workload("xalancbmk", PRIORITY_HIGH),
+        spec_workload("bwaves", PRIORITY_LOW),
+        spec_workload("lbm", PRIORITY_LOW),
+        spec_workload("mcf", PRIORITY_LOW),
+    ]
+
+
+def lpw_heavy_workloads() -> List[Workload]:
+    """Fig. 13b: the LPW-focused combination — x264 and parest move to the
+    LP side, FFSB-L joins them, leaving four HPWs."""
+    redis_s, redis_c = redis_pair(PRIORITY_HIGH, PRIORITY_HIGH)
+    return [
+        fastclick(priority=PRIORITY_HIGH),
+        ffsb_heavy(priority=PRIORITY_LOW),
+        ffsb_light(priority=PRIORITY_LOW),
+        redis_s,
+        redis_c,
+        spec_workload("xalancbmk", PRIORITY_HIGH),
+        spec_workload("x264", PRIORITY_LOW),
+        spec_workload("parest", PRIORITY_LOW),
+        spec_workload("bwaves", PRIORITY_LOW),
+        spec_workload("lbm", PRIORITY_LOW),
+        spec_workload("mcf", PRIORITY_LOW),
+    ]
+
+
+def daemon_interference_workloads() -> List[Workload]:
+    """A §5.5-flavoured mix: latency-critical network + cache-sensitive
+    service + bursty system daemons (KSM, zswap) that phase in and out —
+    the scenario that exercises A4's detection *and* restoration loop."""
+    from repro.workloads.sysdaemons import ksm, zswap
+
+    return [
+        fastclick(priority=PRIORITY_HIGH),
+        spec_workload("parest", PRIORITY_HIGH),
+        spec_workload("x264", PRIORITY_HIGH),
+        ksm(phased=True, priority=PRIORITY_LOW),
+        zswap(phased=True, priority=PRIORITY_LOW),
+    ]
+
+
+def build_server(
+    workloads: List[Workload],
+    scheme: str = "default",
+    cores: int = SERVER_CORES,
+    seed: int = 0xA4,
+    policy: Optional[A4Policy] = None,
+    epoch_cycles: Optional[float] = None,
+) -> Server:
+    """Assemble a server, add ``workloads``, attach the scheme manager."""
+    kwargs = {}
+    if epoch_cycles is not None:
+        kwargs["epoch_cycles"] = epoch_cycles
+    server = Server(cores=cores, seed=seed, **kwargs)
+    server.add_workloads(workloads)
+    server.set_manager(make_manager(scheme, policy))
+    return server

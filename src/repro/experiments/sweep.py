@@ -1,0 +1,139 @@
+"""Multi-seed repetition and averaging.
+
+The paper averages every result over five iterations (§6).  This module
+provides the equivalent: run a server-builder or a figure runner across
+seeds and average the numeric outputs, reporting spread so users can judge
+simulation noise (the paper makes the same point about X-Mem's run-to-run
+variance in its artifact appendix).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence
+
+from repro.experiments.harness import RunResult, Server, StreamAggregate
+from repro.experiments.report import FigureResult
+
+DEFAULT_SEEDS = (0xA4, 0xA5, 0xA6, 0xA7, 0xA8)
+"""Five iterations, like the paper."""
+
+_NUMERIC_FIELDS = (
+    "ipc",
+    "llc_hit_rate",
+    "llc_miss_rate",
+    "mlc_miss_rate",
+    "dca_miss_rate",
+    "throughput",
+    "avg_latency",
+    "p99_latency",
+)
+
+
+def mean(values: Sequence[float]) -> float:
+    return sum(values) / len(values) if values else 0.0
+
+
+def stdev(values: Sequence[float]) -> float:
+    if len(values) < 2:
+        return 0.0
+    mu = mean(values)
+    return math.sqrt(sum((v - mu) ** 2 for v in values) / (len(values) - 1))
+
+
+@dataclass
+class MetricStats:
+    mean: float
+    stdev: float
+    values: List[float] = field(default_factory=list)
+
+    @property
+    def rel_spread(self) -> float:
+        return self.stdev / abs(self.mean) if self.mean else 0.0
+
+
+@dataclass
+class MultiSeedResult:
+    """Per-stream metric statistics across seeds."""
+
+    seeds: Sequence[int]
+    streams: Dict[str, Dict[str, MetricStats]]
+    mem_total_bw: MetricStats
+
+    def metric(self, stream: str, name: str) -> MetricStats:
+        return self.streams[stream][name]
+
+
+def run_repeated(
+    build: Callable[[int], Server],
+    epochs: int,
+    warmup: int,
+    seeds: Sequence[int] = DEFAULT_SEEDS,
+) -> MultiSeedResult:
+    """Run ``build(seed)`` for each seed and collect metric statistics.
+
+    ``build`` must return a fully configured (workloads + manager) server.
+    """
+    if not seeds:
+        raise ValueError("need at least one seed")
+    per_stream: Dict[str, Dict[str, List[float]]] = {}
+    mem_values: List[float] = []
+    for seed in seeds:
+        server = build(seed)
+        result: RunResult = server.run(epochs=epochs, warmup=warmup)
+        mem_values.append(result.mem_total_bw)
+        for name in result.stream_names():
+            aggregate: StreamAggregate = result.aggregate(name)
+            bucket = per_stream.setdefault(name, {})
+            for field_name in _NUMERIC_FIELDS:
+                bucket.setdefault(field_name, []).append(
+                    getattr(aggregate, field_name)
+                )
+    return MultiSeedResult(
+        seeds=tuple(seeds),
+        streams={
+            name: {
+                metric: MetricStats(mean(vals), stdev(vals), vals)
+                for metric, vals in metrics.items()
+            }
+            for name, metrics in per_stream.items()
+        },
+        mem_total_bw=MetricStats(mean(mem_values), stdev(mem_values), mem_values),
+    )
+
+
+def average_figure(
+    runner: Callable[..., FigureResult],
+    seeds: Sequence[int] = DEFAULT_SEEDS,
+    **kwargs,
+) -> FigureResult:
+    """Run a figure runner once per seed and average its numeric cells.
+
+    Rows are matched by position (every figure runner is deterministic in
+    row order); non-numeric cells are taken from the first run.
+    """
+    if not seeds:
+        raise ValueError("need at least one seed")
+    results = [runner(seed=seed, **kwargs) for seed in seeds]
+    first = results[0]
+    for other in results[1:]:
+        if len(other.rows) != len(first.rows):
+            raise RuntimeError("figure runners must be deterministic in shape")
+    averaged = FigureResult(
+        figure=first.figure,
+        title=f"{first.title} (mean of {len(seeds)} seeds)",
+        columns=first.columns,
+        notes=list(first.notes),
+    )
+    for index, row in enumerate(first.rows):
+        out = {}
+        for column, value in row.items():
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                out[column] = mean(
+                    [float(r.rows[index][column]) for r in results]
+                )
+            else:
+                out[column] = value
+        averaged.add_row(**out)
+    return averaged

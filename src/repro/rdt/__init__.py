@@ -1,0 +1,13 @@
+"""Resource Director Technology models: CAT way masks, MBA throttling,
+and CMT occupancy monitoring."""
+
+from repro.rdt.cat import CacheAllocation, ClosConfigError
+from repro.rdt.mba import MemoryBandwidthAllocation
+from repro.rdt.monitor import OccupancyMonitor
+
+__all__ = [
+    "CacheAllocation",
+    "ClosConfigError",
+    "MemoryBandwidthAllocation",
+    "OccupancyMonitor",
+]

@@ -1,0 +1,80 @@
+"""Cache Allocation Technology (CAT) model.
+
+Mirrors the real constraint set of Intel CAT on the paper's CPU:
+
+* a fixed number of classes of service (CLOS);
+* each CLOS has a capacity bitmask over the 11 LLC ways that must be
+  **contiguous** and non-empty;
+* each core is associated with exactly one CLOS;
+* masks constrain only *allocation* (victim selection) — hits anywhere in
+  the LLC still succeed, and DDIO fills ignore CAT entirely (they use the
+  IIO way mask).  Both properties are load-bearing for the paper: the former
+  makes "changing way affinity only affects newly allocated lines" (§5.5)
+  true, the latter is why latent contention exists at all.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+from repro import config
+
+
+class ClosConfigError(ValueError):
+    """Raised for invalid CLOS masks or associations."""
+
+
+def contiguous_mask(first_way: int, last_way: int) -> Tuple[int, ...]:
+    """Build the inclusive way range [first_way, last_way], like way[m:n]
+    in the paper's notation."""
+    if first_way > last_way:
+        raise ClosConfigError(f"empty way range [{first_way}:{last_way}]")
+    return tuple(range(first_way, last_way + 1))
+
+
+class CacheAllocation:
+    """Per-socket CAT state: CLOS masks plus core associations."""
+
+    def __init__(self, ways: int = config.LLC_WAYS, num_clos: int = 16):
+        self.ways = ways
+        self.num_clos = num_clos
+        full = tuple(range(ways))
+        self._masks: Dict[int, Tuple[int, ...]] = {c: full for c in range(num_clos)}
+        self._core_clos: Dict[int, int] = {}
+
+    # -- mask management -----------------------------------------------------
+
+    def set_mask(self, clos: int, ways: Sequence[int]) -> None:
+        self._validate_clos(clos)
+        mask = tuple(sorted(set(ways)))
+        if not mask:
+            raise ClosConfigError("CLOS mask may not be empty")
+        if mask[0] < 0 or mask[-1] >= self.ways:
+            raise ClosConfigError(f"mask {mask} outside 0..{self.ways - 1}")
+        if mask != tuple(range(mask[0], mask[-1] + 1)):
+            raise ClosConfigError(f"CAT requires contiguous masks, got {mask}")
+        self._masks[clos] = mask
+
+    def mask(self, clos: int) -> Tuple[int, ...]:
+        self._validate_clos(clos)
+        return self._masks[clos]
+
+    def _validate_clos(self, clos: int) -> None:
+        if not 0 <= clos < self.num_clos:
+            raise ClosConfigError(f"CLOS {clos} outside 0..{self.num_clos - 1}")
+
+    # -- core association ------------------------------------------------------
+
+    def associate(self, core: int, clos: int) -> None:
+        self._validate_clos(clos)
+        self._core_clos[core] = clos
+
+    def clos_of(self, core: int) -> int:
+        return self._core_clos.get(core, 0)
+
+    def ways_for_core(self, core: int) -> Tuple[int, ...]:
+        """The ways in which this core's fills may pick victims."""
+        return self._masks[self.clos_of(core)]
+
+    def associations(self) -> Dict[int, int]:
+        return dict(self._core_clos)

@@ -1,0 +1,42 @@
+"""Cache Monitoring Technology (CMT)-style LLC occupancy reporting.
+
+Walks the simulated LLC and reports per-stream and per-way occupancy.
+The real PCM exposes per-RMID occupancy; experiments here use it to verify
+zone containment (e.g. that LPW lines really live inside LP Zone) and to
+visualise contention.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.cache.llc import LastLevelCache
+
+
+class OccupancyMonitor:
+    """Inspection helper over the LLC data array."""
+
+    def __init__(self, llc: LastLevelCache):
+        self.llc = llc
+
+    def per_stream(self) -> Dict[str, int]:
+        return self.llc.occupancy_by_stream()
+
+    def per_way(self) -> Dict[int, int]:
+        return self.llc.occupancy_by_way()
+
+    def per_stream_and_way(self) -> Dict[Tuple[str, int], int]:
+        counts: Dict[Tuple[str, int], int] = {}
+        for line in self.llc.resident():
+            key = (line.stream, line.way)
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    def stream_footprint_in_ways(self, stream: str, ways: Tuple[int, ...]) -> int:
+        """Lines of ``stream`` currently resident in the given ways."""
+        wayset = set(ways)
+        return sum(
+            1
+            for line in self.llc.resident()
+            if line.stream == stream and line.way in wayset
+        )

@@ -1,0 +1,11 @@
+"""Discrete-event simulation engine.
+
+The engine is deliberately tiny: a binary-heap event queue over abstract
+cycles, plus a generator-based process abstraction.  All substrates in this
+repository (caches, devices, workloads, the A4 controller) are driven by it.
+"""
+
+from repro.sim.engine import Event, Process, Simulator
+from repro.sim.rng import DeterministicRng
+
+__all__ = ["Event", "Process", "Simulator", "DeterministicRng"]

@@ -1,0 +1,157 @@
+"""Event-driven simulation core.
+
+Two styles of actors are supported:
+
+* **Callbacks** — ``sim.schedule(when, fn)`` runs ``fn(sim)`` at ``when``.
+* **Processes** — Python generators that ``yield`` a non-negative delay in
+  cycles.  The engine resumes the generator after that many cycles.  This is
+  how CPU cores, DMA engines, and the A4 daemon are written: the substrate
+  computes how long an action takes (e.g. a memory access under contention)
+  and the process simply yields that cost.
+
+The clock is an integer-friendly float.  Determinism is guaranteed by a
+monotonically increasing sequence number used as a heap tie-breaker.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Generator, Iterable, Optional
+
+ProcessBody = Generator[float, None, None]
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.  Ordered by (time, seq) for determinism."""
+
+    time: float
+    seq: int
+    action: Callable[["Simulator"], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark this event dead; the engine discards it when popped."""
+        self.cancelled = True
+
+
+class Process:
+    """A generator-based simulated actor.
+
+    The wrapped generator yields delays (cycles >= 0).  When it returns or
+    raises ``StopIteration`` the process is finished; observers registered
+    through :meth:`on_finish` are then invoked.
+    """
+
+    def __init__(self, name: str, body: ProcessBody):
+        self.name = name
+        self._body = body
+        self.finished = False
+        self._finish_callbacks: list[Callable[["Simulator"], None]] = []
+
+    def on_finish(self, callback: Callable[["Simulator"], None]) -> None:
+        self._finish_callbacks.append(callback)
+
+    def _step(self, sim: "Simulator") -> None:
+        if self.finished:
+            return
+        try:
+            delay = next(self._body)
+        except StopIteration:
+            self.finished = True
+            for callback in self._finish_callbacks:
+                callback(sim)
+            return
+        if delay < 0:
+            raise ValueError(
+                f"process {self.name!r} yielded negative delay {delay!r}"
+            )
+        sim.schedule(sim.now + delay, self._step)
+
+
+class Simulator:
+    """The event loop.
+
+    Typical usage::
+
+        sim = Simulator()
+        sim.spawn("worker", worker_body(sim))
+        sim.run_until(100_000)
+    """
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._queue: list[Event] = []
+        self._seq = itertools.count()
+        self.processes: list[Process] = []
+
+    # -- scheduling -------------------------------------------------------
+
+    def schedule(self, when: float, action: Callable[["Simulator"], None]) -> Event:
+        """Schedule ``action(sim)`` at absolute time ``when`` (>= now)."""
+        if when < self.now:
+            raise ValueError(f"cannot schedule into the past ({when} < {self.now})")
+        event = Event(when, next(self._seq), action)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def call_in(self, delay: float, action: Callable[["Simulator"], None]) -> Event:
+        """Schedule ``action`` ``delay`` cycles from now."""
+        return self.schedule(self.now + delay, action)
+
+    def spawn(self, name: str, body: ProcessBody, start_at: float = None) -> Process:
+        """Register a generator process and schedule its first step."""
+        process = Process(name, body)
+        self.processes.append(process)
+        when = self.now if start_at is None else start_at
+        self.schedule(when, process._step)
+        return process
+
+    def every(
+        self,
+        interval: float,
+        action: Callable[["Simulator"], None],
+        start_at: Optional[float] = None,
+    ) -> None:
+        """Run ``action`` periodically, forever (bounded by ``run_until``)."""
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        first = self.now + interval if start_at is None else start_at
+
+        def tick(sim: "Simulator") -> None:
+            action(sim)
+            sim.schedule(sim.now + interval, tick)
+
+        self.schedule(first, tick)
+
+    # -- execution --------------------------------------------------------
+
+    def step(self) -> bool:
+        """Execute the next pending event.  Returns False when idle."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self.now = event.time
+            event.action(self)
+            return True
+        return False
+
+    def run_until(self, end_time: float) -> None:
+        """Run events with time <= ``end_time`` and advance the clock there."""
+        while self._queue and self._queue[0].time <= end_time:
+            self.step()
+        self.now = max(self.now, end_time)
+
+    def run(self, max_events: int = 10_000_000) -> None:
+        """Drain the queue entirely (with a runaway guard)."""
+        for _ in range(max_events):
+            if not self.step():
+                return
+        raise RuntimeError("simulation exceeded max_events; likely a livelock")
+
+    def pending(self) -> Iterable[Event]:
+        """Live events still queued (for inspection in tests)."""
+        return (e for e in self._queue if not e.cancelled)

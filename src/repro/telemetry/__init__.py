@@ -1,0 +1,20 @@
+"""Telemetry: the simulated equivalent of Intel PCM.
+
+Cumulative hardware-style counters per stream (workload) plus global memory
+traffic, a latency percentile tracker, and an epoch sampler that produces the
+per-interval rates A4 consumes (LLC hit rates, DCA miss rates, I/O
+throughput, memory bandwidth, IPC).
+"""
+
+from repro.telemetry.counters import CounterBank, StreamCounters
+from repro.telemetry.latency import LatencyTracker
+from repro.telemetry.pcm import EpochSample, PcmSampler, StreamSample
+
+__all__ = [
+    "CounterBank",
+    "StreamCounters",
+    "LatencyTracker",
+    "EpochSample",
+    "PcmSampler",
+    "StreamSample",
+]

@@ -1,0 +1,120 @@
+"""Cumulative event counters, grouped per stream (workload).
+
+The cache hierarchy, memory controller, and devices increment these; the
+:mod:`repro.telemetry.pcm` sampler converts them into per-epoch rates.
+Counter names mirror the paper's vocabulary: *DMA leak* (unconsumed I/O line
+evicted from the LLC), *DMA bloat* (consumed I/O line evicted from an MLC
+back into the LLC), *migration* (a line moving into the inclusive ways on
+consumption), and the CPU-side hit/miss ladder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from typing import Dict
+
+
+@dataclass
+class StreamCounters:
+    """All cumulative counters attributed to one workload stream."""
+
+    # CPU-side cache ladder
+    mlc_hits: int = 0
+    mlc_misses: int = 0
+    llc_hits: int = 0
+    llc_misses: int = 0
+    # I/O consumption tracking (DCA effectiveness)
+    io_reads: int = 0
+    io_read_misses: int = 0
+    # DMA-side
+    dma_writes: int = 0
+    ddio_updates: int = 0
+    ddio_allocates: int = 0
+    dma_reads: int = 0
+    dma_leaks: int = 0
+    dma_bloats: int = 0
+    # LLC dynamics
+    llc_fills: int = 0
+    llc_evictions_suffered: int = 0
+    migrations: int = 0
+    inclusive_downgrades: int = 0
+    back_invalidations: int = 0
+    # Memory traffic attributed to this stream
+    mem_reads: int = 0
+    mem_writes: int = 0
+    prefetch_fills: int = 0
+    # Execution
+    instructions: int = 0
+    io_bytes_completed: int = 0
+    io_requests_completed: int = 0
+    packets_dropped: int = 0
+
+    def snapshot(self) -> "StreamCounters":
+        return StreamCounters(**{f.name: getattr(self, f.name) for f in fields(self)})
+
+    def delta(self, earlier: "StreamCounters") -> "StreamCounters":
+        """Counter increments since ``earlier`` (a prior snapshot)."""
+        return StreamCounters(
+            **{
+                f.name: getattr(self, f.name) - getattr(earlier, f.name)
+                for f in fields(self)
+            }
+        )
+
+    # -- derived rates -----------------------------------------------------
+
+    @property
+    def llc_accesses(self) -> int:
+        return self.llc_hits + self.llc_misses
+
+    @property
+    def llc_hit_rate(self) -> float:
+        """LLC hits per LLC access; 0 when idle at this level."""
+        total = self.llc_accesses
+        return self.llc_hits / total if total else 0.0
+
+    @property
+    def llc_miss_rate(self) -> float:
+        total = self.llc_accesses
+        return self.llc_misses / total if total else 0.0
+
+    @property
+    def mlc_miss_rate(self) -> float:
+        total = self.mlc_hits + self.mlc_misses
+        return self.mlc_misses / total if total else 0.0
+
+    @property
+    def dca_miss_rate(self) -> float:
+        """Fraction of CPU reads of DMA-written data that missed the LLC.
+
+        This is the paper's signal (1) for DMA-leak detection: I/O lines
+        evicted before consumption force their consumer to memory.
+        """
+        return self.io_read_misses / self.io_reads if self.io_reads else 0.0
+
+
+class CounterBank:
+    """Registry of per-stream counters plus machine-wide aggregates."""
+
+    def __init__(self) -> None:
+        self.streams: Dict[str, StreamCounters] = {}
+
+    def stream(self, name: str) -> StreamCounters:
+        counters = self.streams.get(name)
+        if counters is None:
+            counters = self.streams[name] = StreamCounters()
+        return counters
+
+    def total(self) -> StreamCounters:
+        aggregate = StreamCounters()
+        for counters in self.streams.values():
+            for f in fields(StreamCounters):
+                setattr(
+                    aggregate,
+                    f.name,
+                    getattr(aggregate, f.name) + getattr(counters, f.name),
+                )
+        return aggregate
+
+    def snapshot_all(self) -> Dict[str, StreamCounters]:
+        return {name: c.snapshot() for name, c in self.streams.items()}

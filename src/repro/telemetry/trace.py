@@ -1,0 +1,86 @@
+"""Time-series extraction and CSV export from PCM epoch samples.
+
+The figure runners aggregate over the measurement window; this module keeps
+the raw per-epoch series (what the paper's scripts dump as text files) so
+users can plot convergence behaviour — e.g. an HPW's hit rate recovering as
+A4's LP Zone expansion settles.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Callable, Dict, List, Sequence
+
+from repro.telemetry.pcm import EpochSample, StreamSample
+
+METRICS: Dict[str, Callable[[StreamSample], float]] = {
+    "ipc": lambda s: s.ipc,
+    "llc_hit_rate": lambda s: s.llc_hit_rate,
+    "llc_miss_rate": lambda s: s.llc_miss_rate,
+    "mlc_miss_rate": lambda s: s.mlc_miss_rate,
+    "dca_miss_rate": lambda s: s.dca_miss_rate,
+    "io_throughput": lambda s: s.io_throughput_lines_per_cycle,
+    "avg_latency": lambda s: s.latency.mean,
+    "p99_latency": lambda s: s.latency.p99,
+    "dma_leaks": lambda s: float(s.counters.dma_leaks),
+    "dma_bloats": lambda s: float(s.counters.dma_bloats),
+    "mem_reads": lambda s: float(s.counters.mem_reads),
+    "mem_writes": lambda s: float(s.counters.mem_writes),
+}
+
+
+def series(
+    samples: Sequence[EpochSample], stream: str, metric: str
+) -> List[float]:
+    """One metric's value per epoch for one stream."""
+    try:
+        extract = METRICS[metric]
+    except KeyError:
+        raise ValueError(
+            f"unknown metric {metric!r}; have {sorted(METRICS)}"
+        ) from None
+    out: List[float] = []
+    for sample in samples:
+        stream_sample = sample.streams.get(stream)
+        out.append(extract(stream_sample) if stream_sample is not None else 0.0)
+    return out
+
+
+def to_csv(
+    samples: Sequence[EpochSample],
+    metrics: Sequence[str] = ("ipc", "llc_hit_rate", "io_throughput"),
+) -> str:
+    """Render per-epoch, per-stream metrics as CSV text.
+
+    Columns: epoch, time, stream, then one column per metric, plus the
+    machine-wide memory bandwidths repeated per row for convenience.
+    """
+    for metric in metrics:
+        if metric not in METRICS:
+            raise ValueError(f"unknown metric {metric!r}")
+    buffer = io.StringIO()
+    header = ["epoch", "time", "stream", *metrics, "mem_read_bw", "mem_write_bw"]
+    buffer.write(",".join(header) + "\n")
+    for sample in samples:
+        for name in sorted(sample.streams):
+            stream_sample = sample.streams[name]
+            row = [
+                str(sample.index),
+                f"{sample.time:.0f}",
+                name,
+                *(f"{METRICS[m](stream_sample):.6g}" for m in metrics),
+                f"{sample.mem_read_bw:.6g}",
+                f"{sample.mem_write_bw:.6g}",
+            ]
+            buffer.write(",".join(row) + "\n")
+    return buffer.getvalue()
+
+
+def write_csv(
+    samples: Sequence[EpochSample],
+    path: str,
+    metrics: Sequence[str] = ("ipc", "llc_hit_rate", "io_throughput"),
+) -> None:
+    """Write :func:`to_csv` output to ``path``."""
+    with open(path, "w") as handle:
+        handle.write(to_csv(samples, metrics))

@@ -1,0 +1,140 @@
+"""ddio-bench-style DDIO effectiveness probe.
+
+The original tool (Farshin et al., ATC'20) measures how well DDIO serves a
+NIC at different ring sizes/rates by reading the IIO counters.  This
+analogue sweeps a device's in-flight footprint (ring size or block size)
+and reports the consumer's DCA hit rate, the DMA-leak fraction, and where
+the footprint crosses the two-way DCA capacity.
+
+Usage::
+
+    python -m repro.tools.ddiobench --device nic
+    python -m repro.tools.ddiobench --device ssd
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass
+from typing import List
+
+from repro import config
+from repro.experiments.harness import Server
+from repro.workloads.dpdk import DpdkWorkload
+from repro.workloads.fio import FioWorkload
+
+KB = 1024
+MB = 1024 * KB
+
+
+@dataclass
+class ProbeResult:
+    """One sweep point of the DDIO probe."""
+
+    label: str
+    footprint_lines: int
+    dca_hit_rate: float
+    leak_fraction: float
+    consumer_latency: float
+
+    @property
+    def exceeds_dca(self) -> bool:
+        return self.footprint_lines > len(config.DCA_WAYS) * config.LLC_WAY_LINES
+
+
+def probe_nic(
+    ring_entries_sweep=(4, 8, 16, 32),
+    packet_bytes: int = 1024,
+    epochs: int = 5,
+    seed: int = 0xA4,
+) -> List[ProbeResult]:
+    """Sweep the Rx-ring footprint, as ddio-bench does with ring sizes."""
+    results = []
+    lines_per_packet = config.packet_lines(packet_bytes)
+    for entries in ring_entries_sweep:
+        server = Server(cores=6, seed=seed)
+        workload = DpdkWorkload(
+            name="probe", touch=True, cores=4, packet_bytes=packet_bytes,
+            ring_entries=entries,
+        )
+        server.add_workload(workload)
+        run = server.run(epochs=epochs, warmup=1)
+        agg = run.aggregate("probe")
+        window = run.window
+        dma = sum(s.streams["probe"].counters.dma_writes for s in window)
+        results.append(
+            ProbeResult(
+                label=f"{entries} entries/ring",
+                footprint_lines=entries * lines_per_packet * 4,
+                dca_hit_rate=1.0 - agg.dca_miss_rate,
+                leak_fraction=agg.dma_leaks / dma if dma else 0.0,
+                consumer_latency=agg.avg_latency,
+            )
+        )
+    return results
+
+
+def probe_ssd(
+    block_sweep=(32 * KB, 128 * KB, 512 * KB, 2 * MB),
+    epochs: int = 5,
+    seed: int = 0xA4,
+) -> List[ProbeResult]:
+    """Sweep the storage block size (in-flight footprint = parallelism x
+    block)."""
+    results = []
+    for block_bytes in block_sweep:
+        server = Server(cores=6, seed=seed)
+        workload = FioWorkload(
+            name="probe", block_bytes=block_bytes, cores=4, io_depth=32
+        )
+        server.add_workload(workload)
+        run = server.run(epochs=epochs, warmup=1)
+        agg = run.aggregate("probe")
+        window = run.window
+        dma = sum(s.streams["probe"].counters.dma_writes for s in window)
+        results.append(
+            ProbeResult(
+                label=f"{block_bytes // KB}KB blocks",
+                footprint_lines=workload.block_lines
+                * workload.nvme_cfg.parallelism,
+                dca_hit_rate=1.0 - agg.dca_miss_rate,
+                leak_fraction=agg.dma_leaks / dma if dma else 0.0,
+                consumer_latency=agg.avg_latency,
+            )
+        )
+    return results
+
+
+def render(results: List[ProbeResult]) -> str:
+    dca_capacity = len(config.DCA_WAYS) * config.LLC_WAY_LINES
+    lines = [
+        f"DCA capacity: {dca_capacity} lines "
+        f"({len(config.DCA_WAYS)} ways x {config.LLC_WAY_LINES})",
+        f"{'config':<18} {'footprint':>10} {'DCAhit%':>8} {'leak%':>7} "
+        f"{'latency':>9} {'>DCA?':>6}",
+    ]
+    for r in results:
+        lines.append(
+            f"{r.label:<18} {r.footprint_lines:>10} {100 * r.dca_hit_rate:>8.1f} "
+            f"{100 * r.leak_fraction:>7.1f} {r.consumer_latency:>9.0f} "
+            f"{'yes' if r.exceeds_dca else 'no':>6}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tools.ddiobench",
+        description="Probe DDIO effectiveness vs device footprint.",
+    )
+    parser.add_argument("--device", choices=("nic", "ssd"), default="nic")
+    parser.add_argument("--epochs", type=int, default=5)
+    parser.add_argument("--seed", type=int, default=0xA4)
+    args = parser.parse_args(argv)
+    probe = probe_nic if args.device == "nic" else probe_ssd
+    print(render(probe(epochs=args.epochs, seed=args.seed)))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,92 @@
+"""A `pcm.x`-style monitor over a running scenario.
+
+Prints one block per monitoring interval with the counters the paper's
+daemon consumes: per-workload IPC, LLC/MLC hit ladders, DCA miss rate, I/O
+throughput, and system memory bandwidth.
+
+Usage::
+
+    python -m repro.tools.pcm --scenario microbench --scheme a4 --epochs 8
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Callable, Dict, List
+
+from repro.experiments.scenarios import (
+    build_server,
+    hpw_heavy_workloads,
+    lpw_heavy_workloads,
+    microbenchmark_workloads,
+)
+from repro.telemetry.pcm import EpochSample
+
+SCENARIOS: Dict[str, Callable] = {
+    "microbench": microbenchmark_workloads,
+    "hpw-heavy": hpw_heavy_workloads,
+    "lpw-heavy": lpw_heavy_workloads,
+}
+
+
+def format_epoch(sample: EpochSample) -> str:
+    """Render one monitoring interval the way pcm.x prints its table."""
+    lines = [
+        f"--- epoch {sample.index} @ {sample.time:.0f} cycles ---",
+        f"{'stream':<12} {'IPC':>6} {'MLChit%':>8} {'LLChit%':>8} "
+        f"{'DCAmiss%':>9} {'IO l/c':>8} {'leaks':>6}",
+    ]
+    for name in sorted(sample.streams):
+        s = sample.streams[name]
+        lines.append(
+            f"{name:<12} {s.ipc:>6.3f} {100 * (1 - s.mlc_miss_rate):>8.1f} "
+            f"{100 * s.llc_hit_rate:>8.1f} {100 * s.dca_miss_rate:>9.1f} "
+            f"{s.io_throughput_lines_per_cycle:>8.4f} "
+            f"{s.counters.dma_leaks:>6}"
+        )
+    lines.append(
+        f"memory: read {sample.mem_read_bw:.4f} write {sample.mem_write_bw:.4f} "
+        f"lines/cycle; PCIe wr {sample.pcie_write_lines} lines "
+        f"(storage share {100 * sample.storage_io_share():.0f}%)"
+    )
+    return "\n".join(lines)
+
+
+def monitor(
+    scenario: str = "microbench",
+    scheme: str = "default",
+    epochs: int = 8,
+    seed: int = 0xA4,
+    echo: Callable[[str], None] = print,
+) -> List[EpochSample]:
+    """Run a scenario, printing each epoch's counters; returns the samples."""
+    if scenario not in SCENARIOS:
+        raise ValueError(f"unknown scenario {scenario!r}; have {sorted(SCENARIOS)}")
+    server = build_server(SCENARIOS[scenario](), scheme=scheme, seed=seed)
+    samples: List[EpochSample] = []
+    for _ in range(epochs):
+        server.sim.run_until(server.sim.now + server.epoch_cycles)
+        sample = server.pcm.sample(server.sim.now)
+        samples.append(sample)
+        if server.manager is not None:
+            server.manager.on_epoch(sample)
+        echo(format_epoch(sample))
+    return samples
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tools.pcm",
+        description="PCM-style per-epoch counter monitor.",
+    )
+    parser.add_argument("--scenario", default="microbench", choices=sorted(SCENARIOS))
+    parser.add_argument("--scheme", default="default")
+    parser.add_argument("--epochs", type=int, default=8)
+    parser.add_argument("--seed", type=int, default=0xA4)
+    args = parser.parse_args(argv)
+    monitor(args.scenario, args.scheme, args.epochs, args.seed)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,119 @@
+"""A pqos-style (intel-cmt-cat) front end for the simulated CAT.
+
+Accepts the real tool's allocation syntax — ``llc:<clos>=<hexmask>`` and
+core association ``llc:<clos>=<hexmask>;cpus:<clos>=<a>-<b>`` style pieces
+— applies them to a scenario, runs it briefly, and shows the resulting
+masks and per-stream LLC occupancy (the CMT view).
+
+Usage::
+
+    python -m repro.tools.pqos --show
+    python -m repro.tools.pqos -e "llc:1=0x060" -a "llc:1=0-3" --epochs 4
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Tuple
+
+from repro.experiments.harness import Server
+from repro.experiments.scenarios import build_server, microbenchmark_workloads
+from repro.rdt.cat import ClosConfigError
+
+
+def parse_mask_spec(spec: str) -> Tuple[int, List[int]]:
+    """Parse ``llc:<clos>=<hexmask>`` into (clos, way list).
+
+    The mask uses the real CAT convention: bit 0 = way 0.
+    """
+    try:
+        prefix, value = spec.split("=", 1)
+        kind, clos_text = prefix.split(":", 1)
+        if kind != "llc":
+            raise ValueError
+        clos = int(clos_text)
+        mask = int(value, 16)
+    except ValueError:
+        raise ClosConfigError(
+            f"bad allocation spec {spec!r}; expected llc:<clos>=<hexmask>"
+        ) from None
+    ways = [bit for bit in range(32) if mask & (1 << bit)]
+    if not ways:
+        raise ClosConfigError(f"empty mask in {spec!r}")
+    return clos, ways
+
+
+def parse_assoc_spec(spec: str) -> Tuple[int, List[int]]:
+    """Parse ``llc:<clos>=<a>-<b>`` / ``llc:<clos>=<a>,<b>,...`` core lists."""
+    try:
+        prefix, value = spec.split("=", 1)
+        _, clos_text = prefix.split(":", 1)
+        clos = int(clos_text)
+    except ValueError:
+        raise ClosConfigError(
+            f"bad association spec {spec!r}; expected llc:<clos>=<cores>"
+        ) from None
+    cores: List[int] = []
+    for piece in value.split(","):
+        if "-" in piece:
+            lo, hi = piece.split("-", 1)
+            cores.extend(range(int(lo), int(hi) + 1))
+        else:
+            cores.append(int(piece))
+    if not cores:
+        raise ClosConfigError(f"no cores in {spec!r}")
+    return clos, cores
+
+
+def show_state(server: Server) -> str:
+    """Render CLOS masks, associations, and CMT-style occupancy."""
+    lines = ["CLOS masks:"]
+    for clos in range(server.cat.num_clos):
+        mask = server.cat.mask(clos)
+        bits = sum(1 << w for w in mask)
+        lines.append(f"  COS{clos}: 0x{bits:03x}  ways {mask[0]}-{mask[-1]}")
+    lines.append("core associations:")
+    for core, clos in sorted(server.cat.associations().items()):
+        lines.append(f"  core {core}: COS{clos}")
+    lines.append("LLC occupancy (lines per stream):")
+    for stream, count in sorted(server.monitor.per_stream().items()):
+        lines.append(f"  {stream:<12} {count}")
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tools.pqos",
+        description="pqos-style CAT control over the simulated testbed.",
+    )
+    parser.add_argument(
+        "-e", "--alloc", action="append", default=[],
+        help="allocation, e.g. llc:1=0x060",
+    )
+    parser.add_argument(
+        "-a", "--assoc", action="append", default=[],
+        help="association, e.g. llc:1=0-3",
+    )
+    parser.add_argument("--epochs", type=int, default=4)
+    parser.add_argument("--seed", type=int, default=0xA4)
+    parser.add_argument("--show", action="store_true", help="state only")
+    args = parser.parse_args(argv)
+
+    server = build_server(
+        microbenchmark_workloads(), scheme="default", seed=args.seed
+    )
+    for spec in args.alloc:
+        clos, ways = parse_mask_spec(spec)
+        server.cat.set_mask(clos, ways)
+    for spec in args.assoc:
+        clos, cores = parse_assoc_spec(spec)
+        for core in cores:
+            server.cat.associate(core, clos)
+    if not args.show:
+        server.run(epochs=args.epochs, warmup=1)
+    print(show_state(server))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

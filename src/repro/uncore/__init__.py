@@ -1,0 +1,16 @@
+"""Uncore models: memory controller, PCIe ports, and the IIO/DDIO agent."""
+
+from repro.uncore.memory import MemoryController
+from repro.uncore.pcie import PcieComplex, PciePort, PerfCtrlSts
+from repro.uncore.iio import IIOAgent
+from repro.uncore.msr import IIO_LLC_WAYS, MsrFile
+
+__all__ = [
+    "MemoryController",
+    "PcieComplex",
+    "PciePort",
+    "PerfCtrlSts",
+    "IIOAgent",
+    "IIO_LLC_WAYS",
+    "MsrFile",
+]

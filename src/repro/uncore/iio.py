@@ -1,0 +1,45 @@
+"""IIO agent: the device-facing entry into the cache hierarchy.
+
+All inbound (device-to-host) and outbound (host-to-device) DMA flows pass
+through here.  For inbound writes the agent consults the originating PCIe
+port's ``perfctrlsts`` register to choose between the **allocating flow**
+(DDIO: write-update in place, else write-allocate into the DCA ways) and the
+**non-allocating flow** (write to memory, invalidating cached copies) — the
+exact mechanism A4's selective DCA disabling manipulates.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.uncore.pcie import PciePort
+
+if TYPE_CHECKING:  # pragma: no cover - avoids a cycle with cache.hierarchy
+    from repro.cache.hierarchy import CacheHierarchy
+
+
+class IIOAgent:
+    """Bridges device DMA to the cache hierarchy, respecting per-port DCA."""
+
+    def __init__(self, hierarchy: "CacheHierarchy"):
+        self.hierarchy = hierarchy
+
+    def inbound_write(self, now: float, port: PciePort, addr: int, stream: str) -> None:
+        """A device DMA-writes one line to host address ``addr``."""
+        port.inbound_write_lines += 1
+        self.hierarchy.dma_write(now, addr, stream, allocating=port.dca_enabled)
+
+    def inbound_write_burst(
+        self, now: float, port: PciePort, base_addr: int, lines: int, stream: str
+    ) -> None:
+        """DMA-write ``lines`` consecutive lines starting at ``base_addr``."""
+        allocating = port.dca_enabled
+        port.inbound_write_lines += lines
+        dma_write = self.hierarchy.dma_write
+        for offset in range(lines):
+            dma_write(now, base_addr + offset, stream, allocating=allocating)
+
+    def outbound_read(self, now: float, port: PciePort, addr: int, stream: str) -> None:
+        """A device DMA-reads one line from host address ``addr`` (egress)."""
+        port.inbound_read_lines += 1
+        self.hierarchy.dma_read(now, addr, stream)

@@ -1,0 +1,69 @@
+"""Memory controller with bandwidth accounting and contention latency.
+
+Transfers are counted per stream (for the per-epoch memory-bandwidth series
+the paper plots) and fed into a decayed utilisation estimate.  CPU-visible
+memory latency grows with utilisation following an M/D/1-style queueing
+curve, so streaming antagonists measurably slow down everyone's misses —
+the paper's "memory bandwidth abuse" guardrail in §5.5 relies on this signal.
+"""
+
+from __future__ import annotations
+
+from repro import config
+from repro.telemetry.counters import CounterBank
+
+
+class MemoryController:
+    """DRAM interface; all units are cache lines and cycles."""
+
+    def __init__(
+        self,
+        counters: CounterBank,
+        bandwidth_lines_per_cycle: float = config.MEMORY_BANDWIDTH_LINES_PER_CYCLE,
+        base_latency: float = config.MEMORY_CYCLES,
+        window_cycles: float = 2_000.0,
+    ):
+        if bandwidth_lines_per_cycle <= 0:
+            raise ValueError("bandwidth must be positive")
+        self.counters = counters
+        self.bandwidth = bandwidth_lines_per_cycle
+        self.base_latency = base_latency
+        self.window = window_cycles
+        self._window_start = 0.0
+        self._window_lines = 0
+        self._utilization = 0.0
+        self.total_reads = 0
+        self.total_writes = 0
+
+    # -- traffic -------------------------------------------------------------
+
+    def read(self, now: float, lines: int, stream: str) -> None:
+        self.total_reads += lines
+        self.counters.stream(stream).mem_reads += lines
+        self._account(now, lines)
+
+    def write(self, now: float, lines: int, stream: str) -> None:
+        self.total_writes += lines
+        self.counters.stream(stream).mem_writes += lines
+        self._account(now, lines)
+
+    def _account(self, now: float, lines: int) -> None:
+        if now - self._window_start >= self.window:
+            elapsed = max(now - self._window_start, self.window)
+            inst = self._window_lines / elapsed / self.bandwidth
+            # Exponential decay keeps the estimate smooth across windows.
+            self._utilization = 0.5 * self._utilization + 0.5 * min(inst, 1.0)
+            self._window_start = now
+            self._window_lines = 0
+        self._window_lines += lines
+
+    # -- latency ---------------------------------------------------------------
+
+    @property
+    def utilization(self) -> float:
+        return self._utilization
+
+    def access_latency(self) -> float:
+        """Current load-to-use DRAM latency including queueing."""
+        rho = min(self._utilization, 0.92)
+        return self.base_latency * (1.0 + 0.5 * rho / (1.0 - rho))

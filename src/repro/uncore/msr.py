@@ -1,0 +1,46 @@
+"""Model-specific registers the DDIO literature manipulates.
+
+Skylake-SP exposes the **IIO LLC WAYS** register (MSR ``0xC8B``): a bitmask
+selecting which LLC ways DDIO may write-allocate into (two left-most ways
+by default).  Farshin et al. (ATC'20) tune it to give I/O more or less LLC
+— the main *hardware-tuning* alternative to A4's allocation approach, and
+the subject of the ``ablation-ddio-ways`` study.
+
+The façade keeps MSR semantics: `rdmsr`/`wrmsr` by address, bit 0 = way 0.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cache.llc import LastLevelCache
+
+IIO_LLC_WAYS = 0xC8B
+"""Address of the IIO LLC WAYS register on Skylake-SP."""
+
+
+def ways_to_mask(ways) -> int:
+    return sum(1 << way for way in ways)
+
+
+def mask_to_ways(mask: int) -> tuple:
+    return tuple(bit for bit in range(32) if mask & (1 << bit))
+
+
+class MsrFile:
+    """`/dev/cpu/*/msr`-style access to the modelled registers."""
+
+    def __init__(self, llc: "LastLevelCache"):
+        self._llc = llc
+
+    def rdmsr(self, address: int) -> int:
+        if address == IIO_LLC_WAYS:
+            return ways_to_mask(self._llc.dca_ways)
+        raise ValueError(f"unmodelled MSR {address:#x}")
+
+    def wrmsr(self, address: int, value: int) -> None:
+        if address == IIO_LLC_WAYS:
+            self._llc.set_dca_ways(mask_to_ways(value))
+            return
+        raise ValueError(f"unmodelled MSR {address:#x}")

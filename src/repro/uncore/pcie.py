@@ -1,0 +1,80 @@
+"""PCIe root ports and the hidden per-port DCA knob.
+
+Skylake-SP exposes, per PCIe port, a ``perfctrlsts_0`` register whose
+``NoSnoopOpWrEn`` and ``Use_Allocating_Flow_Wr`` bits steer that port's
+inbound writes either through the allocating (DDIO) flow into the LLC's DCA
+ways or through the non-allocating flow to memory.  A4's F2 flips these bits
+for storage ports only — the paper's "little-known knob".
+
+This module models the register faithfully enough that the controller code
+reads like the real thing: DCA is active for a port iff
+``Use_Allocating_Flow_Wr`` is set and ``NoSnoopOpWrEn`` is clear.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.telemetry.counters import CounterBank
+
+
+@dataclass
+class PerfCtrlSts:
+    """The two bits of ``perfctrlsts_0`` that matter for DCA routing."""
+
+    use_allocating_flow_wr: bool = True
+    no_snoop_op_wr_en: bool = False
+
+    @property
+    def dca_enabled(self) -> bool:
+        return self.use_allocating_flow_wr and not self.no_snoop_op_wr_en
+
+
+@dataclass
+class PciePort:
+    """One root port; devices attach to exactly one port."""
+
+    port_id: int
+    name: str = ""
+    perfctrlsts: PerfCtrlSts = field(default_factory=PerfCtrlSts)
+    inbound_write_lines: int = 0
+    inbound_read_lines: int = 0
+
+    @property
+    def dca_enabled(self) -> bool:
+        return self.perfctrlsts.dca_enabled
+
+    def disable_dca(self) -> None:
+        """A4's F2 knob: reroute this port's writes to the memory flow."""
+        self.perfctrlsts.no_snoop_op_wr_en = True
+        self.perfctrlsts.use_allocating_flow_wr = False
+
+    def enable_dca(self) -> None:
+        self.perfctrlsts.no_snoop_op_wr_en = False
+        self.perfctrlsts.use_allocating_flow_wr = True
+
+
+class PcieComplex:
+    """The socket's set of root ports, addressable by id or name."""
+
+    def __init__(self, counters: CounterBank):
+        self.counters = counters
+        self._ports: Dict[int, PciePort] = {}
+
+    def add_port(self, port_id: int, name: str = "") -> PciePort:
+        if port_id in self._ports:
+            raise ValueError(f"port {port_id} already exists")
+        port = PciePort(port_id, name or f"port{port_id}")
+        self._ports[port_id] = port
+        return port
+
+    def port(self, port_id: int) -> PciePort:
+        return self._ports[port_id]
+
+    def ports(self) -> Dict[int, PciePort]:
+        return dict(self._ports)
+
+    def total_inbound_write_lines(self) -> int:
+        """PCIe write throughput = system I/O read traffic (paper §5.4)."""
+        return sum(p.inbound_write_lines for p in self._ports.values())

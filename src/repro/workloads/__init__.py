@@ -1,0 +1,35 @@
+"""Workload models.
+
+Microbenchmarks: DPDK-T / DPDK-NT (:mod:`repro.workloads.dpdk`), FIO
+(:mod:`repro.workloads.fio`), X-Mem (:mod:`repro.workloads.xmem`).
+
+Real-world analogues (paper Table 2): Fastclick, FFSB-H/L, Redis-S/C and
+SPEC CPU2017 profiles (:mod:`repro.workloads.fastclick`, ``.ffsb``,
+``.redis``, ``.spec``).
+"""
+
+from repro.workloads.base import Workload
+from repro.workloads.synthetic import AccessProfile, SyntheticWorkload
+from repro.workloads.xmem import xmem, xmem_table3
+from repro.workloads.dpdk import DpdkWorkload
+from repro.workloads.fio import FioWorkload
+from repro.workloads.fastclick import fastclick
+from repro.workloads.ffsb import ffsb_heavy, ffsb_light
+from repro.workloads.redis import redis_pair
+from repro.workloads.spec import spec_workload, SPEC_PROFILES
+
+__all__ = [
+    "Workload",
+    "AccessProfile",
+    "SyntheticWorkload",
+    "xmem",
+    "xmem_table3",
+    "DpdkWorkload",
+    "FioWorkload",
+    "fastclick",
+    "ffsb_heavy",
+    "ffsb_light",
+    "redis_pair",
+    "spec_workload",
+    "SPEC_PROFILES",
+]

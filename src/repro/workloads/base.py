@@ -1,0 +1,64 @@
+"""Workload base class.
+
+A workload is a named stream of activity pinned to one or more cores.  At
+:meth:`setup` time the server hands it cores, address-space regions, PCIe
+ports/devices, and a CLOS; the workload then spawns its simulation
+processes.  Everything the A4 daemon later learns about the workload flows
+through its :class:`~repro.telemetry.pcm.StreamInfo`.
+
+The ``server`` argument is the :class:`repro.experiments.harness.Server`;
+it is duck-typed here to keep the workload layer import-light.  The members
+used are: ``sim``, ``hierarchy``, ``iio``, ``counters``, ``pcm``,
+``alloc_cores(n)``, ``alloc_region(lines)``, ``add_port(name)``, ``rng``.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional, Tuple
+
+from repro.telemetry.pcm import (
+    KIND_CPU,
+    PRIORITY_HIGH,
+    StreamInfo,
+)
+
+METRIC_IPC = "ipc"
+METRIC_THROUGHPUT = "throughput"
+METRIC_LATENCY = "latency"
+
+
+class Workload(abc.ABC):
+    """One co-running workload (the unit of A4's QoS management)."""
+
+    kind = KIND_CPU
+    performance_metric = METRIC_IPC
+
+    def __init__(self, name: str, priority: str = PRIORITY_HIGH, cores: int = 1):
+        if cores <= 0:
+            raise ValueError("a workload needs at least one core")
+        self.name = name
+        self.priority = priority
+        self.num_cores = cores
+        self.cores: Tuple[int, ...] = ()
+        self.port_id: Optional[int] = None
+
+    def info(self) -> StreamInfo:
+        """Launch-time metadata handed to the monitoring/control plane."""
+        return StreamInfo(
+            name=self.name,
+            kind=self.kind,
+            priority=self.priority,
+            cores=self.cores,
+            port_id=self.port_id,
+        )
+
+    @abc.abstractmethod
+    def setup(self, server) -> None:
+        """Claim resources from ``server`` and spawn simulation processes."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<{type(self).__name__} {self.name} {self.kind} {self.priority} "
+            f"cores={self.cores or self.num_cores}>"
+        )

@@ -1,0 +1,178 @@
+"""DPDK-style kernel-bypass network workloads (paper §3.1).
+
+Two flavours:
+
+* **DPDK-T** (``touch=True``) — polls its Rx ring, reads every payload line
+  (deep-packet-inspection style), then drops the packet.  Consuming payload
+  lines is what triggers migration into the inclusive ways (O1) and, via MLC
+  evictions, DMA bloat.
+* **DPDK-NT** (``touch=False``) — reads only the descriptor line and drops
+  the packet (classification/ACL style), so payloads never enter MLCs and
+  neither migration nor bloat occurs — the paper's control experiment.
+
+Each consumer core owns one ring.  The NIC itself is created here and
+attached to a dedicated PCIe port, so per-device DCA control applies.
+Packet latency is decomposed (Fig. 14a) into ring queueing, descriptor
+(pointer) access, and payload processing.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro import config
+from repro.devices.nic import Nic, NicConfig
+from repro.devices.packetgen import PacketGenConfig, PacketGenerator
+from repro.devices.ring import RxRing
+from repro.telemetry.pcm import KIND_NETWORK, PRIORITY_HIGH
+from repro.workloads.base import METRIC_LATENCY, Workload
+
+POLL_GAP_CYCLES = 30.0
+"""Idle-poll back-off of the run-to-completion loop."""
+
+
+class DpdkWorkload(Workload):
+    """A DPDK application: one NIC, one Rx ring + consumer loop per core."""
+
+    kind = KIND_NETWORK
+    performance_metric = METRIC_LATENCY
+
+    def __init__(
+        self,
+        name: str = "dpdk-t",
+        touch: bool = True,
+        forward: bool = False,
+        cores: int = 4,
+        packet_bytes: int = 1024,
+        ring_entries: int = 16,
+        line_rate: float = config.NIC_LINE_RATE_LINES_PER_CYCLE,
+        processing_cycles_per_line: float = 4.0,
+        instructions_per_line: int = 10,
+        payload_parallelism: float = 3.0,
+        size_mix=None,
+        priority: str = PRIORITY_HIGH,
+        nic_cfg: Optional[NicConfig] = None,
+    ):
+        super().__init__(name, priority, cores)
+        self.touch = touch
+        if forward and not touch:
+            raise ValueError("forwarding implies touching the packet")
+        self.forward = forward
+        """L2/L3-forwarding mode: after processing, the header is rewritten
+        and the NIC DMA-reads the packet back out (the egress path of
+        Fig. 2).  MLC-held lines get read-allocated into the inclusive ways
+        by the egress read."""
+        self.packet_bytes = packet_bytes
+        self.size_mix = size_mix
+        """Optional (bytes, weight) mixture, e.g.
+        :data:`repro.devices.packetgen.IMIX_SIMPLE`."""
+        self.ring_entries = ring_entries
+        self.line_rate = line_rate
+        self.processing_cycles_per_line = processing_cycles_per_line
+        self.instructions_per_line = instructions_per_line
+        if payload_parallelism < 1.0:
+            raise ValueError("payload_parallelism must be >= 1")
+        self.payload_parallelism = payload_parallelism
+        """Outstanding loads the payload scan overlaps (the descriptor read
+        stays serial).  Keeps the consumer comfortably ahead of line rate
+        when packets hit in the DCA ways, and right at the saturation edge
+        when they leak to memory — the paper's latency sensitivity."""
+        self.nic_cfg = nic_cfg or NicConfig(ring_entries=ring_entries)
+        self.nic: Optional[Nic] = None
+        self.rings: List[RxRing] = []
+
+    def setup(self, server) -> None:
+        self.cores = server.alloc_cores(self.num_cores)
+        port = server.add_port(f"{self.name}-nic")
+        self.port_id = port.port_id
+
+        self.rings = []
+        for _ in self.cores:
+            base = server.alloc_region(self.ring_entries * self.nic_cfg.slot_lines)
+            self.rings.append(
+                RxRing(base, self.ring_entries, self.nic_cfg.slot_lines)
+            )
+
+        generator = PacketGenerator(
+            PacketGenConfig(
+                packet_bytes=self.packet_bytes,
+                line_rate_lines_per_cycle=self.line_rate,
+                size_mix=self.size_mix,
+            ),
+            server.rng.stream(f"{self.name}-pktgen"),
+        )
+        self.nic = Nic(
+            name=f"{self.name}-nic",
+            stream=self.name,
+            port=port,
+            iio=server.iio,
+            generator=generator,
+            rings=self.rings,
+            counters=server.counters,
+        )
+        self.nic.start(server.sim)
+
+        for core, ring in zip(self.cores, self.rings):
+            server.sim.spawn(
+                f"{self.name}@{core}", self._consumer_body(server, core, ring)
+            )
+
+    def _consumer_body(self, server, core: int, ring: RxRing):
+        sim = server.sim
+        hierarchy = server.hierarchy
+        counters = server.counters.stream(self.name)
+        tracker = server.pcm.tracker(self.name)
+        while True:
+            entry = ring.peek()
+            if entry is None:
+                yield POLL_GAP_CYCLES
+                continue
+            queueing = max(0.0, sim.now - entry.arrival_time)
+            # Descriptor / packet-pointer access.
+            access = hierarchy.cpu_access(
+                sim.now, core, entry.buffer_addr, self.name, io_read=True
+            )
+            counters.instructions += self.instructions_per_line
+            yield access
+            processing = 0.0
+            if self.touch:
+                for offset in range(1, entry.packet_lines):
+                    line_latency = (
+                        hierarchy.cpu_access(
+                            sim.now,
+                            core,
+                            entry.buffer_addr + offset,
+                            self.name,
+                            io_read=True,
+                        )
+                        / self.payload_parallelism
+                    )
+                    access += line_latency
+                    processing += self.processing_cycles_per_line
+                    counters.instructions += self.instructions_per_line
+                    yield line_latency + self.processing_cycles_per_line
+            if self.forward:
+                # Rewrite the header (MAC/TTL), then the NIC pulls the
+                # packet back out through the egress path.
+                header_latency = hierarchy.cpu_access(
+                    sim.now, core, entry.buffer_addr, self.name, write=True
+                )
+                counters.instructions += self.instructions_per_line
+                processing += header_latency
+                yield header_latency
+                port = self.nic.port
+                for offset in range(entry.packet_lines):
+                    server.iio.outbound_read(
+                        sim.now, port, entry.buffer_addr + offset, self.name
+                    )
+            ring.pop()
+            counters.io_bytes_completed += entry.packet_lines * config.LINE_BYTES
+            counters.io_requests_completed += 1
+            tracker.record(
+                queueing + access + processing,
+                components={
+                    "queueing": queueing,
+                    "access": access,
+                    "processing": processing,
+                },
+            )

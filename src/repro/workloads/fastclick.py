@@ -1,0 +1,34 @@
+"""Fastclick (paper Table 2): simple packet processing over DPDK.
+
+Fastclick is the paper's real-world network-I/O workload: 1024 B packets,
+a 2048-entry ring per core, four cores, and per-packet processing heavier
+than the DPDK-T microbenchmark.  The latency breakdown it records (ring
+queueing / pointer access / processing) is what Fig. 14a plots.
+"""
+
+from __future__ import annotations
+
+from repro import config
+from repro.telemetry.pcm import PRIORITY_HIGH
+from repro.workloads.dpdk import DpdkWorkload
+
+
+def fastclick(
+    name: str = "fastclick",
+    priority: str = PRIORITY_HIGH,
+    cores: int = 4,
+    packet_bytes: int = 1024,
+    line_rate: float = config.NIC_LINE_RATE_LINES_PER_CYCLE,
+) -> DpdkWorkload:
+    """Build the Table 2 Fastclick configuration."""
+    return DpdkWorkload(
+        name=name,
+        touch=True,
+        cores=cores,
+        packet_bytes=packet_bytes,
+        ring_entries=16,  # capacity-scaled equivalent of 2048 entries
+        line_rate=line_rate,
+        processing_cycles_per_line=6.0,
+        instructions_per_line=14,
+        priority=priority,
+    )

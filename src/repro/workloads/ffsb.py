@@ -1,0 +1,42 @@
+"""FFSB, the Flexible Filesystem Benchmark (paper Table 2).
+
+Two configurations from the paper, both doing storage reads plus a regular-
+expression match over every block:
+
+* **FFSB-H** (heavy): 2 MB blocks on three cores — the storage antagonist
+  A4's detectors catch (heavy DMA leak, no DCA benefit);
+* **FFSB-L** (light): 32 KB blocks on one core — storage I/O mild enough
+  that A4 leaves its DCA enabled (the selectivity shown in Fig. 13b).
+"""
+
+from __future__ import annotations
+
+from repro.telemetry.pcm import PRIORITY_LOW
+from repro.workloads.fio import FioWorkload
+
+KB = 1024
+MB = 1024 * KB
+
+
+def ffsb_heavy(name: str = "ffsb-h", priority: str = PRIORITY_LOW) -> FioWorkload:
+    """FFSB-H: 2 MB I/O blocks, 3 CPU cores (Table 2)."""
+    return FioWorkload(
+        name=name,
+        block_bytes=2 * MB,
+        cores=3,
+        io_depth=32,
+        compute_cycles_per_line=3.0,
+        priority=priority,
+    )
+
+
+def ffsb_light(name: str = "ffsb-l", priority: str = PRIORITY_LOW) -> FioWorkload:
+    """FFSB-L: 32 KB I/O blocks, 1 CPU core (Table 2)."""
+    return FioWorkload(
+        name=name,
+        block_bytes=32 * KB,
+        cores=1,
+        io_depth=8,
+        compute_cycles_per_line=3.0,
+        priority=priority,
+    )

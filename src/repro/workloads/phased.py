@@ -1,0 +1,83 @@
+"""Workloads with execution phases.
+
+A :class:`PhasedWorkload` alternates between an *active* phase (running a
+synthetic access profile) and an *idle* phase (sleeping).  System daemons
+behave exactly like this — KSM scans, then sleeps — and the paper's §5.6
+machinery (antagonist restoration, periodic reverting) exists precisely to
+track such phase changes.  The integration tests use phased antagonists to
+drive A4's restore path.
+"""
+
+from __future__ import annotations
+
+from repro.telemetry.pcm import KIND_CPU
+from repro.workloads.base import METRIC_IPC, Workload
+from repro.workloads.synthetic import AccessProfile
+
+
+class PhasedWorkload(Workload):
+    """Alternates ``active_cycles`` of profile execution with
+    ``idle_cycles`` of sleep, indefinitely."""
+
+    kind = KIND_CPU
+    performance_metric = METRIC_IPC
+
+    def __init__(
+        self,
+        name: str,
+        profile: AccessProfile,
+        priority: str,
+        active_cycles: float,
+        idle_cycles: float,
+        cores: int = 1,
+    ):
+        super().__init__(name, priority, cores)
+        if active_cycles <= 0 or idle_cycles < 0:
+            raise ValueError("phase lengths must be positive (idle >= 0)")
+        self.profile = profile
+        self.active_cycles = active_cycles
+        self.idle_cycles = idle_cycles
+
+    def setup(self, server) -> None:
+        self.cores = server.alloc_cores(self.num_cores)
+        base = server.alloc_region(self.profile.working_set_lines)
+        slice_lines = max(1, self.profile.working_set_lines // self.num_cores)
+        for i, core in enumerate(self.cores):
+            server.sim.spawn(
+                f"{self.name}@{core}",
+                self._body(
+                    server,
+                    core,
+                    base + i * slice_lines,
+                    slice_lines,
+                    server.rng.stream(f"{self.name}-{i}"),
+                ),
+            )
+
+    def _body(self, server, core: int, base: int, lines: int, rng):
+        hierarchy = server.hierarchy
+        counters = server.counters.stream(self.name)
+        profile = self.profile
+        sequential = profile.pattern == "seq"
+        index = 0
+        while True:
+            phase_end = server.sim.now + self.active_cycles
+            while server.sim.now < phase_end:
+                if sequential:
+                    addr = base + index
+                    index += 1
+                    if index >= lines:
+                        index = 0
+                else:
+                    addr = base + rng.randrange(lines)
+                write = (
+                    profile.write_fraction > 0
+                    and rng.random() < profile.write_fraction
+                )
+                latency = hierarchy.cpu_access(
+                    server.sim.now, core, addr, self.name, write=write
+                )
+                counters.instructions += profile.instructions_per_access
+                yield latency + profile.compute_cycles
+            if self.idle_cycles:
+                yield self.idle_cycles

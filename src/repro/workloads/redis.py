@@ -1,0 +1,193 @@
+"""Redis server/client pair (paper Table 2): persistent key-value store.
+
+YCSB workload A (update-heavy: 50% reads / 50% updates) against an
+in-memory hash table plus an append-only persistence log, one core each for
+server and client, communicating through shared request/response cache
+lines (loopback networking on the same socket, as in the paper's setup).
+The shared lines exercise the hierarchy's cross-MLC snoop path.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Optional, Tuple
+
+from repro import config
+from repro.telemetry.pcm import KIND_CPU, PRIORITY_HIGH
+from repro.workloads.base import METRIC_IPC, Workload
+
+MB = 1024 * 1024
+
+VALUE_LINES = 4
+"""Lines touched per key-value operation (~few hundred paper bytes)."""
+
+SERVER_POLL_CYCLES = 40.0
+CLIENT_POLL_CYCLES = 40.0
+
+
+@dataclass
+class RedisChannel:
+    """Loopback transport + shared memory between the S/C pair."""
+
+    requests: Deque[Tuple[int, int, bool]] = field(default_factory=deque)
+    """(request id, key index, is_update)."""
+    responses: Deque[int] = field(default_factory=deque)
+    table_base: Optional[int] = None
+    table_lines: int = 0
+    log_base: Optional[int] = None
+    log_lines: int = 0
+    mailbox_base: Optional[int] = None
+
+    def ensure_regions(self, server, store_mb: float, log_mb: float) -> None:
+        """Allocate the shared regions once, whichever side sets up first."""
+        if self.table_base is not None:
+            return
+        self.table_lines = config.lines_for_paper_bytes(int(store_mb * MB))
+        self.table_base = server.alloc_region(self.table_lines)
+        self.log_lines = config.lines_for_paper_bytes(int(log_mb * MB))
+        self.log_base = server.alloc_region(self.log_lines)
+        self.mailbox_base = server.alloc_region(8)
+
+
+class RedisServer(Workload):
+    """Redis-S: serves get/update requests, appends to a persistence log."""
+
+    kind = KIND_CPU
+    performance_metric = METRIC_IPC
+
+    def __init__(
+        self,
+        channel: RedisChannel,
+        name: str = "redis-s",
+        priority: str = PRIORITY_HIGH,
+        store_mb: float = 8.0,
+        log_mb: float = 4.0,
+    ):
+        super().__init__(name, priority, cores=1)
+        self.channel = channel
+        self.store_mb = store_mb
+        self.log_mb = log_mb
+
+    def setup(self, server) -> None:
+        self.cores = server.alloc_cores(1)
+        self.channel.ensure_regions(server, self.store_mb, self.log_mb)
+        server.sim.spawn(
+            f"{self.name}@{self.cores[0]}", self._body(server, self.cores[0])
+        )
+
+    def _body(self, server, core: int):
+        sim = server.sim
+        hierarchy = server.hierarchy
+        counters = server.counters.stream(self.name)
+        channel = self.channel
+        log_cursor = 0
+        while True:
+            if not channel.requests:
+                yield SERVER_POLL_CYCLES
+                continue
+            request_id, key, update = channel.requests.popleft()
+            # Read the request mailbox line (shared with the client).
+            latency = hierarchy.cpu_access(
+                sim.now, core, channel.mailbox_base, self.name
+            )
+            counters.instructions += 6
+            yield latency
+            value_base = channel.table_base + (
+                key * VALUE_LINES
+            ) % max(1, channel.table_lines - VALUE_LINES)
+            for offset in range(VALUE_LINES):
+                latency = hierarchy.cpu_access(
+                    sim.now, core, value_base + offset, self.name, write=update
+                )
+                counters.instructions += 12
+                yield latency + 4.0
+            if update:
+                # Append-only persistence (AOF) write.
+                log_addr = channel.log_base + log_cursor
+                log_cursor = (log_cursor + 1) % channel.log_lines
+                latency = hierarchy.cpu_access(
+                    sim.now, core, log_addr, self.name, write=True
+                )
+                counters.instructions += 8
+                yield latency
+            # Write the response mailbox line.
+            latency = hierarchy.cpu_access(
+                sim.now, core, channel.mailbox_base + 1, self.name, write=True
+            )
+            counters.instructions += 6
+            channel.responses.append(request_id)
+            yield latency
+
+
+class RedisClient(Workload):
+    """Redis-C: YCSB-A closed-loop client with a zipf-like key popularity."""
+
+    kind = KIND_CPU
+    performance_metric = METRIC_IPC
+
+    def __init__(
+        self,
+        channel: RedisChannel,
+        name: str = "redis-c",
+        priority: str = PRIORITY_HIGH,
+        update_fraction: float = 0.5,
+        keys: int = 4096,
+    ):
+        super().__init__(name, priority, cores=1)
+        self.channel = channel
+        self.update_fraction = update_fraction
+        self.keys = keys
+
+    def setup(self, server) -> None:
+        self.cores = server.alloc_cores(1)
+        self.channel.ensure_regions(server, 8.0, 4.0)
+        server.sim.spawn(
+            f"{self.name}@{self.cores[0]}", self._body(server, self.cores[0])
+        )
+
+    def _body(self, server, core: int):
+        sim = server.sim
+        hierarchy = server.hierarchy
+        counters = server.counters.stream(self.name)
+        tracker = server.pcm.tracker(self.name)
+        rng = server.rng.stream(f"{self.name}-keys")
+        channel = self.channel
+        request_id = 0
+        while True:
+            # Skewed popularity: squaring a uniform draw concentrates mass
+            # on low key indices (zipf-ish, cheap and deterministic).
+            key = int((rng.random() ** 2) * self.keys)
+            update = rng.random() < self.update_fraction
+            latency = hierarchy.cpu_access(
+                sim.now, core, channel.mailbox_base, self.name, write=True
+            )
+            counters.instructions += 10
+            started = sim.now
+            channel.requests.append((request_id, key, update))
+            yield latency + 4.0
+            while not (
+                channel.responses and channel.responses[0] == request_id
+            ):
+                yield CLIENT_POLL_CYCLES
+            channel.responses.popleft()
+            latency = hierarchy.cpu_access(
+                sim.now, core, channel.mailbox_base + 1, self.name
+            )
+            counters.instructions += 10
+            counters.io_requests_completed += 1
+            tracker.record(sim.now - started)
+            request_id += 1
+            yield latency + 6.0
+
+
+def redis_pair(
+    priority_server: str = PRIORITY_HIGH,
+    priority_client: str = PRIORITY_HIGH,
+    name_prefix: str = "redis",
+) -> Tuple[RedisServer, RedisClient]:
+    """Build a connected Redis-S / Redis-C pair (YCSB workload A)."""
+    channel = RedisChannel()
+    server = RedisServer(channel, name=f"{name_prefix}-s", priority=priority_server)
+    client = RedisClient(channel, name=f"{name_prefix}-c", priority=priority_client)
+    return server, client

@@ -1,0 +1,82 @@
+"""SPEC CPU2017 workload analogues (paper Table 2, Figs. 13/15).
+
+Each benchmark is reduced to the memory-behaviour profile that matters for
+LLC management, calibrated against the characterisation of Singh & Awasthi
+(ICPE'19) that the paper itself cites:
+
+* ``x264``       — compute-bound, modest working set: diminishing returns
+  beyond a small cache share;
+* ``parest``     — several-LLC-way working set with reuse: benefits steadily
+  from every extra way;
+* ``xalancbmk``  — pointer-chasing over a mid-size set: cache-hungry,
+  latency-sensitive;
+* ``mcf``        — large sparse working set with some reuse;
+* ``bwaves``     — streaming reads far beyond LLC capacity: an antagonist
+  (>90% MLC *and* LLC miss rates, the paper's T5 signature);
+* ``lbm``        — streaming read-modify-write, the other detected
+  antagonist;
+* ``zswap``      — bonus profile mimicking the page-compression daemon the
+  paper names as a further antagonist class (§5.5).
+
+Working sets are paper-scale bytes run through the capacity scale.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro import config
+from repro.telemetry.pcm import PRIORITY_HIGH
+from repro.workloads.synthetic import (
+    AccessProfile,
+    PATTERN_RANDOM,
+    PATTERN_SEQUENTIAL,
+    SyntheticWorkload,
+)
+
+MB = 1024 * 1024
+
+
+def _profile(
+    ws_mb: float,
+    pattern: str,
+    write_fraction: float,
+    compute: float,
+    instructions: int,
+    repeats: int,
+) -> AccessProfile:
+    return AccessProfile(
+        working_set_lines=config.lines_for_paper_bytes(int(ws_mb * MB)),
+        pattern=pattern,
+        write_fraction=write_fraction,
+        compute_cycles=compute,
+        instructions_per_access=instructions,
+        repeats=repeats,
+    )
+
+
+SPEC_PROFILES: Dict[str, AccessProfile] = {
+    "x264": _profile(1.5, PATTERN_SEQUENTIAL, 0.10, 10.0, 16, 6),
+    "parest": _profile(8.0, PATTERN_RANDOM, 0.05, 4.0, 10, 2),
+    "xalancbmk": _profile(6.0, PATTERN_RANDOM, 0.05, 2.0, 7, 2),
+    "mcf": _profile(12.0, PATTERN_RANDOM, 0.10, 2.0, 6, 1),
+    "bwaves": _profile(60.0, PATTERN_SEQUENTIAL, 0.0, 3.0, 8, 1),
+    "lbm": _profile(80.0, PATTERN_SEQUENTIAL, 0.50, 3.0, 8, 1),
+    "zswap": _profile(100.0, PATTERN_RANDOM, 0.50, 1.0, 5, 1),
+}
+
+
+def spec_workload(
+    benchmark: str,
+    priority: str = PRIORITY_HIGH,
+    cores: int = 1,
+    name: str = "",
+) -> SyntheticWorkload:
+    """Instantiate one SPEC CPU2017 analogue (single-core SPECrate copy)."""
+    if benchmark not in SPEC_PROFILES:
+        raise KeyError(
+            f"unknown benchmark {benchmark!r}; have {sorted(SPEC_PROFILES)}"
+        )
+    return SyntheticWorkload(
+        name or benchmark, SPEC_PROFILES[benchmark], priority, cores
+    )

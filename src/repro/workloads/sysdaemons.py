@@ -1,0 +1,76 @@
+"""System-resource-management daemons named by the paper (§5.5) as non-I/O
+antagonists: KSM (kernel same-page merging) and zswap (compressed swap).
+
+Both stream over working sets far beyond the LLC with near-zero temporal
+locality, exactly the T5 signature pseudo LLC bypassing targets.  They come
+in a *phased* form (scan, sleep, scan...) so A4's phase-change restoration
+has something real to react to.
+"""
+
+from __future__ import annotations
+
+from repro import config
+from repro.telemetry.pcm import PRIORITY_LOW
+from repro.workloads.phased import PhasedWorkload
+from repro.workloads.synthetic import (
+    AccessProfile,
+    PATTERN_RANDOM,
+    PATTERN_SEQUENTIAL,
+    SyntheticWorkload,
+)
+
+MB = 1024 * 1024
+
+
+def _ksm_profile() -> AccessProfile:
+    # Page scanning: sequential reads over a huge region, light hashing.
+    return AccessProfile(
+        working_set_lines=config.lines_for_paper_bytes(128 * MB),
+        pattern=PATTERN_SEQUENTIAL,
+        write_fraction=0.02,  # occasional merge updates
+        compute_cycles=2.0,
+        instructions_per_access=6,
+    )
+
+
+def _zswap_profile() -> AccessProfile:
+    # Compress/decompress: read a page, write the compressed copy.
+    return AccessProfile(
+        working_set_lines=config.lines_for_paper_bytes(96 * MB),
+        pattern=PATTERN_RANDOM,
+        write_fraction=0.5,
+        compute_cycles=4.0,  # compression work per line
+        instructions_per_access=10,
+    )
+
+
+def ksm(
+    name: str = "ksm",
+    priority: str = PRIORITY_LOW,
+    phased: bool = False,
+    active_cycles: float = 6 * config.EPOCH_CYCLES,
+    idle_cycles: float = 6 * config.EPOCH_CYCLES,
+):
+    """The kernel same-page-merging scanner."""
+    profile = _ksm_profile()
+    if phased:
+        return PhasedWorkload(
+            name, profile, priority, active_cycles, idle_cycles
+        )
+    return SyntheticWorkload(name, profile, priority, cores=1)
+
+
+def zswap(
+    name: str = "zswap",
+    priority: str = PRIORITY_LOW,
+    phased: bool = False,
+    active_cycles: float = 6 * config.EPOCH_CYCLES,
+    idle_cycles: float = 6 * config.EPOCH_CYCLES,
+):
+    """The compressed-swap daemon."""
+    profile = _zswap_profile()
+    if phased:
+        return PhasedWorkload(
+            name, profile, priority, active_cycles, idle_cycles
+        )
+    return SyntheticWorkload(name, profile, priority, cores=1)

@@ -1,0 +1,57 @@
+"""X-Mem, Microsoft's extensible memory benchmark (paper §3.1, Table 3).
+
+Factories over the synthetic profile engine.  Working sets are quoted in
+paper megabytes and converted through the capacity scale, so the paper's
+constraint — e.g. 4 MB sits between two MLCs' and two LLC ways' capacity —
+is preserved in simulation.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro import config
+from repro.telemetry.pcm import PRIORITY_HIGH, PRIORITY_LOW
+from repro.workloads.synthetic import (
+    AccessProfile,
+    PATTERN_RANDOM,
+    PATTERN_SEQUENTIAL,
+    SyntheticWorkload,
+)
+
+MB = 1024 * 1024
+
+
+def xmem(
+    name: str = "xmem",
+    working_set_mb: float = 4.0,
+    pattern: str = PATTERN_SEQUENTIAL,
+    op: str = "read",
+    cores: int = 2,
+    priority: str = PRIORITY_HIGH,
+) -> SyntheticWorkload:
+    """An X-Mem instance with a paper-scale working set."""
+    if op not in ("read", "write"):
+        raise ValueError(f"unknown op {op!r}")
+    profile = AccessProfile(
+        working_set_lines=config.lines_for_paper_bytes(int(working_set_mb * MB)),
+        pattern=pattern,
+        write_fraction=1.0 if op == "write" else 0.0,
+        compute_cycles=2.0,
+        instructions_per_access=8,
+    )
+    return SyntheticWorkload(name, profile, priority, cores)
+
+
+def xmem_table3() -> List[SyntheticWorkload]:
+    """The three X-Mem instances of Table 3.
+
+    X-Mem 1: 4 MB sequential read (HPW, cache-sensitive);
+    X-Mem 2: 4 MB sequential write (LPW);
+    X-Mem 3: 10 MB random read (detected as an antagonist by A4).
+    """
+    return [
+        xmem("xmem1", 4.0, PATTERN_SEQUENTIAL, "read", cores=1, priority=PRIORITY_HIGH),
+        xmem("xmem2", 4.0, PATTERN_SEQUENTIAL, "write", cores=1, priority=PRIORITY_LOW),
+        xmem("xmem3", 10.0, PATTERN_RANDOM, "read", cores=1, priority=PRIORITY_LOW),
+    ]

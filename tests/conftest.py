@@ -1,0 +1,55 @@
+"""Shared fixtures: a small cache hierarchy and its supporting pieces."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache.hierarchy import CacheHierarchy, HierarchyConfig
+from repro.cache.llc import LlcConfig
+from repro.rdt.cat import CacheAllocation
+from repro.telemetry.counters import CounterBank
+from repro.uncore.iio import IIOAgent
+from repro.uncore.memory import MemoryController
+from repro.uncore.pcie import PcieComplex
+
+
+@pytest.fixture
+def bank() -> CounterBank:
+    return CounterBank()
+
+
+@pytest.fixture
+def cat() -> CacheAllocation:
+    return CacheAllocation()
+
+
+@pytest.fixture
+def memory(bank) -> MemoryController:
+    return MemoryController(bank)
+
+
+@pytest.fixture
+def hierarchy(bank, cat, memory) -> CacheHierarchy:
+    return CacheHierarchy(HierarchyConfig(cores=4), cat, memory, bank)
+
+
+@pytest.fixture
+def small_hierarchy(bank, cat, memory) -> CacheHierarchy:
+    """A tiny geometry for exhaustive state checks: 8 sets, 11 ways."""
+    cfg = HierarchyConfig(
+        cores=2,
+        llc=LlcConfig(sets=8),
+        mlc_sets=2,
+        mlc_ways=2,
+    )
+    return CacheHierarchy(cfg, cat, memory, bank)
+
+
+@pytest.fixture
+def pcie(bank) -> PcieComplex:
+    return PcieComplex(bank)
+
+
+@pytest.fixture
+def iio(hierarchy) -> IIOAgent:
+    return IIOAgent(hierarchy)

@@ -1,0 +1,53 @@
+"""Tests for the Default and Isolate baseline managers."""
+
+from repro.core.baselines import DefaultManager, IsolateManager
+from repro.experiments.harness import Server
+from repro.workloads.xmem import xmem
+
+
+def make_server(workloads):
+    server = Server(cores=sum(w.num_cores for w in workloads) + 1)
+    for w in workloads:
+        server.add_workload(w)
+    return server
+
+
+def test_default_leaves_full_masks():
+    server = make_server([xmem("a", 1.0, cores=2), xmem("b", 1.0, cores=1)])
+    server.set_manager(DefaultManager())
+    server.run(epochs=3, warmup=1)
+    assert server.cat.mask(server.clos_of("a")) == tuple(range(11))
+    assert server.cat.mask(server.clos_of("b")) == tuple(range(11))
+
+
+def test_isolate_partitions_proportionally():
+    server = make_server(
+        [xmem("big", 1.0, cores=4), xmem("small", 1.0, cores=1)]
+    )
+    server.set_manager(IsolateManager())
+    big = server.cat.mask(server.clos_of("big"))
+    small = server.cat.mask(server.clos_of("small"))
+    assert len(big) > len(small)
+    assert set(big).isdisjoint(small)
+    assert len(big) + len(small) == 11
+
+
+def test_isolate_handles_many_workloads():
+    workloads = [xmem(f"w{i}", 0.5, cores=1) for i in range(6)]
+    server = make_server(workloads)
+    server.set_manager(IsolateManager())
+    masks = [server.cat.mask(server.clos_of(w.name)) for w in workloads]
+    for mask in masks:
+        assert len(mask) >= 1
+    covered = set()
+    for mask in masks:
+        covered.update(mask)
+    assert covered <= set(range(11))
+
+
+def test_isolate_is_static():
+    server = make_server([xmem("a", 1.0, cores=1), xmem("b", 1.0, cores=1)])
+    server.set_manager(IsolateManager())
+    before = server.cat.mask(server.clos_of("a"))
+    server.run(epochs=4, warmup=1)
+    assert server.cat.mask(server.clos_of("a")) == before

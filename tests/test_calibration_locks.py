@@ -1,0 +1,90 @@
+"""Calibration locks: loose bands around the headline measured numbers.
+
+These exist so that future changes which silently break the calibration
+(DESIGN.md §1, docs/modeling_notes.md) fail a fast test rather than only a
+five-minute benchmark.  Bands are deliberately wide — they guard the
+*regime*, not the digit.
+"""
+
+import pytest
+
+from repro.experiments.figures.base import run_setup
+from repro.telemetry.pcm import PRIORITY_HIGH, PRIORITY_LOW
+from repro.workloads.dpdk import DpdkWorkload
+from repro.workloads.fio import FioWorkload
+
+KB = 1024
+MB = 1024 * KB
+
+
+@pytest.fixture(scope="module")
+def dpdk_alone():
+    return run_setup(
+        [DpdkWorkload(name="dpdk", touch=True, cores=4, packet_bytes=1514)],
+        epochs=5,
+    )
+
+
+def test_network_alone_is_unsaturated(dpdk_alone):
+    agg = dpdk_alone.aggregate("dpdk")
+    assert agg.packets_dropped == 0
+    # Queueing-dominated but healthy: within ~2 packet service times.
+    assert 300 < agg.avg_latency < 1500
+
+
+def test_network_alone_hits_in_dca(dpdk_alone):
+    agg = dpdk_alone.aggregate("dpdk")
+    assert agg.dca_miss_rate < 0.02
+
+
+def test_network_offered_load_utilisation(dpdk_alone):
+    # ~80% of consumer capacity at DCA-hit speeds (see config docstring).
+    agg = dpdk_alone.aggregate("dpdk")
+    assert agg.throughput == pytest.approx(0.16, rel=0.05)
+
+
+@pytest.fixture(scope="module")
+def fio_large():
+    return run_setup(
+        [FioWorkload(name="fio", block_bytes=2 * MB, cores=4, io_depth=32)],
+        epochs=5,
+    )
+
+
+def test_storage_saturation_band(fio_large):
+    # Device-bound regime: most of the 0.11 lines/cycle array bandwidth.
+    assert 0.05 < fio_large.aggregate("fio").throughput < 0.115
+
+
+def test_storage_large_blocks_leak_heavily(fio_large):
+    assert fio_large.aggregate("fio").dca_miss_rate > 0.8
+
+
+def test_storage_small_blocks_admission_bound():
+    run = run_setup(
+        [FioWorkload(name="fio", block_bytes=4 * KB, cores=4, io_depth=32)],
+        epochs=5,
+    )
+    # 1 line per ~60-cycle admission plus quantum effects.
+    assert run.aggregate("fio").throughput == pytest.approx(0.0139, rel=0.25)
+
+
+def test_storage_network_interference_band():
+    run = run_setup(
+        [
+            DpdkWorkload(
+                name="dpdk", touch=True, cores=4, packet_bytes=1514,
+                priority=PRIORITY_HIGH,
+            ),
+            FioWorkload(
+                name="fio", block_bytes=512 * KB, cores=4, io_depth=32,
+                priority=PRIORITY_LOW,
+            ),
+        ],
+        masks={"dpdk": (4, 5), "fio": (2, 3)},
+        epochs=6,
+    )
+    dpdk = run.aggregate("dpdk")
+    # Elevated tail, but not in the saturated 30k+ regime.
+    assert dpdk.p99_latency < 20_000
+    assert dpdk.throughput > 0.14

@@ -1,0 +1,71 @@
+"""Tests for the CAT model: masks, contiguity, associations."""
+
+import pytest
+
+from repro.rdt.cat import CacheAllocation, ClosConfigError, contiguous_mask
+
+
+def test_default_masks_are_full():
+    cat = CacheAllocation(ways=11)
+    assert cat.mask(0) == tuple(range(11))
+    assert cat.ways_for_core(3) == tuple(range(11))
+
+
+def test_set_mask_and_lookup():
+    cat = CacheAllocation()
+    cat.set_mask(1, range(5, 7))
+    assert cat.mask(1) == (5, 6)
+
+
+def test_contiguity_enforced():
+    cat = CacheAllocation()
+    with pytest.raises(ClosConfigError):
+        cat.set_mask(1, (0, 2))
+
+
+def test_empty_mask_rejected():
+    cat = CacheAllocation()
+    with pytest.raises(ClosConfigError):
+        cat.set_mask(1, ())
+
+
+def test_out_of_range_mask_rejected():
+    cat = CacheAllocation(ways=11)
+    with pytest.raises(ClosConfigError):
+        cat.set_mask(1, (10, 11))
+
+
+def test_invalid_clos_rejected():
+    cat = CacheAllocation(num_clos=4)
+    with pytest.raises(ClosConfigError):
+        cat.set_mask(4, (0,))
+    with pytest.raises(ClosConfigError):
+        cat.associate(0, -1)
+
+
+def test_association_changes_core_ways():
+    cat = CacheAllocation()
+    cat.set_mask(2, range(3, 5))
+    cat.associate(7, 2)
+    assert cat.clos_of(7) == 2
+    assert cat.ways_for_core(7) == (3, 4)
+    assert cat.clos_of(8) == 0  # unassociated cores use CLOS 0
+
+
+def test_duplicate_ways_normalised():
+    cat = CacheAllocation()
+    cat.set_mask(1, (4, 4, 5))
+    assert cat.mask(1) == (4, 5)
+
+
+def test_contiguous_mask_helper():
+    assert contiguous_mask(2, 4) == (2, 3, 4)
+    with pytest.raises(ClosConfigError):
+        contiguous_mask(5, 4)
+
+
+def test_associations_snapshot():
+    cat = CacheAllocation()
+    cat.associate(0, 1)
+    cat.associate(1, 2)
+    assert cat.associations() == {0: 1, 1: 2}

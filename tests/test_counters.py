@@ -1,0 +1,61 @@
+"""Tests for the counter bank and derived rates."""
+
+from repro.telemetry.counters import CounterBank, StreamCounters
+
+
+def test_stream_created_on_demand():
+    bank = CounterBank()
+    bank.stream("a").llc_hits += 1
+    assert bank.stream("a").llc_hits == 1
+    assert "a" in bank.streams
+
+
+def test_snapshot_and_delta():
+    c = StreamCounters(llc_hits=10, mem_reads=5)
+    snap = c.snapshot()
+    c.llc_hits += 3
+    c.mem_reads += 1
+    delta = c.delta(snap)
+    assert delta.llc_hits == 3 and delta.mem_reads == 1
+    assert snap.llc_hits == 10  # snapshot unchanged
+
+
+def test_hit_and_miss_rates():
+    c = StreamCounters(llc_hits=3, llc_misses=1)
+    assert c.llc_accesses == 4
+    assert c.llc_hit_rate == 0.75
+    assert c.llc_miss_rate == 0.25
+
+
+def test_rates_zero_when_idle():
+    c = StreamCounters()
+    assert c.llc_hit_rate == 0.0
+    assert c.mlc_miss_rate == 0.0
+    assert c.dca_miss_rate == 0.0
+
+
+def test_dca_miss_rate():
+    c = StreamCounters(io_reads=10, io_read_misses=4)
+    assert c.dca_miss_rate == 0.4
+
+
+def test_mlc_miss_rate():
+    c = StreamCounters(mlc_hits=1, mlc_misses=3)
+    assert c.mlc_miss_rate == 0.75
+
+
+def test_bank_total_aggregates_all_streams():
+    bank = CounterBank()
+    bank.stream("a").mem_reads = 2
+    bank.stream("b").mem_reads = 3
+    bank.stream("b").dma_leaks = 1
+    total = bank.total()
+    assert total.mem_reads == 5 and total.dma_leaks == 1
+
+
+def test_snapshot_all():
+    bank = CounterBank()
+    bank.stream("a").llc_hits = 7
+    snaps = bank.snapshot_all()
+    bank.stream("a").llc_hits = 9
+    assert snaps["a"].llc_hits == 7

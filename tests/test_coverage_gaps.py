@@ -1,0 +1,93 @@
+"""Targeted tests for paths the main files leave uncovered."""
+
+import pytest
+
+from repro.experiments.harness import Server
+from repro.experiments.report import FigureResult
+from repro.experiments.sweep import average_figure, run_repeated
+from repro.workloads.xmem import xmem
+
+
+class TestSweepErrorPaths:
+    def test_average_figure_requires_seeds(self):
+        with pytest.raises(ValueError):
+            average_figure(lambda seed: FigureResult("f", "t", ["c"]), seeds=())
+
+    def test_average_figure_rejects_shape_drift(self):
+        def runner(seed):
+            result = FigureResult("f", "t", ["v"])
+            for _ in range(seed):  # row count varies with the seed
+                result.add_row(v=1.0)
+            return result
+
+        with pytest.raises(RuntimeError):
+            average_figure(runner, seeds=(1, 2))
+
+    def test_average_figure_preserves_notes(self):
+        def runner(seed):
+            result = FigureResult("f", "t", ["v"], notes=["hello"])
+            result.add_row(v=float(seed))
+            return result
+
+        averaged = average_figure(runner, seeds=(2, 4))
+        assert averaged.notes == ["hello"]
+        assert averaged.rows[0]["v"] == 3.0
+
+
+class TestManagerEdges:
+    def test_manager_convenience_accessors(self):
+        from repro.core.baselines import DefaultManager
+
+        server = Server(cores=3)
+        server.add_workload(xmem("a", 1.0, cores=1))
+        manager = DefaultManager()
+        server.set_manager(manager)
+        manager.set_ways("a", 3, 5)
+        assert manager.ways_of("a") == (3, 4, 5)
+
+    def test_manager_port_dca_toggle(self):
+        from repro.core.baselines import DefaultManager
+        from repro.workloads.dpdk import DpdkWorkload
+
+        server = Server(cores=4)
+        workload = DpdkWorkload(name="net", cores=2)
+        server.add_workload(workload)
+        manager = DefaultManager()
+        server.set_manager(manager)
+        manager.set_port_dca(workload.port_id, enabled=False)
+        assert not server.pcie.port(workload.port_id).dca_enabled
+        manager.set_port_dca(workload.port_id, enabled=True)
+        assert server.pcie.port(workload.port_id).dca_enabled
+
+
+class TestA4NetworkBloatRelease:
+    def test_treatment_released_when_bloat_subsides(self):
+        from repro.core.a4 import A4Manager
+        from repro.core.policy import A4Policy
+        from tests.test_a4_fsm import FakeServer, FakeWorkload, make_sample
+
+        net = FakeWorkload("net", kind="network-io")
+        manager = A4Manager(A4Policy(network_bloat_bypass=True))
+        manager.attach(FakeServer([net]))
+        bloaty = {"net": dict(dma_writes=1000, dma_bloats=400)}
+        manager.on_epoch(
+            make_sample(0, {"net": 0.9}, bloaty, kinds={"net": "network-io"})
+        )
+        assert "net" in manager.bloat_treated
+        calm = {"net": dict(dma_writes=1000, dma_bloats=10)}
+        manager.on_epoch(
+            make_sample(1, {"net": 0.9}, calm, kinds={"net": "network-io"})
+        )
+        assert "net" not in manager.bloat_treated
+
+
+class TestRunRepeatedMemoryStats:
+    def test_memory_bandwidth_tracked(self):
+        def build(seed):
+            server = Server(cores=3, seed=seed)
+            server.add_workload(xmem("big", 20.0, cores=1))
+            return server
+
+        result = run_repeated(build, epochs=3, warmup=1, seeds=(1, 2))
+        assert result.mem_total_bw.mean > 0
+        assert len(result.mem_total_bw.values) == 2

@@ -1,0 +1,177 @@
+"""Tests for A4's detectors."""
+
+from repro.core.detectors import (
+    AntagonistState,
+    RestoreChecker,
+    cpu_antagonist_detected,
+    hpw_hit_rate_degraded,
+    hpw_phase_changed,
+    relative_change,
+    storage_leak_detected,
+)
+from repro.core.policy import A4Policy
+from repro.telemetry.counters import StreamCounters
+from repro.telemetry.pcm import (
+    EpochSample,
+    KIND_CPU,
+    KIND_NETWORK,
+    KIND_STORAGE,
+    StreamInfo,
+    StreamSample,
+)
+from repro.telemetry.latency import LatencyStats
+
+
+def make_stream(name, kind, counters):
+    return StreamSample(
+        name=name,
+        info=StreamInfo(name, kind=kind),
+        counters=counters,
+        latency=LatencyStats(),
+        epoch_cycles=10_000.0,
+    )
+
+
+def make_sample(streams):
+    return EpochSample(
+        index=0,
+        time=0.0,
+        epoch_cycles=10_000.0,
+        streams={s.name: s for s in streams},
+        mem_read_lines=0,
+        mem_write_lines=0,
+    )
+
+
+def leaky_storage(dma_writes=1000):
+    return make_stream(
+        "ssd",
+        KIND_STORAGE,
+        StreamCounters(
+            io_reads=1000,
+            io_read_misses=800,
+            llc_hits=100,
+            llc_misses=900,
+            dma_writes=dma_writes,
+        ),
+    )
+
+
+def test_relative_change():
+    assert relative_change(1.1, 1.0) == 0.10000000000000009
+    assert relative_change(0.0, 0.0) == 0.0
+    assert relative_change(1.0, 0.0) == 1.0
+
+
+def test_storage_leak_detected_positive():
+    policy = A4Policy()
+    stream = leaky_storage()
+    sample = make_sample([stream])
+    assert storage_leak_detected(policy, sample, stream)
+
+
+def test_storage_leak_requires_storage_dominance():
+    policy = A4Policy()
+    ssd = leaky_storage(dma_writes=100)
+    nic = make_stream("nic", KIND_NETWORK, StreamCounters(dma_writes=900))
+    sample = make_sample([ssd, nic])
+    # storage share = 10% < T3 (35%)
+    assert not storage_leak_detected(policy, sample, ssd)
+
+
+def test_storage_leak_requires_dca_misses():
+    policy = A4Policy()
+    stream = make_stream(
+        "ssd",
+        KIND_STORAGE,
+        StreamCounters(io_reads=1000, io_read_misses=10, llc_misses=900, llc_hits=100, dma_writes=100),
+    )
+    assert not storage_leak_detected(policy, make_sample([stream]), stream)
+
+
+def test_storage_leak_ignores_idle_stream():
+    policy = A4Policy()
+    stream = make_stream("ssd", KIND_STORAGE, StreamCounters(io_reads=5, io_read_misses=5))
+    assert not storage_leak_detected(policy, make_sample([stream]), stream)
+
+
+def test_cpu_antagonist_detection():
+    policy = A4Policy()
+    antagonist = make_stream(
+        "bwaves",
+        KIND_CPU,
+        StreamCounters(mlc_hits=5, mlc_misses=995, llc_hits=5, llc_misses=995),
+    )
+    friendly = make_stream(
+        "x264",
+        KIND_CPU,
+        StreamCounters(mlc_hits=900, mlc_misses=100, llc_hits=90, llc_misses=10),
+    )
+    assert cpu_antagonist_detected(policy, antagonist)
+    assert not cpu_antagonist_detected(policy, friendly)
+
+
+def test_cpu_antagonist_needs_activity():
+    policy = A4Policy()
+    idle = make_stream("idle", KIND_CPU, StreamCounters(mlc_misses=10, llc_misses=10))
+    assert not cpu_antagonist_detected(policy, idle)
+
+
+def test_hpw_degradation_thresholds():
+    policy = A4Policy()
+    assert hpw_hit_rate_degraded(policy, baseline_hit_rate=0.9, current_hit_rate=0.6)
+    assert not hpw_hit_rate_degraded(policy, 0.9, 0.8)
+    assert not hpw_hit_rate_degraded(policy, 0.0, 0.0)
+
+
+def test_phase_change_is_two_sided():
+    policy = A4Policy()
+    assert hpw_phase_changed(policy, 0.5, 0.9)  # improvement beyond T1
+    assert hpw_phase_changed(policy, 0.9, 0.5)
+    assert not hpw_phase_changed(policy, 0.9, 0.85)
+
+
+def test_restore_checker_cpu_after_phase_end():
+    policy = A4Policy()
+    checker = RestoreChecker(policy)
+    state = AntagonistState(
+        name="bwaves", kind="cpu", original_priority="LPW",
+        detection_metric=0.99, span_left=8, grace_epochs=0,
+    )
+    still_bad = make_stream(
+        "bwaves", KIND_CPU,
+        StreamCounters(mlc_hits=5, mlc_misses=995, llc_hits=5, llc_misses=995),
+    )
+    recovered = make_stream(
+        "bwaves", KIND_CPU,
+        StreamCounters(mlc_hits=600, mlc_misses=400, llc_hits=600, llc_misses=400),
+    )
+    assert not checker.should_restore(state, still_bad)
+    assert checker.should_restore(state, recovered)
+
+
+def test_restore_checker_grace_blocks_and_rebases():
+    policy = A4Policy()
+    checker = RestoreChecker(policy)
+    state = AntagonistState(
+        name="ssd", kind="storage", original_priority="LPW",
+        detection_metric=0.05, span_left=8, grace_epochs=2,
+    )
+    counters = StreamCounters(io_bytes_completed=64 * 1000)
+    stream = make_stream("ssd", KIND_STORAGE, counters)
+    assert not checker.should_restore(state, stream)  # grace 2 -> 1
+    assert not checker.should_restore(state, stream)  # grace 1 -> 0, re-base
+    assert state.detection_metric == stream.io_throughput_lines_per_cycle
+    # Same throughput now: no restore.
+    assert not checker.should_restore(state, stream)
+
+
+def test_restore_checker_storage_phase_change():
+    policy = A4Policy()
+    checker = RestoreChecker(policy)
+    state = AntagonistState(
+        name="ssd", kind="storage", original_priority="LPW",
+        detection_metric=0.10, span_left=8, grace_epochs=0,
+    )
+    crashed = make_stream("ssd", KIND_STORAGE, StreamCounters(io_bytes_completed=64))
+    assert checker.should_restore(state, crashed)

@@ -1,0 +1,67 @@
+"""Tests for the DPDK workload model."""
+
+import pytest
+
+from repro.experiments.harness import Server
+from repro.workloads.dpdk import DpdkWorkload
+
+
+def run_dpdk(touch=True, epochs=5, **kwargs):
+    server = Server(cores=6)
+    workload = DpdkWorkload(name="dpdk", touch=touch, cores=4, **kwargs)
+    server.add_workload(workload)
+    return server, workload, server.run(epochs=epochs, warmup=1)
+
+
+def test_descriptor_and_payload_reads_counted():
+    server, workload, result = run_dpdk(touch=True, packet_bytes=1024)
+    counters = server.counters.stream("dpdk")
+    assert counters.io_reads > 0
+    assert counters.io_requests_completed > 0
+    # 16 lines per packet -> io reads ~= 16x packets
+    assert counters.io_reads >= counters.io_requests_completed * 16
+
+
+def test_no_touch_reads_only_descriptor():
+    server, workload, result = run_dpdk(touch=False, packet_bytes=1024)
+    counters = server.counters.stream("dpdk")
+    assert counters.io_reads == pytest.approx(counters.io_requests_completed, abs=4)
+
+
+def test_latency_components_recorded():
+    server, workload, result = run_dpdk(touch=True)
+    agg = result.aggregate("dpdk")
+    assert agg.requests > 0
+    assert set(agg.latency_components) == {"queueing", "access", "processing"}
+    assert agg.avg_latency > 0
+
+
+def test_no_touch_has_zero_processing():
+    server, workload, result = run_dpdk(touch=False)
+    agg = result.aggregate("dpdk")
+    assert agg.latency_components["processing"] == 0.0
+
+
+def test_throughput_tracks_offered_load():
+    server, workload, result = run_dpdk(touch=True, line_rate=0.05)
+    agg = result.aggregate("dpdk")
+    assert agg.throughput == pytest.approx(0.05, rel=0.2)
+    assert agg.packets_dropped == 0
+
+
+def test_one_ring_per_core():
+    server, workload, _ = run_dpdk()
+    assert len(workload.rings) == 4
+    assert workload.port_id is not None
+
+
+def test_overload_produces_drops():
+    server, workload, result = run_dpdk(touch=True, line_rate=0.5, epochs=4)
+    agg = result.aggregate("dpdk")
+    assert agg.packets_dropped > 0
+    assert agg.throughput < 0.5
+
+
+def test_payload_parallelism_validation():
+    with pytest.raises(ValueError):
+        DpdkWorkload(payload_parallelism=0.5)

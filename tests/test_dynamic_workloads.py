@@ -1,0 +1,74 @@
+"""Dynamic launch/termination (paper Fig. 9 step 1, §5.6 condition 1)."""
+
+from repro.core.a4 import A4Manager, PHASE_BASELINE
+from repro.core.baselines import IsolateManager
+from repro.core.policy import A4Policy
+from repro.experiments.harness import Server
+from repro.workloads.dpdk import DpdkWorkload
+from repro.workloads.fio import FioWorkload
+from repro.workloads.xmem import xmem
+
+MB = 1024 * 1024
+
+
+def test_launch_triggers_a4_reallocation():
+    server = Server(cores=10)
+    server.add_workload(xmem("hp", 1.0, cores=1, priority="HPW"))
+    server.add_workload(xmem("lp", 1.0, cores=1, priority="LPW"))
+    manager = A4Manager(A4Policy())
+    server.set_manager(manager)
+    server.run(epochs=6, warmup=2)
+    # No I/O HPW yet: LP Zone sits at the right edge incl. inclusive ways.
+    assert manager.layout.lp_right == 10
+    reallocs_before = manager.reallocations
+
+    server.add_workload(
+        DpdkWorkload(name="net", touch=True, cores=4, priority="HPW")
+    )
+    assert manager.reallocations == reallocs_before + 1
+    assert manager.phase == PHASE_BASELINE
+    # I/O HPW present now: safeguarding kicks in.
+    assert manager.layout.lp_right == 8
+    assert manager.ways_of("lp")[-1] == 8
+
+    server.run(epochs=6, warmup=2)
+    assert manager.ways_of("net") == tuple(range(0, 11))
+
+
+def test_termination_restores_layout_and_drops_antagonist_state():
+    server = Server(cores=10)
+    server.add_workload(
+        DpdkWorkload(name="net", touch=True, cores=2, priority="HPW")
+    )
+    fio = FioWorkload(name="fio", block_bytes=2 * MB, cores=2, priority="LPW")
+    server.add_workload(fio)
+    manager = A4Manager(A4Policy())
+    server.set_manager(manager)
+    server.run(epochs=10, warmup=2)
+    assert "fio" in manager.antagonists
+
+    server.terminate_workload("fio")
+    assert "fio" not in manager.antagonists
+    assert "fio" not in manager.demoted
+    assert not any(w.name == "fio" for w in server.workloads)
+
+
+def test_isolate_repartitions_on_launch():
+    server = Server(cores=10)
+    server.add_workload(xmem("a", 1.0, cores=2))
+    manager = IsolateManager()
+    server.set_manager(manager)
+    assert server.cat.mask(server.clos_of("a")) == tuple(range(11))
+
+    server.add_workload(xmem("b", 1.0, cores=2))
+    mask_a = server.cat.mask(server.clos_of("a"))
+    mask_b = server.cat.mask(server.clos_of("b"))
+    assert set(mask_a).isdisjoint(mask_b)
+    assert len(mask_a) + len(mask_b) == 11
+
+
+def test_pcm_stops_reporting_terminated_workload_info():
+    server = Server(cores=4)
+    server.add_workload(xmem("a", 1.0, cores=1))
+    server.terminate_workload("a")
+    assert "a" not in server.pcm.infos

@@ -1,0 +1,45 @@
+"""Tests for the Fastclick and FFSB real-world workload factories."""
+
+from repro.workloads.fastclick import fastclick
+from repro.workloads.ffsb import ffsb_heavy, ffsb_light
+
+KB = 1024
+MB = 1024 * KB
+
+
+def test_fastclick_matches_table2():
+    w = fastclick()
+    assert w.num_cores == 4
+    assert w.packet_bytes == 1024
+    assert w.touch
+    assert w.kind == "network-io"
+
+
+def test_fastclick_processing_heavier_than_dpdk_micro():
+    from repro.workloads.dpdk import DpdkWorkload
+
+    micro = DpdkWorkload()
+    fc = fastclick()
+    assert fc.processing_cycles_per_line > micro.processing_cycles_per_line
+
+
+def test_ffsb_heavy_matches_table2():
+    w = ffsb_heavy()
+    assert w.num_cores == 3
+    assert w.block_bytes == 2 * MB
+    assert w.kind == "storage-io"
+
+
+def test_ffsb_light_matches_table2():
+    w = ffsb_light()
+    assert w.num_cores == 1
+    assert w.block_bytes == 32 * KB
+
+
+def test_heavy_blocks_dwarf_light_blocks():
+    assert ffsb_heavy().block_lines > 10 * ffsb_light().block_lines
+
+
+def test_custom_priority_propagates():
+    assert fastclick(priority="LPW").priority == "LPW"
+    assert ffsb_heavy(priority="HPW").priority == "HPW"

@@ -1,0 +1,101 @@
+"""Tests for the server harness and run aggregation."""
+
+import pytest
+
+from repro.experiments.harness import Server
+from repro.workloads.xmem import xmem
+
+
+def test_core_allocation_is_exclusive():
+    server = Server(cores=4)
+    a = server.alloc_cores(2)
+    b = server.alloc_cores(2)
+    assert set(a).isdisjoint(b)
+    with pytest.raises(RuntimeError):
+        server.alloc_cores(1)
+
+
+def test_region_allocation_never_overlaps():
+    server = Server(cores=2)
+    r1 = server.alloc_region(100)
+    r2 = server.alloc_region(50)
+    assert r2 >= r1 + 100
+
+
+def test_ports_get_unique_ids():
+    server = Server(cores=2)
+    p0 = server.add_port("nic")
+    p1 = server.add_port("ssd")
+    assert p0.port_id != p1.port_id
+    assert server.pcie.port(p0.port_id) is p0
+
+
+def test_add_workload_assigns_clos_and_registers():
+    server = Server(cores=4)
+    workload = server.add_workload(xmem("a", 1.0, cores=2))
+    clos = server.clos_of("a")
+    assert clos >= 1
+    for core in workload.cores:
+        assert server.cat.clos_of(core) == clos
+    assert "a" in server.pcm.infos
+
+
+def test_workload_lookup():
+    server = Server(cores=4)
+    server.add_workload(xmem("a", 1.0, cores=1))
+    assert server.workload("a").name == "a"
+    with pytest.raises(KeyError):
+        server.workload("nope")
+
+
+def test_run_produces_epoch_samples():
+    server = Server(cores=2)
+    server.add_workload(xmem("a", 1.0, cores=1))
+    result = server.run(epochs=5, warmup=2)
+    assert len(result.samples) == 5
+    assert len(result.window) == 3
+    assert result.samples[0].time == server.epoch_cycles
+
+
+def test_run_requires_more_epochs_than_warmup():
+    server = Server(cores=2)
+    server.add_workload(xmem("a", 1.0, cores=1))
+    with pytest.raises(ValueError):
+        server.run(epochs=2, warmup=2)
+
+
+def test_aggregate_means_over_window():
+    server = Server(cores=2)
+    server.add_workload(xmem("a", 1.0, cores=1))
+    result = server.run(epochs=6, warmup=2)
+    agg = result.aggregate("a")
+    assert agg.ipc > 0
+    assert 0.0 <= agg.llc_hit_rate <= 1.0
+
+
+def test_aggregate_unknown_stream_is_empty():
+    server = Server(cores=2)
+    server.add_workload(xmem("a", 1.0, cores=1))
+    result = server.run(epochs=4, warmup=1)
+    agg = result.aggregate("ghost")
+    assert agg.ipc == 0.0 and agg.requests == 0
+
+
+def test_summary_renders_all_streams():
+    server = Server(cores=3)
+    server.add_workload(xmem("alpha", 1.0, cores=1))
+    server.add_workload(xmem("beta", 1.0, cores=1))
+    result = server.run(epochs=4, warmup=1)
+    text = result.summary()
+    assert "alpha" in text and "beta" in text and "memory bandwidth" in text
+
+
+def test_deterministic_given_seed():
+    def one(seed):
+        server = Server(cores=3, seed=seed)
+        server.add_workload(xmem("a", 2.0, cores=1, pattern="rand"))
+        result = server.run(epochs=4, warmup=1)
+        return result.aggregate("a").ipc
+
+    assert one(1) == one(1)
+    assert one(1) != one(2)

@@ -1,0 +1,63 @@
+"""End-to-end scheme comparison: A4 must beat Default for HPWs without
+notably hurting LPWs (the paper's headline claim), on the §7.1
+microbenchmark combination."""
+
+import pytest
+
+from repro.experiments.scenarios import build_server, microbenchmark_workloads
+
+MB = 1024 * 1024
+EPOCHS = 22
+WARMUP = 6
+
+
+@pytest.fixture(scope="module")
+def results():
+    out = {}
+    for scheme in ("default", "isolate", "a4"):
+        server = build_server(microbenchmark_workloads(), scheme=scheme)
+        out[scheme] = server.run(epochs=EPOCHS, warmup=WARMUP)
+    return out
+
+
+def test_a4_improves_hpw_network_latency(results):
+    default = results["default"].aggregate("dpdk-t")
+    a4 = results["a4"].aggregate("dpdk-t")
+    assert a4.avg_latency < 0.7 * default.avg_latency
+
+
+def test_a4_improves_hpw_xmem_ipc(results):
+    default = results["default"].aggregate("xmem1")
+    a4 = results["a4"].aggregate("xmem1")
+    assert a4.ipc > 1.3 * default.ipc  # paper: 1.3x-1.78x
+
+
+def test_a4_keeps_hpw_hit_rate_high(results):
+    assert results["a4"].aggregate("xmem1").llc_hit_rate > 0.9
+
+
+def test_a4_does_not_crush_lpws(results):
+    for lpw in ("xmem2", "xmem3"):
+        default = results["default"].aggregate(lpw)
+        a4 = results["a4"].aggregate(lpw)
+        assert a4.ipc > 0.6 * default.ipc
+
+
+def test_a4_keeps_storage_throughput(results):
+    default = results["default"].aggregate("fio")
+    a4 = results["a4"].aggregate("fio")
+    assert a4.throughput == pytest.approx(default.throughput, rel=0.15)
+
+
+def test_a4_detects_fio_as_storage_antagonist(results):
+    server = build_server(microbenchmark_workloads(), scheme="a4")
+    server.run(epochs=12, warmup=4)
+    manager = server.manager
+    assert "fio" in manager.antagonists
+    assert manager.antagonists["fio"].kind == "storage"
+
+
+def test_isolate_is_not_better_than_a4_for_hpws(results):
+    isolate = results["isolate"].aggregate("xmem1")
+    a4 = results["a4"].aggregate("xmem1")
+    assert a4.ipc >= isolate.ipc

@@ -1,0 +1,158 @@
+"""Integration tests: the paper's observations O1–O5 must hold end-to-end.
+
+These run small versions of the motivation experiments (Figs. 3–8) and
+assert the *shape* of each result — who contends with whom, and which knob
+removes the contention.
+"""
+
+import pytest
+
+from repro.experiments.figures.base import run_setup
+from repro.telemetry.pcm import PRIORITY_HIGH, PRIORITY_LOW
+from repro.workloads.dpdk import DpdkWorkload
+from repro.workloads.fio import FioWorkload
+from repro.workloads.xmem import xmem
+
+KB = 1024
+MB = 1024 * KB
+EPOCHS = 6
+
+
+def contention_run(touch, xmem_ways, dca_off=()):
+    return run_setup(
+        [
+            DpdkWorkload(
+                name="dpdk", touch=touch, cores=4, packet_bytes=1024,
+                priority=PRIORITY_HIGH,
+            ),
+            xmem("xmem", 4.0, cores=2, priority=PRIORITY_LOW),
+        ],
+        masks={"dpdk": (5, 6), "xmem": xmem_ways},
+        dca_off=dca_off,
+        epochs=EPOCHS,
+    )
+
+
+class TestO1DirectoryContention:
+    """O1: consumed DMA lines migrate to inclusive ways and evict whoever
+    was allocated there."""
+
+    def test_dpdk_t_hurts_xmem_in_inclusive_ways(self):
+        run = contention_run(touch=True, xmem_ways=(9, 10))
+        assert run.aggregate("xmem").llc_miss_rate > 0.5
+
+    def test_dpdk_nt_leaves_inclusive_ways_alone(self):
+        run = contention_run(touch=False, xmem_ways=(9, 10))
+        assert run.aggregate("xmem").llc_miss_rate < 0.15
+
+    def test_standard_ways_are_safe_either_way(self):
+        for touch in (True, False):
+            run = contention_run(touch=touch, xmem_ways=(3, 4))
+            assert run.aggregate("xmem").llc_miss_rate < 0.1
+
+    def test_disabling_dca_removes_directory_contention(self):
+        run = contention_run(touch=True, xmem_ways=(9, 10), dca_off=("dpdk",))
+        assert run.aggregate("xmem").llc_miss_rate < 0.15
+
+
+class TestLatentContentionAndBloat:
+    """The previously known contentions must also reproduce (§2.2)."""
+
+    def test_latent_contention_in_dca_ways(self):
+        run = contention_run(touch=False, xmem_ways=(0, 1))
+        assert run.aggregate("xmem").llc_miss_rate > 0.5
+
+    def test_dma_bloat_in_shared_ways_requires_touch(self):
+        touched = contention_run(touch=True, xmem_ways=(5, 6))
+        untouched = contention_run(touch=False, xmem_ways=(5, 6))
+        assert touched.aggregate("xmem").llc_miss_rate > 0.25
+        assert untouched.aggregate("xmem").llc_miss_rate < 0.1
+
+
+class TestO2StorageContention:
+    """O2: large-block storage I/O floods the DCA ways and inflates
+    network latency; it gains nothing from DCA itself."""
+
+    def co_run(self, block_bytes, dca_off=()):
+        return run_setup(
+            [
+                DpdkWorkload(
+                    name="dpdk", touch=True, cores=4, packet_bytes=1514,
+                    priority=PRIORITY_HIGH,
+                ),
+                FioWorkload(
+                    name="fio", block_bytes=block_bytes, cores=4, io_depth=32,
+                    priority=PRIORITY_LOW,
+                ),
+            ],
+            masks={"dpdk": (4, 5), "fio": (2, 3)},
+            dca_off=dca_off,
+            epochs=EPOCHS,
+        )
+
+    def test_large_blocks_inflate_network_tail_latency(self):
+        small = self.co_run(32 * KB)
+        large = self.co_run(2 * MB)
+        assert (
+            large.aggregate("dpdk").p99_latency
+            > 1.5 * small.aggregate("dpdk").p99_latency
+        )
+
+    def test_storage_leaks_at_large_blocks(self):
+        large = self.co_run(2 * MB)
+        assert large.aggregate("fio").dma_leaks > 0
+        assert large.aggregate("fio").dca_miss_rate > 0.4
+
+    def test_o4_selective_dca_disable_restores_network(self):
+        with_dca = self.co_run(2 * MB)
+        ssd_off = self.co_run(2 * MB, dca_off=("fio",))
+        assert (
+            ssd_off.aggregate("dpdk").p99_latency
+            < with_dca.aggregate("dpdk").p99_latency
+        )
+        # FIO throughput uncompromised (O4).
+        assert ssd_off.aggregate("fio").throughput == pytest.approx(
+            with_dca.aggregate("fio").throughput, rel=0.1
+        )
+
+    def test_full_dca_disable_is_unacceptable_for_network(self):
+        ssd_off = self.co_run(2 * MB, dca_off=("fio",))
+        all_off = self.co_run(2 * MB, dca_off=("fio", "dpdk"))
+        assert (
+            all_off.aggregate("dpdk").avg_latency
+            > 5 * ssd_off.aggregate("dpdk").avg_latency
+        )
+
+
+class TestO5TrashWays:
+    """O5: shrinking a DCA-disabled storage workload to one standard way
+    protects bystanders without hurting storage throughput."""
+
+    def run_with_fio_ways(self, n):
+        return run_setup(
+            [
+                FioWorkload(
+                    name="fio", block_bytes=2 * MB, cores=4, io_depth=32,
+                    priority=PRIORITY_LOW,
+                ),
+                xmem("xmem", 4.0, cores=2, priority=PRIORITY_HIGH),
+            ],
+            masks={"fio": (2, n), "xmem": (2, 5)},
+            dca_off=("fio",),
+            epochs=EPOCHS,
+        )
+
+    def test_fewer_trash_ways_protect_bystander(self):
+        wide = self.run_with_fio_ways(5)
+        narrow = self.run_with_fio_ways(2)
+        assert (
+            narrow.aggregate("xmem").llc_miss_rate
+            < wide.aggregate("xmem").llc_miss_rate
+        )
+
+    def test_storage_throughput_insensitive_to_ways(self):
+        wide = self.run_with_fio_ways(5)
+        narrow = self.run_with_fio_ways(2)
+        assert narrow.aggregate("fio").throughput == pytest.approx(
+            wide.aggregate("fio").throughput, rel=0.1
+        )

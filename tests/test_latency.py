@@ -1,0 +1,57 @@
+"""Tests for the latency percentile tracker."""
+
+import pytest
+
+from repro.telemetry.latency import LatencyTracker, percentile
+
+
+def test_percentile_nearest_rank():
+    values = sorted(float(v) for v in range(1, 101))
+    assert percentile(values, 0.0) == 1.0
+    assert percentile(values, 0.99) == 100.0
+    assert percentile(values, 0.50) == 51.0
+
+
+def test_percentile_empty():
+    assert percentile([], 0.99) == 0.0
+
+
+def test_percentile_bounds():
+    with pytest.raises(ValueError):
+        percentile([1.0], 1.5)
+
+
+def test_flush_summarises_and_clears():
+    tracker = LatencyTracker()
+    for v in (10.0, 20.0, 30.0):
+        tracker.record(v)
+    stats = tracker.flush()
+    assert stats.count == 3
+    assert stats.mean == 20.0
+    assert stats.p50 == 20.0
+    assert tracker.pending() == 0
+    assert tracker.flush().count == 0
+
+
+def test_negative_latency_rejected():
+    tracker = LatencyTracker()
+    with pytest.raises(ValueError):
+        tracker.record(-1.0)
+
+
+def test_component_breakdown_means():
+    tracker = LatencyTracker()
+    tracker.record(10.0, components={"queueing": 4.0, "access": 6.0})
+    tracker.record(20.0, components={"queueing": 8.0, "access": 12.0})
+    stats = tracker.flush()
+    assert stats.components == {"queueing": 6.0, "access": 9.0}
+
+
+def test_p99_tracks_tail():
+    tracker = LatencyTracker()
+    for _ in range(99):
+        tracker.record(1.0)
+    tracker.record(1000.0)
+    stats = tracker.flush()
+    assert stats.p99 == 1000.0
+    assert stats.mean < 20.0

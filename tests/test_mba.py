@@ -1,0 +1,64 @@
+"""Tests for the MBA model and its hierarchy integration."""
+
+import pytest
+
+from repro.rdt.cat import ClosConfigError
+from repro.rdt.mba import MemoryBandwidthAllocation, VALID_DELAYS
+from repro.experiments.harness import Server
+from repro.workloads.xmem import xmem
+
+
+def test_default_is_unthrottled():
+    mba = MemoryBandwidthAllocation()
+    assert mba.delay_of(0) == 0
+    assert mba.latency_factor(0) == 1.0
+
+
+def test_delay_steps_enforced():
+    mba = MemoryBandwidthAllocation()
+    mba.set_delay(1, 50)
+    assert mba.delay_of(1) == 50
+    with pytest.raises(ClosConfigError):
+        mba.set_delay(1, 55)
+    with pytest.raises(ClosConfigError):
+        mba.set_delay(99, 10)
+    assert 0 in VALID_DELAYS and 90 in VALID_DELAYS
+
+
+def test_latency_factor_curve():
+    mba = MemoryBandwidthAllocation()
+    mba.set_delay(1, 50)
+    mba.set_delay(2, 90)
+    assert mba.latency_factor(1) == pytest.approx(2.0)
+    assert mba.latency_factor(2) == pytest.approx(10.0)
+    assert mba.latency_factor(7) == 1.0  # untouched CLOS
+
+
+def test_throttled_workload_slows_down():
+    def run(delay):
+        server = Server(cores=2)
+        server.add_workload(xmem("mem", 20.0, cores=1))  # streaming
+        if delay:
+            server.mba.set_delay(server.clos_of("mem"), delay)
+        result = server.run(epochs=4, warmup=1)
+        return result.aggregate("mem").ipc
+
+    free = run(0)
+    throttled = run(90)
+    assert throttled < 0.25 * free
+
+
+def test_cache_hits_unaffected_by_mba():
+    server = Server(cores=2)
+    server.add_workload(xmem("hot", 0.25, cores=1))  # fits the MLC
+    server.mba.set_delay(server.clos_of("hot"), 90)
+    result = server.run(epochs=4, warmup=1)
+    # MLC-resident workload: throttling memory changes nothing.
+    assert result.aggregate("hot").mlc_miss_rate < 0.05
+    assert result.aggregate("hot").ipc > 0.1
+
+
+def test_delays_snapshot():
+    mba = MemoryBandwidthAllocation(num_clos=4)
+    mba.set_delay(3, 20)
+    assert mba.delays() == {0: 0, 1: 0, 2: 0, 3: 20}

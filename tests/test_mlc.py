@@ -1,0 +1,79 @@
+"""Tests for the mid-level cache model."""
+
+import pytest
+
+from repro.cache.line import MlcLine
+from repro.cache.mlc import MidLevelCache
+
+
+def make(sets=4, ways=2):
+    return MidLevelCache(core_id=0, sets=sets, ways=ways)
+
+
+def test_insert_and_lookup():
+    mlc = make()
+    mlc.insert(MlcLine(addr=4, stream="s"))
+    assert mlc.lookup(4) is not None
+    assert mlc.lookup(8) is None
+
+
+def test_capacity_and_occupancy():
+    mlc = make(sets=4, ways=2)
+    assert mlc.capacity_lines == 8
+    for addr in range(8):
+        mlc.insert(MlcLine(addr=addr, stream="s"))
+    assert mlc.occupancy() == 8
+
+
+def test_eviction_is_lru_within_set():
+    mlc = make(sets=1, ways=2)
+    mlc.insert(MlcLine(addr=0, stream="s"))
+    mlc.insert(MlcLine(addr=1, stream="s"))
+    mlc.lookup(0)  # make addr 0 most-recent
+    victim = mlc.insert(MlcLine(addr=2, stream="s"))
+    assert victim is not None and victim.addr == 1
+
+
+def test_conflict_only_within_same_set():
+    mlc = make(sets=4, ways=1)
+    assert mlc.insert(MlcLine(addr=0, stream="s")) is None
+    assert mlc.insert(MlcLine(addr=1, stream="s")) is None  # different set
+    victim = mlc.insert(MlcLine(addr=4, stream="s"))  # maps to set 0
+    assert victim is not None and victim.addr == 0
+
+
+def test_double_insert_raises():
+    mlc = make()
+    mlc.insert(MlcLine(addr=3, stream="s"))
+    with pytest.raises(ValueError):
+        mlc.insert(MlcLine(addr=3, stream="s"))
+
+
+def test_invalidate_returns_line_and_removes():
+    mlc = make()
+    mlc.insert(MlcLine(addr=5, stream="s", dirty=True))
+    dropped = mlc.invalidate(5)
+    assert dropped is not None and dropped.dirty
+    assert mlc.lookup(5) is None
+    assert mlc.invalidate(5) is None
+
+
+def test_peek_does_not_touch_lru():
+    mlc = make(sets=1, ways=2)
+    mlc.insert(MlcLine(addr=0, stream="s"))
+    mlc.insert(MlcLine(addr=1, stream="s"))
+    mlc.peek(0)  # must NOT refresh addr 0
+    victim = mlc.insert(MlcLine(addr=2, stream="s"))
+    assert victim.addr == 0
+
+
+def test_resident_iterates_all():
+    mlc = make()
+    for addr in (0, 1, 2):
+        mlc.insert(MlcLine(addr=addr, stream="s"))
+    assert sorted(line.addr for line in mlc.resident()) == [0, 1, 2]
+
+
+def test_invalid_geometry_rejected():
+    with pytest.raises(ValueError):
+        MidLevelCache(core_id=0, sets=0, ways=2)

@@ -1,0 +1,37 @@
+"""Tests for the CMT-style occupancy monitor."""
+
+from repro.rdt.monitor import OccupancyMonitor
+
+
+def test_per_stream_counts(hierarchy):
+    monitor = OccupancyMonitor(hierarchy.llc)
+    hierarchy.dma_write(0.0, 1, "nic", allocating=True)
+    hierarchy.dma_write(0.0, 2, "nic", allocating=True)
+    assert monitor.per_stream() == {"nic": 2}
+
+
+def test_per_way_counts(hierarchy):
+    monitor = OccupancyMonitor(hierarchy.llc)
+    hierarchy.dma_write(0.0, 1, "nic", allocating=True)
+    by_way = monitor.per_way()
+    assert sum(by_way.values()) == 1
+    assert by_way[0] + by_way[1] == 1  # DCA ways
+
+
+def test_footprint_in_ways(hierarchy, cat):
+    monitor = OccupancyMonitor(hierarchy.llc)
+    cat.set_mask(1, range(5, 7))
+    cat.associate(0, 1)
+    for addr in range(hierarchy.cfg.mlc_sets * hierarchy.cfg.mlc_ways + 32):
+        hierarchy.cpu_access(0.0, 0, addr, "app")
+    assert monitor.stream_footprint_in_ways("app", (5, 6)) > 0
+    assert monitor.stream_footprint_in_ways("app", (0, 1)) == 0
+
+
+def test_per_stream_and_way(hierarchy):
+    monitor = OccupancyMonitor(hierarchy.llc)
+    hierarchy.dma_write(0.0, 1, "nic", allocating=True)
+    combos = monitor.per_stream_and_way()
+    assert sum(combos.values()) == 1
+    ((stream, way),) = combos.keys()
+    assert stream == "nic" and way in (0, 1)

@@ -1,0 +1,124 @@
+"""Tests for the NVMe SSD model: admission serialisation, concurrency,
+progressive DMA, and the throughput curve."""
+
+import pytest
+
+from repro.devices.nvme import NvmeCommand, NvmeConfig, NvmeSsd
+from repro.sim.engine import Simulator
+from repro.telemetry.counters import CounterBank
+from repro.uncore.iio import IIOAgent
+from repro.uncore.pcie import PcieComplex
+
+
+def make_ssd(hierarchy, bank, **cfg_kwargs):
+    iio = IIOAgent(hierarchy)
+    port = PcieComplex(bank).add_port(0, "ssd")
+    return NvmeSsd("ssd0", port, iio, bank, NvmeConfig(**cfg_kwargs)), port
+
+
+def test_command_completes_and_writes_block(hierarchy, bank):
+    sim = Simulator()
+    ssd, port = make_ssd(hierarchy, bank)
+    done = []
+    cmd = NvmeCommand(
+        stream="ssd", buffer_addr=100, lines=8,
+        on_complete=lambda now, c: done.append(now),
+    )
+    ssd.submit(sim, cmd)
+    sim.run_until(5000.0)
+    assert done, "command must complete"
+    assert cmd.completed_at > cmd.submitted_at
+    for offset in range(8):
+        assert hierarchy.llc.lookup(100 + offset, touch=False) is not None
+    assert port.inbound_write_lines == 8
+    assert ssd.commands_completed == 1
+
+
+def test_throughput_saturates_with_block_size():
+    cfg = NvmeConfig()
+    small = cfg.peak_throughput(1)
+    medium = cfg.peak_throughput(14)
+    large = cfg.peak_throughput(225)
+    assert small < medium <= cfg.bandwidth_lines_per_cycle
+    assert large == cfg.bandwidth_lines_per_cycle
+
+
+def test_admission_serialisation_limits_small_blocks(hierarchy, bank):
+    sim = Simulator()
+    ssd, _ = make_ssd(
+        hierarchy, bank,
+        command_overhead_cycles=100.0, quantum_cycles=10.0,
+        bandwidth_lines_per_cycle=1.0,
+    )
+    for i in range(20):
+        ssd.submit(sim, NvmeCommand(stream="ssd", buffer_addr=1000 + i * 8, lines=1))
+    sim.run_until(1000.0)
+    # ~1 command per 100 cycles despite abundant bandwidth.
+    assert 5 <= ssd.commands_completed <= 12
+
+
+def test_parallelism_bounds_active_set(hierarchy, bank):
+    sim = Simulator()
+    ssd, _ = make_ssd(
+        hierarchy, bank,
+        parallelism=2, command_overhead_cycles=1.0, quantum_cycles=10.0,
+        bandwidth_lines_per_cycle=0.1,
+    )
+    for i in range(10):
+        ssd.submit(sim, NvmeCommand(stream="ssd", buffer_addr=i * 100, lines=50))
+    sim.run_until(50.0)
+    assert len(ssd._active) <= 2
+
+
+def test_progressive_dma_spreads_writes(hierarchy, bank):
+    sim = Simulator()
+    ssd, _ = make_ssd(
+        hierarchy, bank,
+        parallelism=1, command_overhead_cycles=1.0, quantum_cycles=100.0,
+        bandwidth_lines_per_cycle=0.05,
+    )
+    cmd = NvmeCommand(stream="ssd", buffer_addr=0, lines=50)
+    ssd.submit(sim, cmd)
+    sim.run_until(300.0)
+    # At 0.05 lines/cycle, ~10-15 lines after ~300 cycles: partially written.
+    assert 0 < cmd._written < 50
+    sim.run_until(3000.0)
+    assert cmd._written == 50
+
+
+def test_fifo_admission_order(hierarchy, bank):
+    sim = Simulator()
+    ssd, _ = make_ssd(
+        hierarchy, bank,
+        parallelism=1, command_overhead_cycles=10.0, quantum_cycles=10.0,
+    )
+    order = []
+    for tag in ("a", "b"):
+        ssd.submit(
+            sim,
+            NvmeCommand(
+                stream="ssd", buffer_addr=ord(tag) * 100, lines=4,
+                on_complete=lambda now, c, t=tag: order.append(t),
+            ),
+        )
+    sim.run_until(5000.0)
+    assert order == ["a", "b"]
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        NvmeConfig(bandwidth_lines_per_cycle=0)
+    with pytest.raises(ValueError):
+        NvmeConfig(parallelism=0)
+    with pytest.raises(ValueError):
+        NvmeConfig(quantum_cycles=0)
+
+
+def test_queue_depth_reporting(hierarchy, bank):
+    sim = Simulator()
+    ssd, _ = make_ssd(hierarchy, bank, parallelism=1)
+    for i in range(3):
+        ssd.submit(sim, NvmeCommand(stream="ssd", buffer_addr=i * 10, lines=4))
+    assert ssd.queue_depth == 3
+    sim.run_until(10_000.0)
+    assert ssd.queue_depth == 0

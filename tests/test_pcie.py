@@ -1,0 +1,53 @@
+"""Tests for PCIe ports and the hidden per-port DCA knob."""
+
+import pytest
+
+from repro.telemetry.counters import CounterBank
+from repro.uncore.pcie import PcieComplex, PerfCtrlSts
+
+
+def test_default_register_enables_dca():
+    reg = PerfCtrlSts()
+    assert reg.dca_enabled
+
+
+def test_register_semantics():
+    # DCA requires the allocating flow AND snooped writes.
+    assert not PerfCtrlSts(use_allocating_flow_wr=False).dca_enabled
+    assert not PerfCtrlSts(no_snoop_op_wr_en=True).dca_enabled
+
+
+def test_disable_enable_roundtrip():
+    complex_ = PcieComplex(CounterBank())
+    port = complex_.add_port(0, "nic")
+    port.disable_dca()
+    assert not port.dca_enabled
+    assert port.perfctrlsts.no_snoop_op_wr_en
+    assert not port.perfctrlsts.use_allocating_flow_wr
+    port.enable_dca()
+    assert port.dca_enabled
+
+
+def test_per_port_independence():
+    complex_ = PcieComplex(CounterBank())
+    nic = complex_.add_port(0, "nic")
+    ssd = complex_.add_port(1, "ssd")
+    ssd.disable_dca()
+    assert nic.dca_enabled and not ssd.dca_enabled
+
+
+def test_duplicate_port_rejected():
+    complex_ = PcieComplex(CounterBank())
+    complex_.add_port(0)
+    with pytest.raises(ValueError):
+        complex_.add_port(0)
+
+
+def test_inbound_write_accounting():
+    complex_ = PcieComplex(CounterBank())
+    a = complex_.add_port(0)
+    b = complex_.add_port(1)
+    a.inbound_write_lines += 10
+    b.inbound_write_lines += 5
+    assert complex_.total_inbound_write_lines() == 15
+    assert set(complex_.ports()) == {0, 1}

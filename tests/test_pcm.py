@@ -1,0 +1,111 @@
+"""Tests for the PCM-style epoch sampler."""
+
+import pytest
+
+from repro.telemetry.counters import CounterBank
+from repro.telemetry.pcm import (
+    KIND_CPU,
+    KIND_NETWORK,
+    KIND_STORAGE,
+    PcmSampler,
+    PRIORITY_HIGH,
+    PRIORITY_LOW,
+    StreamInfo,
+)
+
+
+def make_sampler(epoch=1000.0):
+    bank = CounterBank()
+    return bank, PcmSampler(bank, epoch_cycles=epoch)
+
+
+def test_stream_info_validation():
+    with pytest.raises(ValueError):
+        StreamInfo("x", kind="bogus")
+    with pytest.raises(ValueError):
+        StreamInfo("x", priority="MEDIUM")
+    assert StreamInfo("x", kind=KIND_NETWORK).is_io
+    assert not StreamInfo("x", kind=KIND_CPU).is_io
+
+
+def test_sample_delta_semantics():
+    bank, pcm = make_sampler()
+    pcm.register(StreamInfo("a"))
+    bank.stream("a").llc_hits = 10
+    first = pcm.sample(1000.0)
+    assert first.streams["a"].counters.llc_hits == 10
+    bank.stream("a").llc_hits = 13
+    second = pcm.sample(2000.0)
+    assert second.streams["a"].counters.llc_hits == 3
+
+
+def test_ipc_per_core():
+    bank, pcm = make_sampler(epoch=1000.0)
+    pcm.register(StreamInfo("a", cores=(0, 1)))
+    bank.stream("a").instructions = 4000
+    sample = pcm.sample(1000.0)
+    assert sample.streams["a"].ipc == pytest.approx(2.0)
+
+
+def test_memory_bandwidth_aggregation():
+    bank, pcm = make_sampler(epoch=1000.0)
+    pcm.register(StreamInfo("a"))
+    pcm.register(StreamInfo("b"))
+    bank.stream("a").mem_reads = 500
+    bank.stream("b").mem_writes = 250
+    sample = pcm.sample(1000.0)
+    assert sample.mem_read_bw == pytest.approx(0.5)
+    assert sample.mem_write_bw == pytest.approx(0.25)
+    assert sample.mem_total_bw == pytest.approx(0.75)
+
+
+def test_storage_io_share():
+    bank, pcm = make_sampler()
+    pcm.register(StreamInfo("net", kind=KIND_NETWORK))
+    pcm.register(StreamInfo("ssd", kind=KIND_STORAGE))
+    bank.stream("net").dma_writes = 60
+    bank.stream("ssd").dma_writes = 40
+    sample = pcm.sample(1000.0)
+    assert sample.storage_io_share() == pytest.approx(0.4)
+    assert sample.pcie_write_lines == 100
+
+
+def test_storage_share_zero_when_idle():
+    bank, pcm = make_sampler()
+    pcm.register(StreamInfo("ssd", kind=KIND_STORAGE))
+    sample = pcm.sample(1000.0)
+    assert sample.storage_io_share() == 0.0
+
+
+def test_latency_flushed_per_epoch():
+    bank, pcm = make_sampler()
+    pcm.register(StreamInfo("a"))
+    pcm.tracker("a").record(10.0)
+    first = pcm.sample(1000.0)
+    assert first.streams["a"].latency.count == 1
+    second = pcm.sample(2000.0)
+    assert second.streams["a"].latency.count == 0
+
+
+def test_history_and_indices():
+    bank, pcm = make_sampler()
+    pcm.register(StreamInfo("a"))
+    pcm.sample(1000.0)
+    pcm.sample(2000.0)
+    assert [s.index for s in pcm.history] == [0, 1]
+
+
+def test_io_throughput_rate():
+    bank, pcm = make_sampler(epoch=1000.0)
+    pcm.register(StreamInfo("a", kind=KIND_STORAGE))
+    bank.stream("a").io_bytes_completed = 64 * 100
+    sample = pcm.sample(1000.0)
+    assert sample.streams["a"].io_throughput_lines_per_cycle == pytest.approx(0.1)
+
+
+def test_priorities_exposed():
+    bank, pcm = make_sampler()
+    pcm.register(StreamInfo("a", priority=PRIORITY_LOW))
+    sample = pcm.sample(1000.0)
+    assert sample.streams["a"].info.priority == PRIORITY_LOW
+    assert PRIORITY_HIGH != PRIORITY_LOW

@@ -1,0 +1,33 @@
+"""Tests for the A4 policy dataclass."""
+
+import pytest
+
+from repro.core.policy import A4Policy
+
+
+def test_paper_defaults():
+    policy = A4Policy()
+    assert policy.hpw_llc_hit_thr == 0.20
+    assert policy.dmalk_dca_ms_thr == 0.40
+    assert policy.dmalk_io_tp_thr == 0.35
+    assert policy.dmalk_llc_ms_thr == 0.40
+    assert policy.ant_cache_miss_thr == 0.90
+    assert policy.expand_interval == 2
+    assert policy.stable_interval == 10
+    assert policy.revert_interval == 1
+
+
+def test_threshold_bounds_validated():
+    with pytest.raises(ValueError):
+        A4Policy(hpw_llc_hit_thr=0.0)
+    with pytest.raises(ValueError):
+        A4Policy(ant_cache_miss_thr=1.5)
+    with pytest.raises(ValueError):
+        A4Policy(stable_interval=0)
+
+
+def test_feature_flags_default_on():
+    policy = A4Policy()
+    assert policy.safeguard_io_buffers
+    assert policy.selective_dca_disable
+    assert policy.pseudo_llc_bypass

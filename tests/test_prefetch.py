@@ -1,0 +1,55 @@
+"""Tests for the optional next-line prefetcher."""
+
+from repro.cache.hierarchy import CacheHierarchy, HierarchyConfig
+from repro.rdt.cat import CacheAllocation
+from repro.telemetry.counters import CounterBank
+from repro.uncore.memory import MemoryController
+
+
+def build(prefetch):
+    bank = CounterBank()
+    cat = CacheAllocation()
+    memory = MemoryController(bank)
+    cfg = HierarchyConfig(cores=2, next_line_prefetch=prefetch)
+    return CacheHierarchy(cfg, cat, memory, bank), bank
+
+
+def test_off_by_default():
+    hierarchy, bank = build(prefetch=False)
+    hierarchy.cpu_access(0.0, 0, 100, "s")
+    assert hierarchy.mlcs[0].peek(101) is None
+    assert bank.stream("s").prefetch_fills == 0
+
+
+def test_miss_prefetches_next_line():
+    hierarchy, bank = build(prefetch=True)
+    hierarchy.cpu_access(0.0, 0, 100, "s")
+    assert hierarchy.mlcs[0].peek(101) is not None
+    assert bank.stream("s").prefetch_fills == 1
+    # The prefetched line is a free hit afterwards.
+    before = bank.stream("s").mlc_hits
+    hierarchy.cpu_access(1.0, 0, 101, "s")
+    assert bank.stream("s").mlc_hits == before + 1
+
+
+def test_prefetch_skips_cached_lines():
+    hierarchy, bank = build(prefetch=True)
+    hierarchy.cpu_access(0.0, 0, 101, "s")  # brings 101 (and 102)
+    fills_before = bank.stream("s").prefetch_fills
+    hierarchy.cpu_access(1.0, 0, 100, "s")  # next line 101 already in MLC
+    assert bank.stream("s").prefetch_fills == fills_before
+
+
+def test_prefetch_not_triggered_by_io_reads():
+    hierarchy, bank = build(prefetch=True)
+    hierarchy.cpu_access(0.0, 0, 500, "nic", io_read=True)
+    assert bank.stream("nic").prefetch_fills == 0
+
+
+def test_sequential_stream_halves_demand_misses():
+    hierarchy_off, bank_off = build(prefetch=False)
+    hierarchy_on, bank_on = build(prefetch=True)
+    for addr in range(400):
+        hierarchy_off.cpu_access(0.0, 0, addr, "s")
+        hierarchy_on.cpu_access(0.0, 0, addr, "s")
+    assert bank_on.stream("s").mlc_misses < 0.6 * bank_off.stream("s").mlc_misses

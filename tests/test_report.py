@@ -1,0 +1,64 @@
+"""Tests for figure-result rendering."""
+
+import pytest
+
+from repro.experiments.report import (
+    FigureResult,
+    format_cell,
+    geometric_mean,
+    normalize,
+    render_table,
+)
+
+
+def make_result():
+    result = FigureResult(
+        figure="Fig. X",
+        title="demo",
+        columns=["name", "value"],
+    )
+    result.add_row(name="a", value=1.2345)
+    result.add_row(name="b", value=10_000.0)
+    return result
+
+
+def test_render_contains_header_and_rows():
+    text = make_result().render()
+    assert "Fig. X" in text
+    assert "name" in text and "value" in text
+    assert "a" in text and "b" in text
+
+
+def test_format_cell_floats():
+    assert format_cell(0.0) == "0"
+    assert format_cell(1234.5) == "1234"
+    assert format_cell(12.34) == "12.3"
+    assert format_cell(0.5) == "0.5"
+    assert format_cell("txt") == "txt"
+
+
+def test_column_accessor():
+    result = make_result()
+    assert result.column("name") == ["a", "b"]
+
+
+def test_notes_rendered():
+    result = make_result()
+    result.notes.append("hello world")
+    assert "note: hello world" in result.render()
+
+
+def test_empty_table_renders():
+    result = FigureResult(figure="F", title="t", columns=["c1"])
+    assert "c1" in render_table(result)
+
+
+def test_normalize():
+    assert normalize([2.0, 4.0], 2.0) == [1.0, 2.0]
+    assert normalize([2.0], 0.0) == [0.0]
+
+
+def test_geometric_mean():
+    assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+    assert geometric_mean([]) == 0.0
+    assert geometric_mean([0.0, 0.0]) == 0.0

@@ -1,0 +1,60 @@
+"""Tests for the Rx descriptor ring."""
+
+import pytest
+
+from repro.devices.ring import RxRing
+
+
+def test_push_until_full_then_drop():
+    ring = RxRing(base_addr=0, entries=2, slot_lines=4)
+    assert ring.push(4, now=1.0) is not None
+    assert ring.push(4, now=2.0) is not None
+    assert ring.full
+    assert ring.push(4, now=3.0) is None  # dropped
+
+
+def test_fifo_order_and_buffer_addresses():
+    ring = RxRing(base_addr=100, entries=3, slot_lines=4)
+    ring.push(2, now=1.0)
+    ring.push(3, now=2.0)
+    first = ring.pop()
+    second = ring.pop()
+    assert first.buffer_addr == 100 and first.packet_lines == 2
+    assert second.buffer_addr == 104 and second.packet_lines == 3
+
+
+def test_peek_does_not_remove():
+    ring = RxRing(base_addr=0, entries=2, slot_lines=4)
+    ring.push(1, now=5.0)
+    entry = ring.peek()
+    assert entry is not None and entry.arrival_time == 5.0
+    assert len(ring) == 1
+    ring.pop()
+    assert ring.empty and ring.peek() is None
+
+
+def test_pop_empty_raises():
+    ring = RxRing(base_addr=0, entries=1, slot_lines=1)
+    with pytest.raises(IndexError):
+        ring.pop()
+
+
+def test_wraparound_reuses_buffers():
+    ring = RxRing(base_addr=0, entries=2, slot_lines=4)
+    for _ in range(5):
+        entry = ring.push(1, now=0.0)
+        assert entry is not None
+        popped = ring.pop()
+        assert popped is entry
+    # After wrapping, buffer addresses repeat from the fixed pool.
+    addrs = set()
+    ring.push(1, 0.0)
+    addrs.add(ring.pop().buffer_addr)
+    ring.push(1, 0.0)
+    addrs.add(ring.pop().buffer_addr)
+    assert addrs <= {0, 4}
+
+
+def test_invalid_geometry():
+    with pytest.raises(ValueError):
+        RxRing(0, entries=0, slot_lines=4)

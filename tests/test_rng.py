@@ -1,0 +1,33 @@
+"""Tests for deterministic RNG streams."""
+
+from repro.sim.rng import DeterministicRng
+
+
+def test_same_name_same_stream():
+    a = DeterministicRng(1).stream("nic")
+    b = DeterministicRng(1).stream("nic")
+    assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+
+def test_different_names_differ():
+    rng = DeterministicRng(1)
+    a = rng.stream("nic")
+    b = rng.stream("ssd")
+    assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+
+def test_different_seeds_differ():
+    a = DeterministicRng(1).stream("nic")
+    b = DeterministicRng(2).stream("nic")
+    assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+
+def test_adding_streams_does_not_perturb_existing():
+    rng1 = DeterministicRng(7)
+    first = rng1.stream("a")
+    values_before = [first.random() for _ in range(3)]
+
+    rng2 = DeterministicRng(7)
+    rng2.stream("zzz")  # an extra actor
+    second = rng2.stream("a")
+    assert values_before == [second.random() for _ in range(3)]

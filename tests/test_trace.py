@@ -1,0 +1,60 @@
+"""Tests for time-series extraction and CSV export."""
+
+import pytest
+
+from repro.experiments.harness import Server
+from repro.telemetry import trace
+from repro.workloads.xmem import xmem
+
+
+@pytest.fixture(scope="module")
+def samples():
+    server = Server(cores=3)
+    server.add_workload(xmem("a", 1.0, cores=1))
+    server.add_workload(xmem("b", 2.0, cores=1))
+    result = server.run(epochs=5, warmup=1)
+    return result.samples
+
+
+def test_series_length_matches_epochs(samples):
+    values = trace.series(samples, "a", "ipc")
+    assert len(values) == 5
+    assert all(v >= 0 for v in values)
+
+
+def test_series_unknown_metric(samples):
+    with pytest.raises(ValueError):
+        trace.series(samples, "a", "clock_speed")
+
+
+def test_series_unknown_stream_is_zero(samples):
+    assert trace.series(samples, "ghost", "ipc") == [0.0] * 5
+
+
+def test_all_registered_metrics_extract(samples):
+    for metric in trace.METRICS:
+        values = trace.series(samples, "a", metric)
+        assert len(values) == 5
+
+
+def test_to_csv_shape(samples):
+    text = trace.to_csv(samples, metrics=("ipc", "llc_hit_rate"))
+    lines = text.strip().split("\n")
+    header = lines[0].split(",")
+    assert header[:3] == ["epoch", "time", "stream"]
+    assert "ipc" in header and "llc_hit_rate" in header
+    # 5 epochs x 2 streams rows
+    assert len(lines) == 1 + 5 * 2
+
+
+def test_to_csv_rejects_unknown_metric(samples):
+    with pytest.raises(ValueError):
+        trace.to_csv(samples, metrics=("bogus",))
+
+
+def test_write_csv(tmp_path, samples):
+    path = tmp_path / "trace.csv"
+    trace.write_csv(samples, str(path))
+    content = path.read_text()
+    assert content.startswith("epoch,time,stream")
+    assert ",a," in content or "\na," in content

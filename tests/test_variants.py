@@ -1,0 +1,53 @@
+"""Tests for the scheme factory and variant naming."""
+
+import pytest
+
+from repro.core.a4 import A4Manager
+from repro.core.baselines import DefaultManager, IsolateManager
+from repro.core.policy import A4Policy
+from repro.core.variants import A4_VARIANTS, SCHEMES, a4_variant, make_manager
+
+
+def test_all_schemes_constructible():
+    for scheme in SCHEMES:
+        manager = make_manager(scheme)
+        assert manager is not None
+
+
+def test_factory_types():
+    assert isinstance(make_manager("default"), DefaultManager)
+    assert isinstance(make_manager("isolate"), IsolateManager)
+    assert isinstance(make_manager("a4"), A4Manager)
+    assert isinstance(make_manager("a4-b"), A4Manager)
+
+
+def test_variant_names():
+    assert A4_VARIANTS == ("a4-a", "a4-b", "a4-c", "a4-d")
+    for stage in "abcd":
+        assert a4_variant(stage).name == f"a4-{stage}"
+
+
+def test_a4_d_equals_full_a4_policy():
+    full = make_manager("a4").policy
+    staged = make_manager("a4-d").policy
+    assert staged.safeguard_io_buffers == full.safeguard_io_buffers
+    assert staged.selective_dca_disable == full.selective_dca_disable
+    assert staged.pseudo_llc_bypass == full.pseudo_llc_bypass
+
+
+def test_custom_policy_threads_through():
+    policy = A4Policy(hpw_llc_hit_thr=0.05)
+    assert make_manager("a4", policy).policy.hpw_llc_hit_thr == 0.05
+    # Variant flags are applied on top of the custom policy.
+    variant = make_manager("a4-a", policy)
+    assert variant.policy.hpw_llc_hit_thr == 0.05
+    assert not variant.policy.safeguard_io_buffers
+
+
+def test_unknown_scheme_rejected():
+    with pytest.raises(ValueError):
+        make_manager("cachemind")
+    with pytest.raises(ValueError):
+        a4_variant("z")
+    with pytest.raises(ValueError):
+        a4_variant("ab")

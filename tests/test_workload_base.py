@@ -1,0 +1,47 @@
+"""Tests for the workload base class and StreamInfo plumbing."""
+
+import pytest
+
+from repro.telemetry.pcm import KIND_CPU, PRIORITY_HIGH
+from repro.workloads.base import Workload
+from repro.workloads.xmem import xmem
+
+
+class Dummy(Workload):
+    def setup(self, server):
+        self.cores = server.alloc_cores(self.num_cores)
+
+
+def test_requires_positive_cores():
+    with pytest.raises(ValueError):
+        Dummy("d", cores=0)
+
+
+def test_info_reflects_setup_state():
+    from repro.experiments.harness import Server
+
+    server = Server(cores=4)
+    workload = Dummy("d", cores=2)
+    server.add_workload(workload)
+    info = workload.info()
+    assert info.name == "d"
+    assert info.kind == KIND_CPU
+    assert info.priority == PRIORITY_HIGH
+    assert info.cores == workload.cores
+    assert info.port_id is None
+
+
+def test_io_workloads_report_port():
+    from repro.experiments.harness import Server
+    from repro.workloads.dpdk import DpdkWorkload
+
+    server = Server(cores=4)
+    workload = DpdkWorkload(name="net", cores=2)
+    server.add_workload(workload)
+    assert workload.info().port_id is not None
+    assert workload.info().is_io
+
+
+def test_repr_is_stable():
+    text = repr(xmem("x", 1.0, cores=1))
+    assert "x" in text and "non-io" in text

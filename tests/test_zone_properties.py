@@ -1,0 +1,73 @@
+"""Property-based tests on A4's zone arithmetic and policy space."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.policy import A4Policy
+from repro.core.zones import ZoneLayout
+
+operations = st.lists(
+    st.sampled_from(["expand", "contract", "reset"]), max_size=40
+)
+
+
+@settings(max_examples=120, deadline=None)
+@given(operations, st.booleans(), st.booleans())
+def test_zone_layout_invariants(ops, io_hpw, safeguard):
+    policy = A4Policy(safeguard_io_buffers=safeguard)
+    layout = ZoneLayout(policy, io_hpw_present=io_hpw)
+    for op in ops:
+        if op == "expand" and layout.can_expand():
+            layout.expand()
+        elif op == "contract" and layout.lp_left < layout.initial_lp_left:
+            layout.contract()
+        elif op == "reset":
+            layout.reset_lp()
+        first, last = layout.lp_span()
+        # LP Zone is a valid, non-empty, in-range span...
+        assert 0 <= first <= last < policy.total_ways
+        # ...never covering the DCA ways...
+        assert first > policy.dca_last_way
+        # ...and at least two ways at the initial partition.
+        assert last - first >= 1
+        if layout.safeguarding:
+            assert last < policy.inclusive_first_way
+        # HPW spans always contain the inclusive ways.
+        hp_first, hp_last = layout.non_io_hpw_span()
+        assert hp_last == policy.total_ways - 1
+        assert layout.io_hpw_span() == (0, policy.total_ways - 1)
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.integers(min_value=0, max_value=10))
+def test_trash_span_always_legal(left):
+    layout = ZoneLayout(A4Policy(), io_hpw_present=True)
+    first, last = layout.trash_span(left)
+    assert first <= last == layout.policy.trash_way
+    assert first >= min(left, layout.policy.trash_way)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.floats(min_value=0.01, max_value=1.0),
+    st.floats(min_value=0.01, max_value=1.0),
+    st.floats(min_value=0.01, max_value=1.0),
+)
+def test_policy_accepts_any_valid_threshold_triple(t1, t2, t5):
+    policy = A4Policy(
+        hpw_llc_hit_thr=t1, dmalk_dca_ms_thr=t2, ant_cache_miss_thr=t5
+    )
+    assert policy.trash_way == 8
+    assert policy.min_lp_left == 2
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.floats(min_value=0.0, max_value=1.0), st.floats(min_value=0.0, max_value=1.0))
+def test_hpw_degradation_symmetric_bounds(baseline, current):
+    from repro.core import detectors
+
+    policy = A4Policy()
+    degraded = detectors.hpw_hit_rate_degraded(policy, baseline, current)
+    if degraded:
+        assert current < baseline  # degradation is one-sided
+    if baseline == 0.0:
+        assert not degraded

@@ -1,0 +1,70 @@
+"""Tests for A4 zone bookkeeping."""
+
+import pytest
+
+from repro.core.policy import A4Policy
+from repro.core.zones import ZoneLayout
+
+
+def test_initial_partitions_without_io():
+    layout = ZoneLayout(A4Policy(), io_hpw_present=False)
+    assert layout.lp_span() == (9, 10)
+    assert layout.io_hpw_span() == (0, 10)
+    assert layout.non_io_hpw_span() == (0, 10)
+
+
+def test_initial_partitions_with_io_safeguarding():
+    layout = ZoneLayout(A4Policy(), io_hpw_present=True)
+    # LP Zone keeps out of inclusive ways; initial = way[7:8] (Fig. 10b).
+    assert layout.lp_span() == (7, 8)
+    assert layout.non_io_hpw_span() == (2, 10)
+    assert layout.io_hpw_span() == (0, 10)
+
+
+def test_safeguard_flag_off_ignores_io():
+    policy = A4Policy(safeguard_io_buffers=False)
+    layout = ZoneLayout(policy, io_hpw_present=True)
+    assert layout.lp_span() == (9, 10)
+    assert layout.non_io_hpw_span() == (0, 10)
+
+
+def test_expansion_moves_left_until_min():
+    layout = ZoneLayout(A4Policy(), io_hpw_present=True)
+    steps = 0
+    while layout.can_expand():
+        layout.expand()
+        steps += 1
+    assert layout.lp_span() == (2, 8)
+    assert steps == 5
+    with pytest.raises(RuntimeError):
+        layout.expand()
+
+
+def test_contract_rolls_back():
+    layout = ZoneLayout(A4Policy(), io_hpw_present=True)
+    layout.expand()
+    layout.contract()
+    assert layout.lp_span() == (7, 8)
+    with pytest.raises(RuntimeError):
+        layout.contract()
+
+
+def test_reset_restores_initial():
+    layout = ZoneLayout(A4Policy(), io_hpw_present=True)
+    layout.expand()
+    layout.expand()
+    layout.reset_lp()
+    assert layout.lp_span() == (7, 8)
+
+
+def test_trash_span_squeezes_to_way8():
+    layout = ZoneLayout(A4Policy(), io_hpw_present=True)
+    assert layout.trash_span(5) == (5, 8)
+    assert layout.trash_span(8) == (8, 8)
+    assert layout.trash_span(9) == (8, 8)  # clamped at the trash way
+
+
+def test_policy_derived_ways():
+    policy = A4Policy()
+    assert policy.trash_way == 8
+    assert policy.min_lp_left == 2
