@@ -1,0 +1,16 @@
+"""Micro- and macro-benchmarks for the simulation hot path.
+
+These are not pytest tests: :mod:`tools.bench` (``python tools/bench.py``)
+imports this package, runs every registered benchmark, and writes a
+``BENCH_<date>.json`` record at the repo root for regression tracking.
+
+Each benchmark is a callable ``fn(quick: bool) -> dict`` returning at least
+``{"wall_s": float, "events": int, "events_per_s": float}``.
+"""
+
+from perf.micro import MICRO_BENCHMARKS
+from perf.scenarios import MACRO_BENCHMARKS
+
+ALL_BENCHMARKS = {**MICRO_BENCHMARKS, **MACRO_BENCHMARKS}
+
+__all__ = ["ALL_BENCHMARKS", "MICRO_BENCHMARKS", "MACRO_BENCHMARKS"]

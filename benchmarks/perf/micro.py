@@ -1,0 +1,141 @@
+"""Micro-benchmarks for the individual hot-path layers.
+
+Each benchmark isolates one layer the end-to-end figures hammer:
+
+* ``cpu_access``  — the CPU-side ladder of :meth:`CacheHierarchy.cpu_access`
+  (MLC hit, LLC hit + migration, full miss) over a working set larger than
+  the MLC, so all three paths are exercised;
+* ``dma_write``   — the DDIO ingress path (write-allocate / write-update)
+  plus periodic consuming reads, the paper's NIC Rx pattern;
+* ``engine``      — raw event-loop throughput of :class:`Simulator` with a
+  handful of self-rescheduling generator processes;
+* ``counters``    — :class:`StreamCounters` snapshot/delta plus
+  :meth:`CounterBank.total`, the per-epoch sampling cost.
+
+Wall times are best-of-``repeats`` to damp scheduler noise.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict
+
+from repro.cache.hierarchy import CacheHierarchy, HierarchyConfig
+from repro.rdt.cat import CacheAllocation
+from repro.sim.engine import Simulator
+from repro.telemetry.counters import CounterBank, StreamCounters
+from repro.uncore.memory import MemoryController
+
+
+def _best_of(repeats: int, fn: Callable[[], int]) -> Dict[str, float]:
+    """Run ``fn`` (returning its event count) and keep the fastest wall."""
+    best_wall = None
+    events = 0
+    for _ in range(max(1, repeats)):
+        started = time.perf_counter()
+        events = fn()
+        wall = time.perf_counter() - started
+        if best_wall is None or wall < best_wall:
+            best_wall = wall
+    return {
+        "wall_s": best_wall,
+        "events": events,
+        "events_per_s": events / best_wall if best_wall else 0.0,
+    }
+
+
+def _make_hierarchy(cores: int = 4) -> CacheHierarchy:
+    counters = CounterBank()
+    memory = MemoryController(counters)
+    cfg = HierarchyConfig(cores=cores)
+    return CacheHierarchy(cfg, CacheAllocation(), memory, counters)
+
+
+def bench_cpu_access(quick: bool) -> Dict[str, float]:
+    accesses = 40_000 if quick else 200_000
+    span = 16_384  # lines; larger than one MLC so misses recycle
+
+    def body() -> int:
+        hierarchy = _make_hierarchy()
+        now = 0.0
+        for i in range(accesses):
+            addr = (i * 7) % span
+            hierarchy.cpu_access(
+                now,
+                core=i & 3,
+                addr=addr,
+                stream="bench",
+                write=(i & 15) == 0,
+                io_read=False,
+            )
+            now += 1.0
+        return accesses
+
+    return _best_of(1 if quick else 3, body)
+
+
+def bench_dma_write(quick: bool) -> Dict[str, float]:
+    writes = 40_000 if quick else 200_000
+    span = 8_192
+
+    def body() -> int:
+        hierarchy = _make_hierarchy()
+        now = 0.0
+        for i in range(writes):
+            addr = (i * 3) % span
+            hierarchy.dma_write(now, addr, "nic", allocating=True)
+            if (i & 7) == 0:  # the consumer catches up now and then
+                hierarchy.cpu_access(now, core=0, addr=addr, stream="nic", io_read=True)
+            now += 1.0
+        return writes
+
+    return _best_of(1 if quick else 3, body)
+
+
+def bench_engine(quick: bool) -> Dict[str, float]:
+    steps = 50_000 if quick else 250_000
+    nprocs = 8
+
+    def body() -> int:
+        sim = Simulator()
+
+        def ticker():
+            while True:
+                yield 1.0
+
+        for p in range(nprocs):
+            sim.spawn(f"p{p}", ticker())
+        for _ in range(steps):
+            sim.step()
+        return steps
+
+    return _best_of(1 if quick else 3, body)
+
+
+def bench_counters(quick: bool) -> Dict[str, float]:
+    rounds = 4_000 if quick else 20_000
+    nstreams = 8
+
+    def body() -> int:
+        bank = CounterBank()
+        for s in range(nstreams):
+            counters = bank.stream(f"s{s}")
+            counters.llc_hits = s
+            counters.mem_reads = 2 * s
+        snap = StreamCounters()
+        for _ in range(rounds):
+            for counters in bank.streams.values():
+                counters.llc_hits += 1
+                counters.snapshot().delta(snap)
+            bank.total()
+        return rounds * nstreams
+
+    return _best_of(1 if quick else 3, body)
+
+
+MICRO_BENCHMARKS = {
+    "cpu_access": bench_cpu_access,
+    "dma_write": bench_dma_write,
+    "engine": bench_engine,
+    "counters": bench_counters,
+}

@@ -1,0 +1,103 @@
+"""Macro-benchmarks: the canonical mixed NIC+NVMe server scenario.
+
+``build_canonical`` is the workload combination every bench number refers
+to: a DPDK-T network consumer (DDIO ingress + payload consumption, i.e.
+migrations and DMA bloat) sharing the socket with an FIO storage reader
+(NVMe DMA bursts).  It is deliberately a module-level function so the
+parallel sweep runner can pickle it into worker processes.
+
+Two benchmarks are registered:
+
+* ``canonical``   — one seed, wall time + simulated-events/second;
+* ``multi_seed``  — the paper's five-iteration methodology (§6) through
+  :func:`repro.experiments.sweep.run_repeated`; this is the number the
+  ISSUE's ≥2x end-to-end target is judged on.  Uses the parallel runner
+  when available and beneficial, else the serial loop.
+"""
+
+from __future__ import annotations
+
+import inspect
+import os
+import time
+from typing import Dict
+
+from repro.experiments.harness import Server
+from repro.experiments.sweep import DEFAULT_SEEDS, run_repeated
+from repro.telemetry.pcm import PRIORITY_HIGH, PRIORITY_LOW
+from repro.workloads.dpdk import DpdkWorkload
+from repro.workloads.fio import FioWorkload
+
+MB = 1024 * 1024
+
+
+def build_canonical(seed: int) -> Server:
+    """The canonical mixed NIC+NVMe server: DPDK-T (HPW) + FIO (LPW)."""
+    server = Server(cores=10, seed=seed)
+    server.add_workload(
+        DpdkWorkload(
+            name="dpdk",
+            touch=True,
+            cores=4,
+            packet_bytes=1024,
+            priority=PRIORITY_HIGH,
+        )
+    )
+    server.add_workload(
+        FioWorkload(
+            name="fio",
+            block_bytes=1 * MB,
+            cores=4,
+            io_depth=16,
+            priority=PRIORITY_LOW,
+        )
+    )
+    return server
+
+
+def bench_canonical(quick: bool) -> Dict[str, float]:
+    epochs = 3 if quick else 6
+    started = time.perf_counter()
+    server = build_canonical(0xA4)
+    server.run(epochs=epochs, warmup=1)
+    wall = time.perf_counter() - started
+    events = getattr(server.sim, "events_executed", 0)
+    return {
+        "wall_s": wall,
+        "events": events,
+        "events_per_s": events / wall if wall else 0.0,
+        "epochs": epochs,
+    }
+
+
+def bench_multi_seed(quick: bool) -> Dict[str, float]:
+    epochs = 3 if quick else 5
+    seeds = DEFAULT_SEEDS[:3] if quick else DEFAULT_SEEDS
+    kwargs = {}
+    mode = "serial"
+    # The parallel knob landed with the perf stack; keep the harness usable
+    # against older revisions so baselines can be recorded from them.
+    if "parallel" in inspect.signature(run_repeated).parameters:
+        workers = os.cpu_count() or 1
+        if workers > 1:
+            kwargs = {"parallel": True, "max_workers": workers}
+            mode = f"parallel:{workers}"
+    started = time.perf_counter()
+    result = run_repeated(build_canonical, epochs=epochs, warmup=1, seeds=seeds, **kwargs)
+    wall = time.perf_counter() - started
+    # One "event" per (seed, epoch) is meaningless; report simulated seeds/s
+    # alongside a wall-clock figure comparable across modes.
+    return {
+        "wall_s": wall,
+        "events": len(result.seeds) * epochs,
+        "events_per_s": len(result.seeds) * epochs / wall if wall else 0.0,
+        "seeds": len(result.seeds),
+        "epochs": epochs,
+        "mode": mode,
+    }
+
+
+MACRO_BENCHMARKS = {
+    "canonical": bench_canonical,
+    "multi_seed": bench_multi_seed,
+}

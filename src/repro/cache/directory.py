@@ -17,18 +17,33 @@ back-invalidate the MLCs holding it.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
 from typing import Optional, Set
 
 from repro import config
 
 
-@dataclass
 class DirectoryEntry:
-    addr: int
-    holders: Set[int] = field(default_factory=set)
-    inclusive: bool = False
-    lru: int = 0
+    """One extended-directory record (a plain __slots__ hot-path object)."""
+
+    __slots__ = ("addr", "holders", "inclusive", "lru")
+
+    def __init__(
+        self,
+        addr: int,
+        holders: Optional[Set[int]] = None,
+        inclusive: bool = False,
+        lru: int = 0,
+    ):
+        self.addr = addr
+        self.holders: Set[int] = set() if holders is None else holders
+        self.inclusive = inclusive
+        self.lru = lru
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DirectoryEntry(addr={self.addr:#x}, holders={self.holders}, "
+            f"inclusive={self.inclusive}, lru={self.lru})"
+        )
 
 
 class SnoopFilter:
@@ -51,7 +66,7 @@ class SnoopFilter:
         return self._sets[addr % self.sets]
 
     def entry(self, addr: int) -> Optional[DirectoryEntry]:
-        return self._bucket(addr).get(addr)
+        return self._sets[addr % self.sets].get(addr)
 
     def track(self, addr: int, core: int, inclusive: bool) -> Optional[DirectoryEntry]:
         """Record that ``core``'s MLC now holds ``addr``.
@@ -59,7 +74,7 @@ class SnoopFilter:
         Returns an evicted entry when the set overflows; the caller must
         back-invalidate that entry's holders.
         """
-        bucket = self._bucket(addr)
+        bucket = self._sets[addr % self.sets]
         entry = bucket.get(addr)
         if entry is not None:
             entry.holders.add(core)
@@ -77,12 +92,15 @@ class SnoopFilter:
         return victim
 
     def _choose_victim(self, bucket: dict[int, DirectoryEntry]) -> Optional[DirectoryEntry]:
-        evictable = [e for e in bucket.values() if not e.inclusive]
-        if not evictable:
+        victim = None
+        for entry in bucket.values():
+            if not entry.inclusive and (victim is None or entry.lru < victim.lru):
+                victim = entry
+        if victim is None:
             # All entries pinned to data ways; structurally impossible with
             # only two inclusive ways, but guard against misuse.
             raise RuntimeError("snoop filter set has no evictable entry")
-        return min(evictable, key=lambda e: e.lru)
+        return victim
 
     def set_inclusive(self, addr: int, inclusive: bool) -> None:
         entry = self.entry(addr)
@@ -91,7 +109,7 @@ class SnoopFilter:
 
     def drop_holder(self, addr: int, core: int) -> None:
         """``core``'s MLC no longer holds ``addr``."""
-        bucket = self._bucket(addr)
+        bucket = self._sets[addr % self.sets]
         entry = bucket.get(addr)
         if entry is None:
             return

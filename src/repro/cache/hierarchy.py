@@ -30,7 +30,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro import config
-from repro.cache.directory import SnoopFilter
+from repro.cache.directory import DirectoryEntry, SnoopFilter
 from repro.cache.line import LlcLine, MlcLine
 from repro.cache.llc import LastLevelCache, LlcConfig
 from repro.cache.mlc import MidLevelCache
@@ -94,6 +94,20 @@ class CacheHierarchy:
             MidLevelCache(core, cfg.mlc_sets, cfg.mlc_ways)
             for core in range(cfg.cores)
         ]
+        self._scounters: dict[str, "StreamCounters"] = {}
+        """Per-stream handle cache; dodges a CounterBank.stream call on
+        every access (the bank itself is stable for the hierarchy's life)."""
+        self._inclusive_migration = cfg.llc.inclusive_migration
+        self._inclusive_ways = cfg.llc.inclusive_ways
+        """Hot-path copies of frozen LlcConfig fields (checked per LLC hit)."""
+        self._llc_lru_tick = self.llc._lru_tick
+        """Mirror of the LLC's LRU fast-path tick (None for RRIP/NRU)."""
+
+    def _stream(self, name: str):
+        counters = self._scounters.get(name)
+        if counters is None:
+            counters = self._scounters[name] = self.counters.stream(name)
+        return counters
 
     # ------------------------------------------------------------------
     # CPU side
@@ -114,35 +128,54 @@ class CacheHierarchy:
         packet payloads, storage blocks); misses on such reads are the
         realised cost of DMA leaks and feed the stream's DCA miss rate.
         """
-        counters = self.counters.stream(stream)
+        counters = self._scounters.get(stream)
+        if counters is None:
+            counters = self._scounters[stream] = self.counters.stream(stream)
         if io_read:
             counters.io_reads += 1
 
+        llc = self.llc
         mlc = self.mlcs[core]
-        mlc_line = mlc.lookup(addr)
+        mlc_line = mlc._sets[addr % mlc.sets].get(addr)
         if mlc_line is not None:
+            mlc_line.lru = next(mlc._tick)
             counters.mlc_hits += 1
             if write:
                 mlc_line.dirty = True
-                self._invalidate_llc_copy_for_store(addr)
+                # A store hit in an MLC invalidates any (now stale) LLC copy.
+                llc_line = llc._sets[addr % llc._nsets].index.get(addr)
+                if llc_line is not None:
+                    self._detach_llc_line(llc_line)
+                    llc.remove(llc_line)
             return self.cfg.mlc_hit_cycles
 
         counters.mlc_misses += 1
-        llc_line = self.llc.lookup(addr)
+        llc_line = llc._sets[addr % llc._nsets].index.get(addr)
         if llc_line is not None:
+            lru_tick = self._llc_lru_tick
+            if lru_tick is not None:
+                llc_line.lru = next(lru_tick)
+            else:
+                llc.policy.on_hit(llc_line)
             counters.llc_hits += 1
-            self._consume_if_io(now, llc_line)
+            if llc_line.io and not llc_line.consumed:
+                # First CPU touch of a DMA-written line: mark consumed and
+                # perform the modified-to-shared write-back (Wang et al.).
+                llc_line.consumed = True
+                if llc_line.dirty:
+                    self.memory.write(now, 1, llc_line.stream)
+                    llc_line.dirty = False
             if write:
                 # RFO: the MLC takes exclusive ownership; the LLC copy dies.
                 dirty = True
                 io_flag = llc_line.io
                 self._detach_llc_line(llc_line)
-                self.llc.remove(llc_line)
+                llc.remove(llc_line)
                 self._fill_mlc(now, core, addr, stream, dirty=dirty, io=io_flag)
             elif llc_line.io and self.cfg.self_invalidate_consumed:
                 # IDIO/Sweeper baseline: the consumed copy self-invalidates.
                 self._detach_llc_line(llc_line)
-                self.llc.remove(llc_line)
+                llc.remove(llc_line)
                 self._fill_mlc(now, core, addr, stream, dirty=False, io=True)
             elif llc_line.io:
                 # A DMA-written line transitions modified -> shared on its
@@ -150,18 +183,22 @@ class CacheHierarchy:
                 # as an LLC-inclusive line must migrate into the inclusive
                 # ways (Yan et al.) — the paper's directory contention.
                 self._make_inclusive(now, llc_line)
-                self._fill_mlc(now, core, addr, stream, dirty=False, io=True)
+                self._fill_mlc(
+                    now, core, addr, stream, dirty=False, io=True,
+                    llc_line=llc_line,
+                )
             else:
                 # Regular non-inclusive victim-cache hit: the line transfers
                 # to the reader's MLC and the LLC copy is invalidated.
                 self._detach_llc_line(llc_line)
-                self.llc.remove(llc_line)
+                llc.remove(llc_line)
                 self._fill_mlc(
                     now, core, addr, stream, dirty=llc_line.dirty, io=False
                 )
             return self.cfg.llc_hit_cycles
 
-        entry = self.sf.entry(addr)
+        sf = self.sf
+        entry = sf._sets[addr % sf.sets].get(addr)
         if entry is not None and entry.holders:
             # MLC-only line held by a peer core: serve via a snoop.
             counters.llc_hits += 1
@@ -191,7 +228,7 @@ class CacheHierarchy:
             return
         if self.llc.lookup(addr, touch=False) is not None:
             return  # leave LLC-resident lines alone (no speculative moves)
-        counters = self.counters.stream(stream)
+        counters = self._stream(stream)
         counters.prefetch_fills += 1
         self.memory.read(now, 1, stream)
         self._fill_mlc(now, core, addr, stream, dirty=False, io=False)
@@ -206,50 +243,125 @@ class CacheHierarchy:
         ``allocating`` selects the DDIO allocating flow (write-update /
         write-allocate into DCA ways) vs. the memory flow (DCA disabled).
         """
-        counters = self.counters.stream(stream)
-        counters.dma_writes += 1
+        self.dma_write_burst(now, addr, 1, stream, allocating)
 
-        # The device takes ownership: cached CPU copies become stale.
-        self._invalidate_peers(now, addr, keep_core=None, silent=True)
-        llc_line = self.llc.lookup(addr, touch=False)
-        if llc_line is not None:
-            llc_line.holders.clear()
+    def dma_write_burst(
+        self, now: float, base_addr: int, lines: int, stream: str, allocating: bool
+    ) -> None:
+        """Inbound device write of ``lines`` consecutive lines.
 
-        if allocating:
-            if llc_line is not None and not self.cfg.ddio_write_update:
-                # Ablation: no in-place updates; drop the stale copy and
-                # fall through to a fresh DCA-way allocation.
-                self._detach_llc_line(llc_line)
-                self.llc.remove(llc_line)
-                llc_line = None
+        Semantically identical to ``lines`` calls to :meth:`dma_write`; the
+        burst form hoists the per-stream counter fetch and structure
+        bindings out of the per-line loop (NIC packets and NVMe transfers
+        always write multi-line bursts).
+        """
+        counters = self._scounters.get(stream)
+        if counters is None:
+            counters = self._scounters[stream] = self.counters.stream(stream)
+        counters.dma_writes += lines
+
+        sf = self.sf
+        sf_sets = sf._sets
+        sf_nsets = sf.sets
+        llc = self.llc
+        llc_sets = llc._sets
+        llc_nsets = llc._nsets
+        write_update = self.cfg.ddio_write_update
+        lru_tick = self._llc_lru_tick
+        memory_write = self.memory.write
+        scounters = self._scounters
+        for addr in range(base_addr, base_addr + lines):
+            # The device takes ownership: cached CPU copies become stale.
+            # (Untracked addresses — the common case for fresh buffers —
+            # skip the full peer walk; LLC holder sets are empty whenever
+            # no snoop filter entry exists, so nothing needs pruning.)
+            if sf_sets[addr % sf_nsets].get(addr) is not None:
+                self._invalidate_peers(now, addr, keep_core=None, silent=True)
+            wayset = llc_sets[addr % llc_nsets]
+            llc_line = wayset.index.get(addr)
             if llc_line is not None:
-                counters.ddio_updates += 1
-                llc_line.dirty = True
-                llc_line.io = True
-                llc_line.consumed = False
-                llc_line.stream = stream
-                self.llc.touch(llc_line)
+                llc_line.holders.clear()
+
+            if allocating:
+                if llc_line is not None and not write_update:
+                    # Ablation: no in-place updates; drop the stale copy and
+                    # fall through to a fresh DCA-way allocation.
+                    self._detach_llc_line(llc_line)
+                    llc.remove(llc_line)
+                    llc_line = None
+                if llc_line is not None:
+                    counters.ddio_updates += 1
+                    llc_line.dirty = True
+                    llc_line.io = True
+                    llc_line.consumed = False
+                    llc_line.stream = stream
+                    if lru_tick is not None:
+                        llc_line.lru = next(lru_tick)
+                    else:
+                        llc.policy.on_hit(llc_line)
+                elif lru_tick is not None:
+                    # Inlined LastLevelCache.allocate (LRU fast path); the
+                    # lookup above proved ``addr`` is not resident, and
+                    # ``wayset`` is reused from it.
+                    counters.ddio_allocates += 1
+                    slots = wayset.slots
+                    way = -1
+                    best_lru = None
+                    for cand in llc.dca_ways:
+                        resident = slots[cand]
+                        if resident is None:
+                            way = cand
+                            break
+                        if best_lru is None or resident.lru < best_lru:
+                            way, best_lru = cand, resident.lru
+                    if way < 0:
+                        raise ValueError("no candidate ways for victim selection")
+                    victim = slots[way]
+                    index = wayset.index
+                    if victim is not None:
+                        del index[victim.addr]
+                    line = LlcLine(addr, stream, way, True, True, False)
+                    line.lru = next(lru_tick)
+                    slots[way] = line
+                    index[addr] = line
+                    if victim is not None:
+                        if victim.holders:
+                            self._dispose_victim(now, victim)
+                        else:
+                            # Inlined _dispose_victim, no-holders case (DCA
+                            # victims are never inclusive).
+                            vstream = victim.stream
+                            vcounters = scounters.get(vstream)
+                            if vcounters is None:
+                                vcounters = scounters[vstream] = (
+                                    self.counters.stream(vstream)
+                                )
+                            vcounters.llc_evictions_suffered += 1
+                            if victim.io and not victim.consumed:
+                                vcounters.dma_leaks += 1
+                            if victim.dirty:
+                                memory_write(now, 1, vstream)
+                else:
+                    counters.ddio_allocates += 1
+                    _, victim = llc.allocate(
+                        addr,
+                        stream,
+                        llc.dca_ways,
+                        dirty=True,
+                        io=True,
+                        consumed=False,
+                    )
+                    if victim is not None:
+                        self._dispose_victim(now, victim)
             else:
-                counters.ddio_allocates += 1
-                _, victim = self.llc.allocate(
-                    addr,
-                    stream,
-                    self.llc.dca_ways,
-                    dirty=True,
-                    io=True,
-                    consumed=False,
-                )
-                if victim is not None:
-                    self._dispose_victim(now, victim)
-        else:
-            self.memory.write(now, 1, stream)
-            if llc_line is not None:
-                # Stale copy invalidated without write-back.
-                self.llc.remove(llc_line)
+                memory_write(now, 1, stream)
+                if llc_line is not None:
+                    # Stale copy invalidated without write-back.
+                    llc.remove(llc_line)
 
     def dma_read(self, now: float, addr: int, stream: str) -> None:
         """Outbound device read of one line (egress path)."""
-        counters = self.counters.stream(stream)
+        counters = self._stream(stream)
         counters.dma_reads += 1
 
         llc_line = self.llc.lookup(addr)
@@ -285,67 +397,129 @@ class CacheHierarchy:
     # Internal mechanics
     # ------------------------------------------------------------------
 
-    def _consume_if_io(self, now: float, llc_line: LlcLine) -> None:
-        """First CPU touch of a DMA-written line: mark consumed and perform
-        the modified-to-shared coherence write-back (Wang et al.)."""
-        if llc_line.io and not llc_line.consumed:
-            llc_line.consumed = True
-            if llc_line.dirty:
-                self.memory.write(now, 1, llc_line.stream)
-                llc_line.dirty = False
-
     def _make_inclusive(self, now: float, llc_line: LlcLine) -> None:
         """A read is about to put ``llc_line`` into an MLC as well: enforce
         the shared-directory placement constraint (migrate into the
         inclusive ways), unless disabled for ablation."""
-        if not self.cfg.llc.inclusive_migration:
+        if not self._inclusive_migration:
             return
-        if llc_line.way in self.cfg.llc.inclusive_ways:
+        if llc_line.way in self._inclusive_ways:
             return
-        victim = self.llc.migrate_to_inclusive(llc_line)
-        self.counters.stream(llc_line.stream).migrations += 1
+        llc = self.llc
+        lru_tick = self._llc_lru_tick
+        if lru_tick is not None:
+            # Inlined LastLevelCache.migrate_to_inclusive (LRU fast path).
+            wayset = llc._sets[llc_line.addr % llc._nsets]
+            slots = wayset.slots
+            way = -1
+            best_lru = None
+            for cand in self._inclusive_ways:
+                resident = slots[cand]
+                if resident is None:
+                    way = cand
+                    break
+                if best_lru is None or resident.lru < best_lru:
+                    way, best_lru = cand, resident.lru
+            if way < 0:
+                raise ValueError("no candidate ways for victim selection")
+            victim = slots[way]
+            if victim is not None:
+                del wayset.index[victim.addr]
+            slots[llc_line.way] = None
+            llc_line.lru = next(lru_tick)
+            llc_line.way = way
+            slots[way] = llc_line
+        else:
+            victim = llc.migrate_to_inclusive(llc_line)
+        stream = llc_line.stream
+        counters = self._scounters.get(stream)
+        if counters is None:
+            counters = self._scounters[stream] = self.counters.stream(stream)
+        counters.migrations += 1
         if victim is not None:
             self._dispose_victim(now, victim)
 
     def _fill_mlc(
-        self, now: float, core: int, addr: int, stream: str, dirty: bool, io: bool
+        self,
+        now: float,
+        core: int,
+        addr: int,
+        stream: str,
+        dirty: bool,
+        io: bool,
+        llc_line: Optional[LlcLine] = None,
     ) -> None:
+        """Install ``addr`` into ``core``'s MLC and track it in the extended
+        directory.  ``llc_line`` is the line's current LLC copy — callers
+        always know it (most paths just removed it or verified a miss), so
+        passing it here saves a redundant LLC lookup per fill."""
+        mlc = self.mlcs[core]
+        bucket = mlc._sets[addr % mlc.sets]
+        if addr in bucket:
+            raise ValueError(f"addr {addr:#x} already resident")
+        victim = None
+        if len(bucket) >= mlc.ways:
+            victim_addr = None
+            victim_lru = None
+            for cand_addr, resident in bucket.items():
+                if victim_lru is None or resident.lru < victim_lru:
+                    victim_addr, victim_lru = cand_addr, resident.lru
+            victim = bucket.pop(victim_addr)
         line = MlcLine(addr=addr, stream=stream, dirty=dirty, io=io)
-        victim = self.mlcs[core].insert(line)
-        self._track_mlc(now, core, addr)
-        if victim is not None:
-            self._handle_mlc_eviction(now, core, victim)
-
-    def _track_mlc(self, now: float, core: int, addr: int) -> None:
-        llc_line = self.llc.lookup(addr, touch=False)
-        inclusive = llc_line is not None
-        evicted_entry = self.sf.track(addr, core, inclusive)
+        line.lru = next(mlc._tick)
+        bucket[addr] = line
+        # Inlined SnoopFilter.track: a fresh MLC holder is the common case
+        # (buffers are per-core), so build the entry here; an existing
+        # entry just gains a holder.
+        sf = self.sf
+        sf_bucket = sf._sets[addr % sf.sets]
+        entry = sf_bucket.get(addr)
+        if entry is None:
+            evicted_entry = None
+            if len(sf_bucket) >= sf.ways:
+                evicted_entry = sf._choose_victim(sf_bucket)
+                del sf_bucket[evicted_entry.addr]
+                sf.back_invalidations += 1
+            sf_bucket[addr] = DirectoryEntry(
+                addr, {core}, llc_line is not None, next(sf._tick)
+            )
+            if evicted_entry is not None:
+                self._back_invalidate(now, evicted_entry)
+        else:
+            entry.holders.add(core)
+            if llc_line is not None:
+                entry.inclusive = True
+            entry.lru = next(sf._tick)
         if llc_line is not None:
             llc_line.holders.add(core)
-        if evicted_entry is not None:
-            self._back_invalidate(now, evicted_entry)
-
-    def _untrack_mlc(self, addr: int, core: int) -> None:
-        self.sf.drop_holder(addr, core)
-        llc_line = self.llc.lookup(addr, touch=False)
-        if llc_line is not None:
-            llc_line.holders.discard(core)
-            if not llc_line.holders:
-                self.sf.set_inclusive(addr, False)
+        if victim is not None:
+            self._handle_mlc_eviction(now, core, victim)
 
     def _handle_mlc_eviction(self, now: float, core: int, mlc_line: MlcLine) -> None:
         """Victim-cache behaviour: an evicted MLC line allocates into the LLC
         within the evicting core's CAT mask (unless already resident)."""
         addr = mlc_line.addr
-        self._untrack_mlc(addr, core)
-
-        llc_line = self.llc.lookup(addr, touch=False)
+        sf = self.sf
+        # Inlined SnoopFilter.drop_holder; ``entry`` stays valid for the
+        # peer-holder check below (empty entries are deleted here).
+        sf_bucket = sf._sets[addr % sf.sets]
+        entry = sf_bucket.get(addr)
+        if entry is not None:
+            entry.holders.discard(core)
+            if not entry.holders:
+                del sf_bucket[addr]
+                entry = None
+        llc = self.llc
+        wayset = llc._sets[addr % llc._nsets]
+        llc_line = wayset.index.get(addr)
         if llc_line is not None:
+            llc_line.holders.discard(core)
+            if not llc_line.holders and entry is not None:
+                entry.inclusive = False
             # Was inclusive: the LLC copy absorbs the eviction.
             llc_line.dirty = llc_line.dirty or mlc_line.dirty
             return
 
-        entry = self.sf.entry(addr)
         if entry is not None and entry.holders:
             # A peer MLC still holds the line: silent drop of this copy.
             if mlc_line.dirty:
@@ -361,35 +535,90 @@ class CacheHierarchy:
                 self.memory.write(now, 1, mlc_line.stream)
             return
 
-        counters = self.counters.stream(mlc_line.stream)
+        stream = mlc_line.stream
+        counters = self._scounters.get(stream)
+        if counters is None:
+            counters = self._scounters[stream] = self.counters.stream(stream)
         counters.llc_fills += 1
-        if mlc_line.io:
+        io = mlc_line.io
+        if io:
             counters.dma_bloats += 1
-        _, victim = self.llc.allocate(
-            addr,
-            mlc_line.stream,
-            self.cat.ways_for_core(core),
-            dirty=mlc_line.dirty,
-            io=mlc_line.io,
-            consumed=mlc_line.io,  # an I/O line reached the MLC => consumed
-        )
+        cat = self.cat
+        allowed = cat._masks[cat._core_clos.get(core, 0)]
+        lru_tick = self._llc_lru_tick
+        if lru_tick is not None:
+            # Inlined LastLevelCache.allocate (LRU fast path); the lookup
+            # above proved ``addr`` is not resident, and ``wayset`` is
+            # reused from it.  An I/O line that reached an MLC counts as
+            # consumed.
+            slots = wayset.slots
+            way = -1
+            best_lru = None
+            for cand in allowed:
+                resident = slots[cand]
+                if resident is None:
+                    way = cand
+                    break
+                if best_lru is None or resident.lru < best_lru:
+                    way, best_lru = cand, resident.lru
+            if way < 0:
+                raise ValueError("no candidate ways for victim selection")
+            victim = slots[way]
+            index = wayset.index
+            if victim is not None:
+                del index[victim.addr]
+            line = LlcLine(addr, stream, way, mlc_line.dirty, io, io)
+            line.lru = next(lru_tick)
+            slots[way] = line
+            index[addr] = line
+        else:
+            _, victim = self.llc.allocate(
+                addr,
+                stream,
+                allowed,
+                dirty=mlc_line.dirty,
+                io=io,
+                consumed=io,
+            )
         if victim is not None:
-            self._dispose_victim(now, victim)
+            if victim.holders:
+                self._dispose_victim(now, victim)
+            else:
+                # Inlined _dispose_victim, no-holders case (the common one
+                # for standard-way victims).
+                vstream = victim.stream
+                vcounters = self._scounters.get(vstream)
+                if vcounters is None:
+                    vcounters = self._scounters[vstream] = (
+                        self.counters.stream(vstream)
+                    )
+                vcounters.llc_evictions_suffered += 1
+                if victim.io and not victim.consumed:
+                    vcounters.dma_leaks += 1
+                if victim.dirty:
+                    self.memory.write(now, 1, vstream)
 
     def _dispose_victim(self, now: float, victim: LlcLine) -> None:
         """Account for an LLC line displaced by a fill or migration."""
-        counters = self.counters.stream(victim.stream)
+        stream = victim.stream
+        counters = self._scounters.get(stream)
+        if counters is None:
+            counters = self._scounters[stream] = self.counters.stream(stream)
         counters.llc_evictions_suffered += 1
         if victim.holders:
             # Inclusive line losing only its LLC data copy: the MLC copies
             # live on, tracked by extended directory entries instead.
             counters.inclusive_downgrades += 1
+            addr = victim.addr
             if victim.dirty:
                 holder = next(iter(victim.holders))
-                holder_line = self.mlcs[holder].peek(victim.addr)
+                holder_line = self.mlcs[holder].peek(addr)
                 if holder_line is not None:
                     holder_line.dirty = True
-            self.sf.set_inclusive(victim.addr, False)
+            sf = self.sf
+            entry = sf._sets[addr % sf.sets].get(addr)
+            if entry is not None:
+                entry.inclusive = False
             return
         if victim.io and not victim.consumed:
             counters.dma_leaks += 1
@@ -399,15 +628,12 @@ class CacheHierarchy:
     def _detach_llc_line(self, llc_line: LlcLine) -> None:
         """Prepare an LLC line for removal: release directory coupling."""
         if llc_line.holders:
-            self.sf.set_inclusive(llc_line.addr, False)
+            sf = self.sf
+            addr = llc_line.addr
+            entry = sf._sets[addr % sf.sets].get(addr)
+            if entry is not None:
+                entry.inclusive = False
             llc_line.holders.clear()
-
-    def _invalidate_llc_copy_for_store(self, addr: int) -> None:
-        """A store hit in an MLC invalidates any (now stale) LLC copy."""
-        llc_line = self.llc.lookup(addr, touch=False)
-        if llc_line is not None:
-            self._detach_llc_line(llc_line)
-            self.llc.remove(llc_line)
 
     def _invalidate_peers(
         self,
@@ -421,7 +647,8 @@ class CacheHierarchy:
         Returns True when a dirty copy was dropped.  ``silent`` suppresses
         the write-back (used for DMA writes that overwrite the data anyway).
         """
-        entry = self.sf.entry(addr)
+        sf = self.sf
+        entry = sf._sets[addr % sf.sets].get(addr)
         if entry is None:
             return False
         dirty_dropped = False
@@ -429,12 +656,13 @@ class CacheHierarchy:
             if core == keep_core:
                 continue
             dropped = self.mlcs[core].invalidate(addr)
-            self.sf.drop_holder(addr, core)
+            sf.drop_holder(addr, core)
             if dropped is not None and dropped.dirty:
                 dirty_dropped = True
                 if not silent:
                     self.memory.write(now, 1, dropped.stream)
-        llc_line = self.llc.lookup(addr, touch=False)
+        llc = self.llc
+        llc_line = llc._sets[addr % llc._nsets].index.get(addr)
         if llc_line is not None:
             llc_line.holders = {
                 c for c in llc_line.holders if c == keep_core
@@ -448,6 +676,6 @@ class CacheHierarchy:
         for core in list(entry.holders):
             dropped = self.mlcs[core].invalidate(entry.addr)
             if dropped is not None:
-                self.counters.stream(dropped.stream).back_invalidations += 1
+                self._stream(dropped.stream).back_invalidations += 1
                 if dropped.dirty:
                     self.memory.write(now, 1, dropped.stream)

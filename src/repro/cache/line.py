@@ -11,42 +11,91 @@ bits the paper's contentions hinge on:
   **LLC-inclusive** (also resident in some MLC — such lines may only occupy
   the two inclusive ways), and which stream (workload) allocated them, for
   attribution of evictions and leaks.
+
+Both classes are plain ``__slots__`` records rather than dataclasses:
+millions of them are allocated per run, and the closed attribute set plus
+the skipped instance ``__dict__`` are worth a measurable share of the
+simulation's wall time.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Set
+from typing import Dict, Optional, Set
 
 
-@dataclass
 class MlcLine:
     """A line resident in a private mid-level cache."""
 
-    addr: int
-    stream: str
-    dirty: bool = False
-    io: bool = False
-    lru: int = 0
+    __slots__ = ("addr", "stream", "dirty", "io", "lru")
+
+    def __init__(
+        self,
+        addr: int,
+        stream: str,
+        dirty: bool = False,
+        io: bool = False,
+        lru: int = 0,
+    ):
+        self.addr = addr
+        self.stream = stream
+        self.dirty = dirty
+        self.io = io
+        self.lru = lru
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MlcLine(addr={self.addr:#x}, stream={self.stream!r}, "
+            f"dirty={self.dirty}, io={self.io}, lru={self.lru})"
+        )
 
 
-@dataclass
 class LlcLine:
     """A line resident in the shared last-level cache."""
 
-    addr: int
-    stream: str
-    way: int
-    dirty: bool = False
-    io: bool = False
-    consumed: bool = False
-    lru: int = 0
-    holders: Set[int] = field(default_factory=set)
-    """Core ids whose MLC also holds this line (non-empty => LLC-inclusive)."""
-    meta: Dict[str, int] = field(default_factory=dict)
-    """Replacement-policy metadata (e.g. the RRIP re-reference value)."""
+    __slots__ = (
+        "addr",
+        "stream",
+        "way",
+        "dirty",
+        "io",
+        "consumed",
+        "lru",
+        "holders",
+        "meta",
+    )
+
+    def __init__(
+        self,
+        addr: int,
+        stream: str,
+        way: int,
+        dirty: bool = False,
+        io: bool = False,
+        consumed: bool = False,
+        lru: int = 0,
+        holders: Optional[Set[int]] = None,
+        meta: Optional[Dict[str, int]] = None,
+    ):
+        self.addr = addr
+        self.stream = stream
+        self.way = way
+        self.dirty = dirty
+        self.io = io
+        self.consumed = consumed
+        self.lru = lru
+        self.holders: Set[int] = set() if holders is None else holders
+        """Core ids whose MLC also holds this line (non-empty => LLC-inclusive)."""
+        self.meta: Dict[str, int] = {} if meta is None else meta
+        """Replacement-policy metadata (e.g. the RRIP re-reference value)."""
 
     @property
     def inclusive(self) -> bool:
         """True when the line is resident in both the LLC and some MLC."""
         return bool(self.holders)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"LlcLine(addr={self.addr:#x}, stream={self.stream!r}, "
+            f"way={self.way}, dirty={self.dirty}, io={self.io}, "
+            f"consumed={self.consumed}, holders={self.holders})"
+        )

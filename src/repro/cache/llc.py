@@ -15,7 +15,7 @@ from typing import Dict, Iterable, Optional, Sequence, Tuple
 
 from repro import config
 from repro.cache.line import LlcLine
-from repro.cache.replacement import make_policy
+from repro.cache.replacement import LruPolicy, make_policy
 from repro.cache.sets import WaySet
 
 
@@ -54,7 +54,14 @@ class LastLevelCache:
     def __init__(self, cfg: Optional[LlcConfig] = None):
         self.cfg = cfg or LlcConfig()
         self._sets = [WaySet(self.cfg.ways) for _ in range(self.cfg.sets)]
+        self._nsets = self.cfg.sets
         self.policy = make_policy(self.cfg.replacement)
+        self._lru_tick = (
+            self.policy._tick if type(self.policy) is LruPolicy else None
+        )
+        """LRU fast path: when the policy is the (default) plain LRU, hits,
+        fills and victim picks reduce to tick bumps and a min-scan, which
+        the hot paths inline instead of dispatching through the policy."""
         self.dca_ways: Tuple[int, ...] = tuple(self.cfg.dca_ways)
         """The ways DDIO write-allocates into.  Runtime-mutable through the
         IIO LLC WAYS register (``repro.uncore.msr``), as on real Skylake-SP
@@ -74,17 +81,23 @@ class LastLevelCache:
     # -- basic operations ---------------------------------------------------
 
     def set_of(self, addr: int) -> WaySet:
-        return self._sets[addr % self.cfg.sets]
+        return self._sets[addr % self._nsets]
 
     def lookup(self, addr: int, touch: bool = True) -> Optional[LlcLine]:
-        line = self.set_of(addr).lookup(addr)
+        line = self._sets[addr % self._nsets].index.get(addr)
         if line is not None and touch:
-            self.policy.on_hit(line)
+            if self._lru_tick is not None:
+                line.lru = next(self._lru_tick)
+            else:
+                self.policy.on_hit(line)
         return line
 
     def touch(self, line: LlcLine) -> None:
         """Refresh ``line``'s recency without a lookup."""
-        self.policy.on_hit(line)
+        if self._lru_tick is not None:
+            line.lru = next(self._lru_tick)
+        else:
+            self.policy.on_hit(line)
 
     def allocate(
         self,
@@ -99,13 +112,31 @@ class LastLevelCache:
 
         Returns ``(new_line, victim)``; the caller owns victim disposal.
         """
-        wayset = self.set_of(addr)
-        if wayset.lookup(addr) is not None:
+        wayset = self._sets[addr % self._nsets]
+        slots = wayset.slots
+        index = wayset.index
+        if addr in index:
             raise ValueError(f"addr {addr:#x} already resident in LLC")
-        way = self.policy.victim_way(wayset.slots, allowed_ways)
-        victim = wayset.slots[way]
+        lru_tick = self._lru_tick
+        if lru_tick is not None:
+            # Inlined LruPolicy.victim_way: first empty way, else min LRU.
+            way = -1
+            best_lru = None
+            for cand in allowed_ways:
+                resident = slots[cand]
+                if resident is None:
+                    way = cand
+                    break
+                if best_lru is None or resident.lru < best_lru:
+                    way, best_lru = cand, resident.lru
+            if way < 0:
+                raise ValueError("no candidate ways for victim selection")
+        else:
+            way = self.policy.victim_way(slots, allowed_ways)
+        victim = slots[way]
         if victim is not None:
-            wayset.remove(victim)
+            # Inlined WaySet.remove: slots[way] is overwritten just below.
+            del index[victim.addr]
         line = LlcLine(
             addr=addr,
             stream=stream,
@@ -114,8 +145,12 @@ class LastLevelCache:
             io=io,
             consumed=consumed,
         )
-        self.policy.on_fill(line)
-        wayset.install(line, way)
+        if lru_tick is not None:
+            line.lru = next(lru_tick)
+        else:
+            self.policy.on_fill(line)
+        slots[way] = line
+        index[addr] = line
         return line, victim
 
     def remove(self, line: LlcLine) -> None:
@@ -129,16 +164,37 @@ class LastLevelCache:
         (None if an inclusive way was free).  No-op if already there.
         """
         if line.way in self.cfg.inclusive_ways:
-            self.policy.on_hit(line)
+            self.touch(line)
             return None
-        wayset = self.set_of(line.addr)
-        way = self.policy.victim_way(wayset.slots, self.cfg.inclusive_ways)
-        victim = wayset.slots[way]
+        wayset = self._sets[line.addr % self._nsets]
+        slots = wayset.slots
+        lru_tick = self._lru_tick
+        if lru_tick is not None:
+            way = -1
+            best_lru = None
+            for cand in self.cfg.inclusive_ways:
+                resident = slots[cand]
+                if resident is None:
+                    way = cand
+                    break
+                if best_lru is None or resident.lru < best_lru:
+                    way, best_lru = cand, resident.lru
+            if way < 0:
+                raise ValueError("no candidate ways for victim selection")
+        else:
+            way = self.policy.victim_way(slots, self.cfg.inclusive_ways)
+        victim = slots[way]
         if victim is not None:
-            wayset.remove(victim)
-        wayset.remove(line)
-        self.policy.on_hit(line)
-        wayset.install(line, way)
+            del wayset.index[victim.addr]
+        # Relocate in place: the line keeps its index entry, only the slot
+        # and way change.
+        slots[line.way] = None
+        if lru_tick is not None:
+            line.lru = next(lru_tick)
+        else:
+            self.policy.on_hit(line)
+        line.way = way
+        slots[way] = line
         return victim
 
     # -- inspection -----------------------------------------------------------

@@ -39,23 +39,27 @@ class MidLevelCache:
         return self._sets[addr % self.sets]
 
     def lookup(self, addr: int) -> Optional[MlcLine]:
-        line = self._set_for(addr).get(addr)
+        line = self._sets[addr % self.sets].get(addr)
         if line is not None:
             line.lru = next(self._tick)
         return line
 
     def peek(self, addr: int) -> Optional[MlcLine]:
         """Lookup without perturbing LRU (for inspection and invalidation)."""
-        return self._set_for(addr).get(addr)
+        return self._sets[addr % self.sets].get(addr)
 
     def insert(self, line: MlcLine) -> Optional[MlcLine]:
         """Install ``line``; returns the evicted victim, if any."""
-        bucket = self._set_for(line.addr)
+        bucket = self._sets[line.addr % self.sets]
         if line.addr in bucket:
             raise ValueError(f"addr {line.addr:#x} already resident")
         victim = None
         if len(bucket) >= self.ways:
-            victim_addr = min(bucket, key=lambda a: bucket[a].lru)
+            victim_addr = None
+            victim_lru = None
+            for addr, resident in bucket.items():
+                if victim_lru is None or resident.lru < victim_lru:
+                    victim_addr, victim_lru = addr, resident.lru
             victim = bucket.pop(victim_addr)
         line.lru = next(self._tick)
         bucket[line.addr] = line
@@ -63,7 +67,7 @@ class MidLevelCache:
 
     def invalidate(self, addr: int) -> Optional[MlcLine]:
         """Drop ``addr`` if resident, returning the dropped line."""
-        return self._set_for(addr).pop(addr, None)
+        return self._sets[addr % self.sets].pop(addr, None)
 
     def resident(self) -> Iterable[MlcLine]:
         for bucket in self._sets:

@@ -22,15 +22,35 @@ Policies:
 A policy owns the per-line metadata (``line.lru`` for LRU recency,
 ``line.rrpv`` via the generic ``meta`` dict for RRIP) and decides victims
 within an allowed way set.
+
+Victim selection runs once per LLC fill, so ``_candidates`` avoids building
+a list/set per call: allowed way masks are stable tuples (CAT masks, the
+DCA mask, the inclusive ways), and their candidate tuples are memoised.
 """
 
 from __future__ import annotations
 
 import abc
 import itertools
-from typing import Dict, Iterable, Optional, Sequence
+from typing import Dict, Iterable, Optional, Sequence, Tuple
 
 from repro.cache.line import LlcLine
+
+_ALLOWED_CACHE: Dict[object, Tuple[int, ...]] = {}
+
+
+def _allowed_tuple(allowed) -> Tuple[int, ...]:
+    """``tuple(allowed)``, memoised for the hashable masks the hierarchy
+    passes (tuples come back unchanged without a cache entry)."""
+    if type(allowed) is tuple:
+        return allowed
+    try:
+        cached = _ALLOWED_CACHE.get(allowed)
+    except TypeError:  # unhashable (e.g. a list) — convert every time
+        return tuple(allowed)
+    if cached is None:
+        cached = _ALLOWED_CACHE[allowed] = tuple(allowed)
+    return cached
 
 
 class ReplacementPolicy(abc.ABC):
@@ -57,13 +77,16 @@ class ReplacementPolicy(abc.ABC):
 
     @staticmethod
     def _candidates(slots, allowed, exclude):
-        banned = set(exclude)
-        candidates = [w for w in allowed if w not in banned]
+        if exclude:
+            banned = set(exclude)
+            candidates = tuple(w for w in allowed if w not in banned)
+        else:
+            candidates = _allowed_tuple(allowed)
         if not candidates:
             raise ValueError("no candidate ways for victim selection")
         for way in candidates:
             if slots[way] is None:
-                return [way], True
+                return (way,), True
         return candidates, False
 
 
@@ -82,10 +105,24 @@ class LruPolicy(ReplacementPolicy):
         line.lru = next(self._tick)
 
     def victim_way(self, slots, allowed, exclude=()):
-        candidates, empty = self._candidates(slots, allowed, exclude)
-        if empty:
-            return candidates[0]
-        return min(candidates, key=lambda w: slots[w].lru)
+        if exclude:
+            candidates, empty = self._candidates(slots, allowed, exclude)
+            if empty:
+                return candidates[0]
+        else:
+            candidates = _allowed_tuple(allowed)
+            if not candidates:
+                raise ValueError("no candidate ways for victim selection")
+        # Single pass: first empty way wins, else the least-recently-used.
+        best = None
+        best_lru = None
+        for way in candidates:
+            line = slots[way]
+            if line is None:
+                return way
+            if best_lru is None or line.lru < best_lru:
+                best, best_lru = way, line.lru
+        return best
 
 
 class _RripBase(ReplacementPolicy):
@@ -112,22 +149,22 @@ class _RripBase(ReplacementPolicy):
         candidates, empty = self._candidates(slots, allowed, exclude)
         if empty:
             return candidates[0]
+        max_rrpv = self.max_rrpv
         # Search for an RRPV == max line, ageing everyone until one exists.
         while True:
-            best = max(
-                candidates,
-                key=lambda w: (
-                    slots[w].meta.get("rrpv", self.max_rrpv),
-                    -slots[w].lru,
-                ),
-            )
-            if slots[best].meta.get("rrpv", self.max_rrpv) >= self.max_rrpv:
+            best = None
+            best_key = None
+            for way in candidates:
+                line = slots[way]
+                key = (line.meta.get("rrpv", max_rrpv), -line.lru)
+                if best_key is None or key > best_key:
+                    best, best_key = way, key
+            if best_key[0] >= max_rrpv:
                 return best
             for way in candidates:
                 line = slots[way]
-                line.meta["rrpv"] = min(
-                    self.max_rrpv, line.meta.get("rrpv", self.max_rrpv) + 1
-                )
+                rrpv = line.meta.get("rrpv", max_rrpv) + 1
+                line.meta["rrpv"] = max_rrpv if rrpv > max_rrpv else rrpv
 
 
 class SrripPolicy(_RripBase):

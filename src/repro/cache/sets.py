@@ -1,14 +1,15 @@
-"""Way-organised cache set with masked LRU victim selection.
+"""Way-organised cache set used by the LLC.
 
-Used by the LLC: every set holds one slot per way, a tag index for O(1)
-lookup, and picks victims only among an *allowed* subset of ways — this is
-how both CAT way masks (CPU fills) and the DDIO way mask (DMA fills) are
-enforced.
+Every set holds one slot per way plus a tag index mapping address directly
+to the resident line for O(1) lookup on the hot path.  Victim selection
+lives in the replacement policies (:mod:`repro.cache.replacement`), which
+pick victims only among an *allowed* subset of ways — that is how both CAT
+way masks (CPU fills) and the DDIO way mask (DMA fills) are enforced.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Sequence
+from typing import Iterable, Optional
 
 from repro.cache.line import LlcLine
 
@@ -20,31 +21,10 @@ class WaySet:
 
     def __init__(self, ways: int):
         self.slots: list[Optional[LlcLine]] = [None] * ways
-        self.index: dict[int, int] = {}
+        self.index: dict[int, LlcLine] = {}
 
     def lookup(self, addr: int) -> Optional[LlcLine]:
-        way = self.index.get(addr)
-        return None if way is None else self.slots[way]
-
-    def victim_way(self, allowed: Sequence[int], exclude: Iterable[int] = ()) -> int:
-        """Pick a victim way among ``allowed``: an empty way if any, else LRU.
-
-        ``exclude`` removes ways from consideration (used when relocating a
-        line so it never chooses its own slot).
-        """
-        banned = set(exclude)
-        candidates = [w for w in allowed if w not in banned]
-        if not candidates:
-            raise ValueError("no candidate ways for victim selection")
-        best = None
-        best_lru = None
-        for way in candidates:
-            line = self.slots[way]
-            if line is None:
-                return way
-            if best_lru is None or line.lru < best_lru:
-                best, best_lru = way, line.lru
-        return best
+        return self.index.get(addr)
 
     def install(self, line: LlcLine, way: int) -> None:
         """Place ``line`` into ``way`` (the slot must be empty)."""
@@ -52,7 +32,7 @@ class WaySet:
             raise ValueError(f"way {way} is occupied")
         line.way = way
         self.slots[way] = line
-        self.index[line.addr] = way
+        self.index[line.addr] = line
 
     def remove(self, line: LlcLine) -> None:
         if self.slots[line.way] is not line:

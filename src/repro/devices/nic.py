@@ -58,6 +58,7 @@ class Nic:
         sim.spawn(f"{self.name}-rx", self._rx_body(sim))
 
     def _rx_body(self, sim: Simulator):
+        counters = self.counters.stream(self.stream)
         while True:
             lines = self.generator.next_packet_lines()
             ring = self.rings[self._next_ring]
@@ -65,7 +66,7 @@ class Nic:
             entry = ring.push(lines, sim.now)
             if entry is None:
                 self.packets_dropped += 1
-                self.counters.stream(self.stream).packets_dropped += 1
+                counters.packets_dropped += 1
             else:
                 self.packets_delivered += 1
                 self.iio.inbound_write_burst(

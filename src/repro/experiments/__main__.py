@@ -5,10 +5,13 @@ Usage::
     python -m repro.experiments --list
     python -m repro.experiments fig3a fig5
     python -m repro.experiments --all
-    python -m repro.experiments --all --quick   # reduced epochs
+    python -m repro.experiments --all --quick     # reduced epochs
+    python -m repro.experiments --all --jobs 4    # figures across 4 processes
 
 ``--quick`` trims epochs for a fast sanity pass; default lengths match the
-EXPERIMENTS.md numbers.
+EXPERIMENTS.md numbers.  ``--jobs N`` (N > 1) fans the selected figures out
+over a process pool via :mod:`repro.experiments.parallel`; output order is
+unchanged.
 """
 
 from __future__ import annotations
@@ -18,6 +21,7 @@ import sys
 import time
 
 from repro.experiments.figures import REGISTRY
+from repro.experiments.parallel import FigureTask, run_figure, run_tasks
 
 QUICK_KWARGS = {
     "fig3a": dict(epochs=6),
@@ -55,6 +59,12 @@ def main(argv=None) -> int:
     parser.add_argument("--list", action="store_true", help="list figure ids")
     parser.add_argument("--quick", action="store_true", help="reduced epochs")
     parser.add_argument("--seed", type=int, default=0xA4)
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="run figures across N worker processes (default: 1, serial)",
+    )
     args = parser.parse_args(argv)
 
     if args.list:
@@ -71,11 +81,33 @@ def main(argv=None) -> int:
         print(f"unknown figures: {unknown}; use --list", file=sys.stderr)
         return 2
 
-    for name in targets:
-        runner = REGISTRY[name]
-        kwargs = dict(seed=args.seed)
+    def kwargs_for(name: str) -> dict:
+        kwargs = {}
         if args.quick:
             kwargs.update(QUICK_KWARGS.get(name, {}))
+        return kwargs
+
+    if args.jobs > 1 and len(targets) > 1:
+        tasks = [
+            FigureTask(
+                REGISTRY[name], args.seed, tuple(kwargs_for(name).items())
+            )
+            for name in targets
+        ]
+        started = time.time()
+        results = run_tasks(run_figure, tasks, max_workers=args.jobs)
+        for name, result in zip(targets, results):
+            print(result.render())
+            print(f"[{name}]\n")
+        print(
+            f"[{len(targets)} figures done in {time.time() - started:.1f}s "
+            f"across {args.jobs} jobs]"
+        )
+        return 0
+
+    for name in targets:
+        runner = REGISTRY[name]
+        kwargs = dict(seed=args.seed, **kwargs_for(name))
         started = time.time()
         result = runner(**kwargs)
         print(result.render())

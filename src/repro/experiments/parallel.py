@@ -1,0 +1,200 @@
+"""Process-pool execution of multi-seed sweeps and figure batches.
+
+Seeds of a :func:`repro.experiments.sweep.run_repeated` sweep and the
+per-seed runs behind :func:`repro.experiments.sweep.average_figure` are
+embarrassingly parallel: each builds its own :class:`Server`, runs it, and
+reduces to a small numeric summary.  This module fans those runs out over a
+:class:`concurrent.futures.ProcessPoolExecutor`.
+
+Design constraints, in order of importance:
+
+* **Bit-identical results.**  Workers return plain picklable summaries
+  (floats keyed by stream/metric, or a :class:`FigureResult`), assembled on
+  the parent in task order.  The serial path runs the *same* task functions
+  in the same order, so ``parallel=True`` and ``parallel=False`` produce
+  identical objects — :mod:`tests.test_parallel` locks this.
+* **Picklability.**  Task descriptors are frozen dataclasses holding only
+  module-level callables and primitives; the worker entry points
+  (:func:`seed_metrics`, :func:`run_figure`, :func:`_run_one`) are
+  module-level functions.
+* **Graceful degradation.**  ``parallel=False`` (the default everywhere),
+  ``max_workers<=1``, or a single-CPU host all fall back to a plain loop in
+  the calling process — no pool, no forked interpreters.
+* **Per-task error capture.**  A failing task does not abort its siblings;
+  every task runs to completion and failures are re-raised together as a
+  :class:`ParallelExecutionError` carrying per-task tracebacks.
+"""
+
+from __future__ import annotations
+
+import os
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+METRIC_FIELDS = (
+    "ipc",
+    "llc_hit_rate",
+    "llc_miss_rate",
+    "mlc_miss_rate",
+    "dca_miss_rate",
+    "throughput",
+    "avg_latency",
+    "p99_latency",
+)
+"""Numeric :class:`StreamAggregate` fields collected per seed (the columns
+of a :class:`repro.experiments.sweep.MultiSeedResult`)."""
+
+
+# -- task descriptors (picklable) -----------------------------------------
+
+
+@dataclass(frozen=True)
+class SeedTask:
+    """One seed of a ``run_repeated`` sweep.
+
+    ``build`` must be a module-level callable (lambdas and closures do not
+    pickle); the figure runners and benchmark scenarios already satisfy
+    this.
+    """
+
+    build: Callable[[int], Any]
+    epochs: int
+    warmup: int
+    seed: int
+
+
+@dataclass(frozen=True)
+class FigureTask:
+    """One seed of a figure-runner invocation.
+
+    ``kwargs`` is a tuple of ``(name, value)`` pairs rather than a dict so
+    the descriptor stays hashable/frozen.
+    """
+
+    runner: Callable[..., Any]
+    seed: int
+    kwargs: Tuple[Tuple[str, Any], ...] = ()
+
+
+@dataclass(frozen=True)
+class TaskFailure:
+    """A captured per-task error (exception text + formatted traceback)."""
+
+    index: int
+    task: Any
+    error: str
+    traceback: str
+
+
+class ParallelExecutionError(RuntimeError):
+    """One or more tasks failed; ``failures`` holds every captured error."""
+
+    def __init__(self, failures: Sequence[TaskFailure]):
+        self.failures = tuple(failures)
+        lines = [f"{len(self.failures)} task(s) failed:"]
+        for failure in self.failures:
+            lines.append(f"  task[{failure.index}]: {failure.error}")
+        super().__init__("\n".join(lines))
+
+
+# -- worker entry points ---------------------------------------------------
+
+
+def seed_metrics(task: SeedTask) -> Tuple[float, Dict[str, Dict[str, float]]]:
+    """Run one seed and reduce it to a picklable numeric summary.
+
+    Returns ``(mem_total_bw, {stream: {metric: value}})`` over
+    :data:`METRIC_FIELDS`.  Both the serial and the parallel path of
+    ``run_repeated`` go through this function, which is what guarantees
+    identical :class:`MultiSeedResult` objects either way.
+    """
+    server = task.build(task.seed)
+    result = server.run(epochs=task.epochs, warmup=task.warmup)
+    streams: Dict[str, Dict[str, float]] = {}
+    for name in result.stream_names():
+        aggregate = result.aggregate(name)
+        streams[name] = {
+            metric: getattr(aggregate, metric) for metric in METRIC_FIELDS
+        }
+    return result.mem_total_bw, streams
+
+
+def run_figure(task: FigureTask) -> Any:
+    """Invoke a figure runner for one seed (worker entry point)."""
+    return task.runner(seed=task.seed, **dict(task.kwargs))
+
+
+def _run_one(
+    fn: Callable[[Any], Any], index: int, task: Any
+) -> Tuple[int, Any, Optional[TaskFailure]]:
+    """Run one task, capturing any exception instead of raising.
+
+    Capturing on the worker side keeps a single bad seed from poisoning
+    the pool (an unpicklable exception would otherwise break the executor)
+    and preserves the worker-side traceback verbatim.
+    """
+    try:
+        return index, fn(task), None
+    except Exception as exc:  # noqa: BLE001 - reported via TaskFailure
+        return index, None, TaskFailure(
+            index=index,
+            task=task,
+            error=f"{type(exc).__name__}: {exc}",
+            traceback=traceback.format_exc(),
+        )
+
+
+# -- the engine ------------------------------------------------------------
+
+
+def resolve_workers(n_tasks: int, max_workers: Optional[int] = None) -> int:
+    """Effective worker count: ``min(tasks, max_workers or cpu_count)``."""
+    limit = max_workers if max_workers is not None else (os.cpu_count() or 1)
+    return max(1, min(n_tasks, limit))
+
+
+def run_tasks(
+    fn: Callable[[Any], Any],
+    tasks: Sequence[Any],
+    parallel: bool = True,
+    max_workers: Optional[int] = None,
+) -> List[Any]:
+    """Run ``fn(task)`` for every task; results come back in task order.
+
+    With ``parallel=True`` and more than one effective worker the tasks run
+    across a :class:`ProcessPoolExecutor`; otherwise they run serially in
+    this process.  Either way every task is attempted, and if any failed a
+    :class:`ParallelExecutionError` aggregating all failures is raised
+    after the batch completes.
+    """
+    tasks = list(tasks)
+    if not tasks:
+        return []
+    workers = resolve_workers(len(tasks), max_workers)
+    results: List[Any] = [None] * len(tasks)
+    failures: List[TaskFailure] = []
+
+    if not parallel or workers <= 1:
+        outcomes = (_run_one(fn, i, task) for i, task in enumerate(tasks))
+    else:
+        pool = ProcessPoolExecutor(max_workers=workers)
+        try:
+            futures = [
+                pool.submit(_run_one, fn, i, task)
+                for i, task in enumerate(tasks)
+            ]
+            outcomes = [future.result() for future in futures]
+        finally:
+            pool.shutdown()
+
+    for index, value, failure in outcomes:
+        if failure is not None:
+            failures.append(failure)
+        else:
+            results[index] = value
+
+    if failures:
+        raise ParallelExecutionError(failures)
+    return results

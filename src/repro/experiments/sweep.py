@@ -11,24 +11,26 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
-from repro.experiments.harness import RunResult, Server, StreamAggregate
+from repro.experiments.harness import Server
+from repro.experiments.parallel import (
+    METRIC_FIELDS,
+    FigureTask,
+    SeedTask,
+    run_figure,
+    run_tasks,
+    seed_metrics,
+)
 from repro.experiments.report import FigureResult
 
 DEFAULT_SEEDS = (0xA4, 0xA5, 0xA6, 0xA7, 0xA8)
 """Five iterations, like the paper."""
 
-_NUMERIC_FIELDS = (
-    "ipc",
-    "llc_hit_rate",
-    "llc_miss_rate",
-    "mlc_miss_rate",
-    "dca_miss_rate",
-    "throughput",
-    "avg_latency",
-    "p99_latency",
-)
+_NUMERIC_FIELDS = METRIC_FIELDS
+"""Back-compat alias; the canonical tuple lives in
+:mod:`repro.experiments.parallel` so worker processes import it without
+pulling in this module."""
 
 
 def mean(values: Sequence[float]) -> float:
@@ -70,26 +72,31 @@ def run_repeated(
     epochs: int,
     warmup: int,
     seeds: Sequence[int] = DEFAULT_SEEDS,
+    parallel: bool = False,
+    max_workers: Optional[int] = None,
 ) -> MultiSeedResult:
     """Run ``build(seed)`` for each seed and collect metric statistics.
 
     ``build`` must return a fully configured (workloads + manager) server.
+    With ``parallel=True`` the seeds run across a process pool (``build``
+    must then be a module-level callable so it pickles); results are
+    identical to the serial path because both assemble the same per-seed
+    summaries in seed order.
     """
     if not seeds:
         raise ValueError("need at least one seed")
+    tasks = [SeedTask(build, epochs, warmup, seed) for seed in seeds]
+    summaries = run_tasks(
+        seed_metrics, tasks, parallel=parallel, max_workers=max_workers
+    )
     per_stream: Dict[str, Dict[str, List[float]]] = {}
     mem_values: List[float] = []
-    for seed in seeds:
-        server = build(seed)
-        result: RunResult = server.run(epochs=epochs, warmup=warmup)
-        mem_values.append(result.mem_total_bw)
-        for name in result.stream_names():
-            aggregate: StreamAggregate = result.aggregate(name)
+    for mem_total_bw, streams in summaries:
+        mem_values.append(mem_total_bw)
+        for name, metrics in streams.items():
             bucket = per_stream.setdefault(name, {})
-            for field_name in _NUMERIC_FIELDS:
-                bucket.setdefault(field_name, []).append(
-                    getattr(aggregate, field_name)
-                )
+            for field_name, value in metrics.items():
+                bucket.setdefault(field_name, []).append(value)
     return MultiSeedResult(
         seeds=tuple(seeds),
         streams={
@@ -106,16 +113,25 @@ def run_repeated(
 def average_figure(
     runner: Callable[..., FigureResult],
     seeds: Sequence[int] = DEFAULT_SEEDS,
+    parallel: bool = False,
+    max_workers: Optional[int] = None,
     **kwargs,
 ) -> FigureResult:
     """Run a figure runner once per seed and average its numeric cells.
 
     Rows are matched by position (every figure runner is deterministic in
-    row order); non-numeric cells are taken from the first run.
+    row order); non-numeric cells are taken from the first run.  With
+    ``parallel=True`` the seeds run across a process pool (``runner`` must
+    be module-level so it pickles).
     """
     if not seeds:
         raise ValueError("need at least one seed")
-    results = [runner(seed=seed, **kwargs) for seed in seeds]
+    tasks = [
+        FigureTask(runner, seed, tuple(kwargs.items())) for seed in seeds
+    ]
+    results = run_tasks(
+        run_figure, tasks, parallel=parallel, max_workers=max_workers
+    )
     first = results[0]
     for other in results[1:]:
         if len(other.rows) != len(first.rows):

@@ -74,7 +74,7 @@ class CacheAllocation:
 
     def ways_for_core(self, core: int) -> Tuple[int, ...]:
         """The ways in which this core's fills may pick victims."""
-        return self._masks[self.clos_of(core)]
+        return self._masks[self._core_clos.get(core, 0)]
 
     def associations(self) -> Dict[int, int]:
         return dict(self._core_clos)

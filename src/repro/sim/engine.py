@@ -11,30 +11,57 @@ Two styles of actors are supported:
 
 The clock is an integer-friendly float.  Determinism is guaranteed by a
 monotonically increasing sequence number used as a heap tie-breaker.
+
+Internally the heap holds plain ``[time, seq, action]`` lists, so ordering
+is resolved by C-level list comparison on the unique ``(time, seq)`` prefix
+— the ``action`` slot is never compared.  Cancellation nulls the action
+slot in place; :class:`Event` is a thin handle over the queued entry.
+
+Process resumes take a fast path: their entries are ``[time, seq, body,
+process]`` (the generator itself in the action slot), the run loop resumes
+the generator inline — no per-event trampoline frame — and the popped
+entry list is reused for the re-schedule, so steady-state process
+execution allocates nothing.
 """
 
 from __future__ import annotations
 
-import heapq
 import itertools
-from dataclasses import dataclass, field
+from heapq import heappop, heappush
 from typing import Callable, Generator, Iterable, Optional
 
 ProcessBody = Generator[float, None, None]
 
+_TIME, _SEQ, _ACTION = 0, 1, 2
 
-@dataclass(order=True)
+
 class Event:
-    """A scheduled callback.  Ordered by (time, seq) for determinism."""
+    """Handle over a scheduled callback.  Ordered by (time, seq)."""
 
-    time: float
-    seq: int
-    action: Callable[["Simulator"], None] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
+    __slots__ = ("_entry",)
+
+    def __init__(self, entry: list):
+        self._entry = entry
+
+    @property
+    def time(self) -> float:
+        return self._entry[_TIME]
+
+    @property
+    def seq(self) -> int:
+        return self._entry[_SEQ]
+
+    @property
+    def action(self) -> Optional[Callable[["Simulator"], None]]:
+        return self._entry[_ACTION]
+
+    @property
+    def cancelled(self) -> bool:
+        return self._entry[_ACTION] is None
 
     def cancel(self) -> None:
         """Mark this event dead; the engine discards it when popped."""
-        self.cancelled = True
+        self._entry[_ACTION] = None
 
 
 class Process:
@@ -44,6 +71,8 @@ class Process:
     raises ``StopIteration`` the process is finished; observers registered
     through :meth:`on_finish` are then invoked.
     """
+
+    __slots__ = ("name", "_body", "finished", "_finish_callbacks")
 
     def __init__(self, name: str, body: ProcessBody):
         self.name = name
@@ -55,6 +84,8 @@ class Process:
         self._finish_callbacks.append(callback)
 
     def _step(self, sim: "Simulator") -> None:
+        """Resume the process once (slow path; the engine's run loops resume
+        process entries inline instead of calling this)."""
         if self.finished:
             return
         try:
@@ -68,7 +99,7 @@ class Process:
             raise ValueError(
                 f"process {self.name!r} yielded negative delay {delay!r}"
             )
-        sim.schedule(sim.now + delay, self._step)
+        heappush(sim._queue, [sim.now + delay, next(sim._seq), self._body, self])
 
 
 class Simulator:
@@ -83,9 +114,12 @@ class Simulator:
 
     def __init__(self) -> None:
         self.now: float = 0.0
-        self._queue: list[Event] = []
+        self._queue: list[list] = []
         self._seq = itertools.count()
         self.processes: list[Process] = []
+        self.events_executed: int = 0
+        """Cumulative count of fired (non-cancelled) events; the perf
+        harness divides this by wall time for simulated-events/second."""
 
     # -- scheduling -------------------------------------------------------
 
@@ -93,20 +127,24 @@ class Simulator:
         """Schedule ``action(sim)`` at absolute time ``when`` (>= now)."""
         if when < self.now:
             raise ValueError(f"cannot schedule into the past ({when} < {self.now})")
-        event = Event(when, next(self._seq), action)
-        heapq.heappush(self._queue, event)
-        return event
+        entry = [when, next(self._seq), action]
+        heappush(self._queue, entry)
+        return Event(entry)
 
     def call_in(self, delay: float, action: Callable[["Simulator"], None]) -> Event:
         """Schedule ``action`` ``delay`` cycles from now."""
         return self.schedule(self.now + delay, action)
 
-    def spawn(self, name: str, body: ProcessBody, start_at: float = None) -> Process:
+    def spawn(
+        self, name: str, body: ProcessBody, start_at: Optional[float] = None
+    ) -> Process:
         """Register a generator process and schedule its first step."""
         process = Process(name, body)
         self.processes.append(process)
         when = self.now if start_at is None else start_at
-        self.schedule(when, process._step)
+        if when < self.now:
+            raise ValueError(f"cannot schedule into the past ({when} < {self.now})")
+        heappush(self._queue, [when, next(self._seq), body, process])
         return process
 
     def every(
@@ -128,22 +166,82 @@ class Simulator:
 
     # -- execution --------------------------------------------------------
 
+    def _resume_process(self, entry: list) -> None:
+        """Resume the process in ``entry`` and re-queue it (entry reused)."""
+        body = entry[_ACTION]
+        try:
+            delay = next(body)
+        except StopIteration:
+            process = entry[3]
+            process.finished = True
+            for callback in process._finish_callbacks:
+                callback(self)
+            return
+        if delay < 0:
+            raise ValueError(
+                f"process {entry[3].name!r} yielded negative delay {delay!r}"
+            )
+        entry[_TIME] = self.now + delay
+        entry[_SEQ] = next(self._seq)
+        heappush(self._queue, entry)
+
     def step(self) -> bool:
         """Execute the next pending event.  Returns False when idle."""
-        while self._queue:
-            event = heapq.heappop(self._queue)
-            if event.cancelled:
+        queue = self._queue
+        while queue:
+            entry = heappop(queue)
+            action = entry[_ACTION]
+            if action is None:
                 continue
-            self.now = event.time
-            event.action(self)
+            self.now = entry[_TIME]
+            self.events_executed += 1
+            if len(entry) == 4:
+                self._resume_process(entry)
+            else:
+                action(self)
             return True
         return False
 
     def run_until(self, end_time: float) -> None:
         """Run events with time <= ``end_time`` and advance the clock there."""
-        while self._queue and self._queue[0].time <= end_time:
-            self.step()
-        self.now = max(self.now, end_time)
+        queue = self._queue
+        pop = heappop
+        push = heappush
+        seq = self._seq
+        executed = 0
+        try:
+            while queue and queue[0][_TIME] <= end_time:
+                entry = pop(queue)
+                action = entry[_ACTION]
+                if action is None:
+                    continue
+                self.now = entry[_TIME]
+                executed += 1
+                if len(entry) == 4:
+                    # Inlined process resume: the generator is the action;
+                    # the popped entry is reused for the re-schedule.
+                    try:
+                        delay = next(action)
+                    except StopIteration:
+                        process = entry[3]
+                        process.finished = True
+                        for callback in process._finish_callbacks:
+                            callback(self)
+                        continue
+                    if delay < 0:
+                        raise ValueError(
+                            f"process {entry[3].name!r} yielded negative "
+                            f"delay {delay!r}"
+                        )
+                    entry[_TIME] = self.now + delay
+                    entry[_SEQ] = next(seq)
+                    push(queue, entry)
+                else:
+                    action(self)
+        finally:
+            self.events_executed += executed
+        if self.now < end_time:
+            self.now = end_time
 
     def run(self, max_events: int = 10_000_000) -> None:
         """Drain the queue entirely (with a runaway guard)."""
@@ -154,4 +252,4 @@ class Simulator:
 
     def pending(self) -> Iterable[Event]:
         """Live events still queued (for inspection in tests)."""
-        return (e for e in self._queue if not e.cancelled)
+        return (Event(e) for e in self._queue if e[_ACTION] is not None)

@@ -6,15 +6,21 @@ Counter names mirror the paper's vocabulary: *DMA leak* (unconsumed I/O line
 evicted from the LLC), *DMA bloat* (consumed I/O line evicted from an MLC
 back into the LLC), *migration* (a line moving into the inclusive ways on
 consumption), and the CPU-side hit/miss ladder.
+
+``snapshot``/``delta``/``total`` used to walk ``dataclasses.fields`` with
+getattr/setattr per field; they are now source-generated once at import
+time from the field list, which makes per-epoch sampling and the perf
+harness's counter micro-bench several times faster without changing the
+field set in one place only.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, fields
-from typing import Dict
+from dataclasses import dataclass, fields
+from typing import Dict, Tuple
 
 
-@dataclass
+@dataclass(slots=True)
 class StreamCounters:
     """All cumulative counters attributed to one workload stream."""
 
@@ -49,17 +55,7 @@ class StreamCounters:
     io_requests_completed: int = 0
     packets_dropped: int = 0
 
-    def snapshot(self) -> "StreamCounters":
-        return StreamCounters(**{f.name: getattr(self, f.name) for f in fields(self)})
-
-    def delta(self, earlier: "StreamCounters") -> "StreamCounters":
-        """Counter increments since ``earlier`` (a prior snapshot)."""
-        return StreamCounters(
-            **{
-                f.name: getattr(self, f.name) - getattr(earlier, f.name)
-                for f in fields(self)
-            }
-        )
+    # ``snapshot`` and ``delta`` are generated below from COUNTER_FIELDS.
 
     # -- derived rates -----------------------------------------------------
 
@@ -93,6 +89,40 @@ class StreamCounters:
         return self.io_read_misses / self.io_reads if self.io_reads else 0.0
 
 
+COUNTER_FIELDS: Tuple[str, ...] = tuple(f.name for f in fields(StreamCounters))
+"""Every counter name, in declaration order (the source of the generated
+fast paths below and of external consumers that iterate all counters)."""
+
+
+def _compile(source: str, name: str):
+    namespace = {"StreamCounters": StreamCounters}
+    exec(source, namespace)
+    return namespace[name]
+
+
+_SNAPSHOT_SRC = "def snapshot(self):\n    return StreamCounters({})".format(
+    ", ".join(f"self.{n}" for n in COUNTER_FIELDS)
+)
+
+_DELTA_SRC = (
+    "def delta(self, earlier):\n    return StreamCounters({})".format(
+        ", ".join(f"self.{n} - earlier.{n}" for n in COUNTER_FIELDS)
+    )
+)
+
+_TOTAL_SRC = "def _total(values):\n    agg = StreamCounters()\n" + "".join(
+    f"    agg.{n} = sum(c.{n} for c in values)\n" for n in COUNTER_FIELDS
+) + "    return agg"
+
+_snapshot = _compile(_SNAPSHOT_SRC, "snapshot")
+_snapshot.__doc__ = "A copy of the current counter values."
+_delta = _compile(_DELTA_SRC, "delta")
+_delta.__doc__ = "Counter increments since ``earlier`` (a prior snapshot)."
+StreamCounters.snapshot = _snapshot
+StreamCounters.delta = _delta
+_total = _compile(_TOTAL_SRC, "_total")
+
+
 class CounterBank:
     """Registry of per-stream counters plus machine-wide aggregates."""
 
@@ -106,15 +136,7 @@ class CounterBank:
         return counters
 
     def total(self) -> StreamCounters:
-        aggregate = StreamCounters()
-        for counters in self.streams.values():
-            for f in fields(StreamCounters):
-                setattr(
-                    aggregate,
-                    f.name,
-                    getattr(aggregate, f.name) + getattr(counters, f.name),
-                )
-        return aggregate
+        return _total(self.streams.values())
 
     def snapshot_all(self) -> Dict[str, StreamCounters]:
         return {name: c.snapshot() for name, c in self.streams.items()}

@@ -33,11 +33,10 @@ class IIOAgent:
         self, now: float, port: PciePort, base_addr: int, lines: int, stream: str
     ) -> None:
         """DMA-write ``lines`` consecutive lines starting at ``base_addr``."""
-        allocating = port.dca_enabled
         port.inbound_write_lines += lines
-        dma_write = self.hierarchy.dma_write
-        for offset in range(lines):
-            dma_write(now, base_addr + offset, stream, allocating=allocating)
+        self.hierarchy.dma_write_burst(
+            now, base_addr, lines, stream, port.dca_enabled
+        )
 
     def outbound_read(self, now: float, port: PciePort, addr: int, stream: str) -> None:
         """A device DMA-reads one line from host address ``addr`` (egress)."""

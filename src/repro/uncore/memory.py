@@ -26,6 +26,7 @@ class MemoryController:
         if bandwidth_lines_per_cycle <= 0:
             raise ValueError("bandwidth must be positive")
         self.counters = counters
+        self._scounters: dict = {}
         self.bandwidth = bandwidth_lines_per_cycle
         self.base_latency = base_latency
         self.window = window_cycles
@@ -39,23 +40,36 @@ class MemoryController:
 
     def read(self, now: float, lines: int, stream: str) -> None:
         self.total_reads += lines
-        self.counters.stream(stream).mem_reads += lines
-        self._account(now, lines)
+        counters = self._scounters.get(stream)
+        if counters is None:
+            counters = self._scounters[stream] = self.counters.stream(stream)
+        counters.mem_reads += lines
+        if now - self._window_start >= self.window:
+            self._roll_window(now)
+        self._window_lines += lines
 
     def write(self, now: float, lines: int, stream: str) -> None:
         self.total_writes += lines
-        self.counters.stream(stream).mem_writes += lines
-        self._account(now, lines)
+        counters = self._scounters.get(stream)
+        if counters is None:
+            counters = self._scounters[stream] = self.counters.stream(stream)
+        counters.mem_writes += lines
+        if now - self._window_start >= self.window:
+            self._roll_window(now)
+        self._window_lines += lines
 
     def _account(self, now: float, lines: int) -> None:
         if now - self._window_start >= self.window:
-            elapsed = max(now - self._window_start, self.window)
-            inst = self._window_lines / elapsed / self.bandwidth
-            # Exponential decay keeps the estimate smooth across windows.
-            self._utilization = 0.5 * self._utilization + 0.5 * min(inst, 1.0)
-            self._window_start = now
-            self._window_lines = 0
+            self._roll_window(now)
         self._window_lines += lines
+
+    def _roll_window(self, now: float) -> None:
+        elapsed = max(now - self._window_start, self.window)
+        inst = self._window_lines / elapsed / self.bandwidth
+        # Exponential decay keeps the estimate smooth across windows.
+        self._utilization = 0.5 * self._utilization + 0.5 * min(inst, 1.0)
+        self._window_start = now
+        self._window_lines = 0
 
     # -- latency ---------------------------------------------------------------
 

@@ -122,6 +122,12 @@ class DpdkWorkload(Workload):
         hierarchy = server.hierarchy
         counters = server.counters.stream(self.name)
         tracker = server.pcm.tracker(self.name)
+        # Loop-invariant bindings for the per-line payload scan below.
+        cpu_access = hierarchy.cpu_access
+        name = self.name
+        instructions_per_line = self.instructions_per_line
+        processing_per_line = self.processing_cycles_per_line
+        parallelism = self.payload_parallelism
         while True:
             entry = ring.peek()
             if entry is None:
@@ -129,28 +135,26 @@ class DpdkWorkload(Workload):
                 continue
             queueing = max(0.0, sim.now - entry.arrival_time)
             # Descriptor / packet-pointer access.
-            access = hierarchy.cpu_access(
-                sim.now, core, entry.buffer_addr, self.name, io_read=True
+            access = cpu_access(
+                sim.now, core, entry.buffer_addr, name, io_read=True
             )
-            counters.instructions += self.instructions_per_line
+            counters.instructions += instructions_per_line
             yield access
             processing = 0.0
             if self.touch:
+                buffer_addr = entry.buffer_addr
                 for offset in range(1, entry.packet_lines):
                     line_latency = (
-                        hierarchy.cpu_access(
-                            sim.now,
-                            core,
-                            entry.buffer_addr + offset,
-                            self.name,
+                        cpu_access(
+                            sim.now, core, buffer_addr + offset, name,
                             io_read=True,
                         )
-                        / self.payload_parallelism
+                        / parallelism
                     )
                     access += line_latency
-                    processing += self.processing_cycles_per_line
-                    counters.instructions += self.instructions_per_line
-                    yield line_latency + self.processing_cycles_per_line
+                    processing += processing_per_line
+                    counters.instructions += instructions_per_line
+                    yield line_latency + processing_per_line
             if self.forward:
                 # Rewrite the header (MAC/TTL), then the NIC pulls the
                 # packet back out through the egress path.

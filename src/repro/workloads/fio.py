@@ -107,6 +107,12 @@ class FioWorkload(Workload):
         tracker = server.pcm.tracker(self.name)
         completed = deque()
         next_buffer = 0
+        # Loop-invariant bindings for the per-line scan below.
+        cpu_access = hierarchy.cpu_access
+        name = self.name
+        instructions_per_line = self.instructions_per_line
+        compute_cycles = self.compute_cycles_per_line
+        parallelism = self.memory_parallelism
 
         def submit() -> None:
             nonlocal next_buffer
@@ -133,22 +139,22 @@ class FioWorkload(Workload):
                 # (read the DMA target, write the user page), then scan the
                 # user copy.
                 for offset in range(command.lines):
-                    read_latency = hierarchy.cpu_access(
+                    read_latency = cpu_access(
                         sim.now,
                         core,
                         command.buffer_addr + offset,
-                        self.name,
+                        name,
                         io_read=True,
                     )
-                    write_latency = hierarchy.cpu_access(
+                    write_latency = cpu_access(
                         sim.now,
                         core,
                         user_buffer + offset,
-                        self.name,
+                        name,
                         write=True,
                     )
-                    counters.instructions += self.instructions_per_line
-                    yield (read_latency + write_latency) / self.memory_parallelism
+                    counters.instructions += instructions_per_line
+                    yield (read_latency + write_latency) / parallelism
                 scan_base = user_buffer
                 scan_io = False
             else:
@@ -156,15 +162,11 @@ class FioWorkload(Workload):
                 scan_io = True
             # Regex scan over the whole block: every line enters the MLC.
             for offset in range(command.lines):
-                latency = hierarchy.cpu_access(
-                    sim.now,
-                    core,
-                    scan_base + offset,
-                    self.name,
-                    io_read=scan_io,
+                latency = cpu_access(
+                    sim.now, core, scan_base + offset, name, io_read=scan_io
                 )
-                counters.instructions += self.instructions_per_line
-                yield (latency + self.compute_cycles_per_line) / self.memory_parallelism
+                counters.instructions += instructions_per_line
+                yield (latency + compute_cycles) / parallelism
             counters.io_bytes_completed += command.lines * config.LINE_BYTES
             counters.io_requests_completed += 1
             tracker.record(sim.now - command.submitted_at)

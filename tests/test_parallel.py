@@ -1,0 +1,153 @@
+"""Tests for the process-pool sweep runner and the bench harness smoke.
+
+The equivalence tests force ``parallel=True`` with an explicit
+``max_workers`` so the pool path is exercised even on single-CPU hosts
+(where callers would normally fall back to serial).
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.harness import Server
+from repro.experiments.parallel import (
+    METRIC_FIELDS,
+    FigureTask,
+    ParallelExecutionError,
+    SeedTask,
+    resolve_workers,
+    run_tasks,
+    seed_metrics,
+)
+from repro.experiments.sweep import average_figure, run_repeated
+from repro.workloads.xmem import xmem
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def build(seed):
+    """Module-level so SeedTask pickles into pool workers."""
+    server = Server(cores=3, seed=seed)
+    server.add_workload(xmem("a", 2.0, cores=1, pattern="rand"))
+    return server
+
+
+def _fail_on_negative(value):
+    if value < 0:
+        raise ValueError(f"negative input {value}")
+    return value * 2
+
+
+# -- run_tasks engine ------------------------------------------------------
+
+
+def test_run_tasks_preserves_order_serial_and_parallel():
+    tasks = list(range(6))
+    serial = run_tasks(_fail_on_negative, tasks, parallel=False)
+    pooled = run_tasks(_fail_on_negative, tasks, parallel=True, max_workers=2)
+    assert serial == pooled == [0, 2, 4, 6, 8, 10]
+
+
+def test_run_tasks_empty():
+    assert run_tasks(_fail_on_negative, []) == []
+
+
+@pytest.mark.parametrize("parallel", [False, True])
+def test_run_tasks_captures_every_failure(parallel):
+    with pytest.raises(ParallelExecutionError) as excinfo:
+        run_tasks(
+            _fail_on_negative,
+            [1, -1, 2, -2],
+            parallel=parallel,
+            max_workers=2,
+        )
+    failures = excinfo.value.failures
+    assert [f.index for f in failures] == [1, 3]
+    assert "negative input -1" in failures[0].error
+    assert "Traceback" in failures[0].traceback
+    assert "ValueError" in str(excinfo.value)
+
+
+def test_resolve_workers():
+    assert resolve_workers(10, max_workers=4) == 4
+    assert resolve_workers(2, max_workers=8) == 2
+    assert resolve_workers(5, max_workers=0) == 1
+    assert resolve_workers(0, max_workers=None) == 1
+
+
+# -- equivalence: serial vs parallel ---------------------------------------
+
+
+def test_run_repeated_parallel_matches_serial():
+    seeds = (1, 2, 3)
+    serial = run_repeated(build, epochs=3, warmup=1, seeds=seeds)
+    pooled = run_repeated(
+        build, epochs=3, warmup=1, seeds=seeds, parallel=True, max_workers=2
+    )
+    assert serial == pooled  # bit-identical MultiSeedResult
+    assert pooled.seeds == seeds
+    for stream, metrics in serial.streams.items():
+        assert set(metrics) == set(METRIC_FIELDS)
+        for name in METRIC_FIELDS:
+            assert pooled.metric(stream, name).values == metrics[name].values
+
+
+def test_average_figure_parallel_matches_serial():
+    from repro.experiments.figures import fig8
+
+    serial = average_figure(fig8.run_fig8b, seeds=(1, 2), epochs=4)
+    pooled = average_figure(
+        fig8.run_fig8b, seeds=(1, 2), parallel=True, max_workers=2, epochs=4
+    )
+    assert pooled.rows == serial.rows
+    assert pooled.title == serial.title
+    assert pooled.columns == serial.columns
+    assert pooled.notes == serial.notes
+
+
+def test_seed_metrics_summary_shape():
+    mem_total_bw, streams = seed_metrics(SeedTask(build, 3, 1, 7))
+    assert mem_total_bw >= 0
+    assert set(streams) == {"a"}
+    assert set(streams["a"]) == set(METRIC_FIELDS)
+
+
+def test_task_descriptors_pickle():
+    import pickle
+
+    seed_task = SeedTask(build, epochs=3, warmup=1, seed=7)
+    fig_task = FigureTask(build, seed=7, kwargs=(("epochs", 4),))
+    assert pickle.loads(pickle.dumps(seed_task)) == seed_task
+    assert pickle.loads(pickle.dumps(fig_task)) == fig_task
+
+
+# -- bench harness smoke ---------------------------------------------------
+
+
+def test_bench_quick_emits_valid_record(tmp_path):
+    out = tmp_path / "bench.json"
+    proc = subprocess.run(
+        [
+            sys.executable,
+            str(REPO_ROOT / "tools" / "bench.py"),
+            "--quick",
+            "--no-compare",
+            "--out",
+            str(out),
+        ],
+        capture_output=True,
+        text=True,
+        timeout=300,
+        cwd=REPO_ROOT,
+    )
+    assert proc.returncode == 0, proc.stderr
+    record = json.loads(out.read_text())
+    assert record["schema"] == 1
+    assert record["quick"] is True
+    assert record["results"], "no benchmarks ran"
+    for name, entry in record["results"].items():
+        assert entry["wall_s"] > 0, name
+        assert entry["events_per_s"] > 0, name

@@ -1,0 +1,225 @@
+#!/usr/bin/env python
+"""Performance-regression harness.
+
+Runs the micro/macro benchmarks under ``benchmarks/perf/``, writes a
+``BENCH_<date>.json`` record at the repo root, and compares wall times
+against the most recent previous record:
+
+    python tools/bench.py                  # full run, compare, write record
+    python tools/bench.py --quick          # small sizes (CI smoke)
+    python tools/bench.py --no-compare     # skip the regression gate
+    python tools/bench.py --only canonical multi_seed
+    python tools/bench.py --out /tmp/b.json --baseline BENCH_2026-08-06.json
+
+The regression gate fails (exit 1) when any shared benchmark got slower
+than ``--threshold`` (default 0.85: >15%% slower than the previous record).
+Records never overwrite each other: a same-day rerun writes
+``BENCH_<date>.2.json`` and compares against the earlier file, so the
+repo's ``BENCH_*`` files form the bench trajectory across PRs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import re
+import subprocess
+import sys
+import time
+from datetime import date
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+for path in (str(ROOT / "src"), str(ROOT / "benchmarks")):
+    if path not in sys.path:
+        sys.path.insert(0, path)
+
+from perf import ALL_BENCHMARKS  # noqa: E402  (needs sys.path above)
+
+BENCH_GLOB = "BENCH_*.json"
+SCHEMA = 1
+
+
+def git_revision() -> str:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=ROOT,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+        return out.stdout.strip() if out.returncode == 0 else "unknown"
+    except OSError:
+        return "unknown"
+
+
+def default_out_path() -> Path:
+    """``BENCH_<date>.json``, suffixed ``.N`` when earlier runs exist today."""
+    stem = f"BENCH_{date.today().isoformat()}"
+    candidate = ROOT / f"{stem}.json"
+    counter = 2
+    while candidate.exists():
+        candidate = ROOT / f"{stem}.{counter}.json"
+        counter += 1
+    return candidate
+
+
+def bench_records(exclude: Path) -> list[Path]:
+    """Existing records, oldest first (date in the name, then suffix)."""
+
+    def sort_key(path: Path):
+        match = re.match(r"BENCH_(\d{4}-\d{2}-\d{2})(?:\.(\d+))?\.json$", path.name)
+        if not match:
+            return ("", 0, path.name)
+        return (match.group(1), int(match.group(2) or 1), path.name)
+
+    records = [
+        p
+        for p in ROOT.glob(BENCH_GLOB)
+        if p.resolve() != exclude.resolve()
+    ]
+    return sorted(records, key=sort_key)
+
+
+def run_benchmarks(names, quick: bool) -> dict:
+    results = {}
+    for name in names:
+        fn = ALL_BENCHMARKS[name]
+        print(f"  running {name} ...", end="", flush=True)
+        started = time.perf_counter()
+        results[name] = fn(quick)
+        print(f" {results[name]['wall_s']:.3f}s wall")
+        results[name]["harness_s"] = time.perf_counter() - started
+    return results
+
+
+def compare(current: dict, previous: dict, threshold: float) -> tuple[list[str], bool]:
+    """Render a comparison table; returns (lines, regressed)."""
+    lines = [
+        f"{'benchmark':<12} {'wall_s':>9} {'prev':>9} {'speedup':>8}  {'events/s':>12}"
+    ]
+    regressed = False
+    prev_results = previous.get("results", {})
+    prev_quick = previous.get("quick", False)
+    comparable = previous.get("quick", False) == current["quick"]
+    for name, entry in current["results"].items():
+        prev = prev_results.get(name)
+        if prev and comparable and entry["wall_s"] > 0:
+            speedup = prev["wall_s"] / entry["wall_s"]
+            mark = ""
+            if speedup < threshold:
+                regressed = True
+                mark = "  << REGRESSION"
+            lines.append(
+                f"{name:<12} {entry['wall_s']:>9.3f} {prev['wall_s']:>9.3f} "
+                f"{speedup:>7.2f}x  {entry['events_per_s']:>12,.0f}{mark}"
+            )
+        else:
+            note = "(no comparable baseline)" if not (prev and comparable) else ""
+            lines.append(
+                f"{name:<12} {entry['wall_s']:>9.3f} {'-':>9} {'-':>8}  "
+                f"{entry['events_per_s']:>12,.0f} {note}"
+            )
+    return lines, regressed
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python tools/bench.py",
+        description="Run the perf benchmarks and gate on regressions.",
+    )
+    parser.add_argument("--quick", action="store_true", help="small sizes (smoke)")
+    parser.add_argument(
+        "--no-compare", action="store_true", help="skip the regression gate"
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.85,
+        help="minimum speedup vs previous record before failing (default 0.85)",
+    )
+    parser.add_argument(
+        "--only",
+        nargs="+",
+        metavar="NAME",
+        help=f"subset of benchmarks (have: {', '.join(ALL_BENCHMARKS)})",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=None, help="record path (default BENCH_<date>.json)"
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help="explicit record to compare against (default: latest BENCH_*.json)",
+    )
+    args = parser.parse_args(argv)
+
+    names = list(ALL_BENCHMARKS)
+    if args.only:
+        unknown = [n for n in args.only if n not in ALL_BENCHMARKS]
+        if unknown:
+            parser.error(f"unknown benchmarks: {unknown}; have {list(ALL_BENCHMARKS)}")
+        names = list(args.only)
+
+    out_path = args.out if args.out else default_out_path()
+    mode = "quick" if args.quick else "full"
+    print(f"bench: {mode} run of {len(names)} benchmarks -> {out_path.name}")
+    record = {
+        "schema": SCHEMA,
+        "date": date.today().isoformat(),
+        "timestamp": time.time(),
+        "git": git_revision(),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "cpus": os.cpu_count(),
+        "quick": args.quick,
+        "results": run_benchmarks(names, args.quick),
+    }
+
+    status = 0
+    if not args.no_compare:
+        if args.baseline is not None:
+            baseline_path = args.baseline
+            if not baseline_path.is_absolute():
+                baseline_path = ROOT / baseline_path
+            if not baseline_path.exists():
+                parser.error(f"baseline {baseline_path} does not exist")
+        else:
+            previous = bench_records(exclude=out_path)
+            baseline_path = previous[-1] if previous else None
+        if baseline_path is None:
+            print("no previous BENCH_*.json record; nothing to compare against")
+        else:
+            with open(baseline_path) as handle:
+                baseline = json.load(handle)
+            print(f"comparing against {Path(baseline_path).name} "
+                  f"(git {baseline.get('git', '?')})")
+            lines, regressed = compare(record, baseline, args.threshold)
+            print("\n".join(lines))
+            record["baseline"] = Path(baseline_path).name
+            if regressed:
+                print(
+                    f"FAIL: at least one benchmark slower than "
+                    f"{args.threshold:.2f}x of the previous record"
+                )
+                status = 1
+    else:
+        for name, entry in record["results"].items():
+            print(
+                f"{name:<12} {entry['wall_s']:>9.3f}s wall  "
+                f"{entry['events_per_s']:>12,.0f} events/s"
+            )
+
+    with open(out_path, "w") as handle:
+        json.dump(record, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {out_path}")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())
