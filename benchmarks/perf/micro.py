@@ -22,6 +22,7 @@ from typing import Callable, Dict
 
 from repro.cache.hierarchy import CacheHierarchy, HierarchyConfig
 from repro.rdt.cat import CacheAllocation
+from repro.sim import engine as engine_mod
 from repro.sim.engine import Simulator
 from repro.telemetry.counters import CounterBank, StreamCounters
 from repro.uncore.memory import MemoryController
@@ -133,9 +134,56 @@ def bench_counters(quick: bool) -> Dict[str, float]:
     return _best_of(1 if quick else 3, body)
 
 
+def bench_wheel_engine(quick: bool) -> Dict[str, float]:
+    """Calendar-wheel stress: many processes at mixed delays.
+
+    Unlike ``engine`` (uniform 1-cycle ticks through ``step()``), this
+    drives ``run_until`` with delays straddling the wheel grain, crossing
+    bucket boundaries, and occasionally jumping past the wheel span into
+    the far heap — the distribution the bucket queue was shaped for."""
+    target_events = 40_000 if quick else 200_000
+    nprocs = 32
+    span = engine_mod.WHEEL_SLOTS * engine_mod.WHEEL_GRAIN
+    delays = (
+        1.0,
+        3.0,
+        engine_mod.WHEEL_GRAIN / 2,
+        engine_mod.WHEEL_GRAIN * 1.5,
+        17.0,
+        41.0,
+        engine_mod.WHEEL_GRAIN * 5 + 1.0,
+        span * 1.25,  # far-heap excursion
+        5.0,
+        engine_mod.WHEEL_GRAIN,
+        2.0,
+        73.0,
+    )
+
+    def body() -> int:
+        sim = Simulator()
+        n_delays = len(delays)
+
+        def actor(phase: int):
+            k = phase
+            while True:
+                yield delays[k % n_delays]
+                k += 1
+
+        for p in range(nprocs):
+            sim.spawn(f"w{p}", actor(p))
+        # Mean delay ~ (sum of the ladder)/12; run long enough for the
+        # event budget regardless of parameter tuning.
+        horizon = (sum(delays) / len(delays)) * (target_events / nprocs)
+        sim.run_until(horizon)
+        return sim.events_executed
+
+    return _best_of(1 if quick else 3, body)
+
+
 MICRO_BENCHMARKS = {
     "cpu_access": bench_cpu_access,
     "dma_write": bench_dma_write,
     "engine": bench_engine,
+    "wheel_engine": bench_wheel_engine,
     "counters": bench_counters,
 }

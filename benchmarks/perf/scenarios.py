@@ -6,22 +6,29 @@ migrations and DMA bloat) sharing the socket with an FIO storage reader
 (NVMe DMA bursts).  It is deliberately a module-level function so the
 parallel sweep runner can pickle it into worker processes.
 
-Two benchmarks are registered:
+Registered benchmarks:
 
-* ``canonical``   — one seed, wall time + simulated-events/second;
-* ``multi_seed``  — the paper's five-iteration methodology (§6) through
-  :func:`repro.experiments.sweep.run_repeated`; this is the number the
-  ISSUE's ≥2x end-to-end target is judged on.  Uses the parallel runner
-  when available and beneficial, else the serial loop.
+* ``canonical``             — one seed, wall time + simulated-events/s;
+* ``multi_seed``            — the paper's five-iteration methodology (§6)
+  through :func:`repro.experiments.sweep.run_repeated`, serial loop;
+  events are the *simulated* event count summed across seeds;
+* ``multi_seed_parallel``   — the same sweep forced through the warm
+  process pool, so the pool path is benchmarked too;
+* ``cached_figure``         — a figure runner cold (simulating, populating
+  a temp cache) then warm (pure cache replay); ``wall_s`` is the warm
+  replay and ``cold_s``/``speedup`` record the win.
 """
 
 from __future__ import annotations
 
-import inspect
 import os
+import shutil
+import tempfile
 import time
+from pathlib import Path
 from typing import Dict
 
+from repro.experiments import runcache
 from repro.experiments.harness import Server
 from repro.experiments.sweep import DEFAULT_SEEDS, run_repeated
 from repro.telemetry.pcm import PRIORITY_HIGH, PRIORITY_LOW
@@ -70,34 +77,81 @@ def bench_canonical(quick: bool) -> Dict[str, float]:
     }
 
 
-def bench_multi_seed(quick: bool) -> Dict[str, float]:
+def _multi_seed(quick: bool, parallel: bool) -> Dict[str, float]:
     epochs = 3 if quick else 5
     seeds = DEFAULT_SEEDS[:3] if quick else DEFAULT_SEEDS
     kwargs = {}
     mode = "serial"
-    # The parallel knob landed with the perf stack; keep the harness usable
-    # against older revisions so baselines can be recorded from them.
-    if "parallel" in inspect.signature(run_repeated).parameters:
-        workers = os.cpu_count() or 1
-        if workers > 1:
-            kwargs = {"parallel": True, "max_workers": workers}
-            mode = f"parallel:{workers}"
+    if parallel:
+        # Force at least two workers so the pool path is exercised even on
+        # single-CPU hosts (resolve_workers would otherwise fall back).
+        workers = max(2, os.cpu_count() or 1)
+        kwargs = {"parallel": True, "max_workers": workers}
+        mode = f"parallel:{workers}"
     started = time.perf_counter()
-    result = run_repeated(build_canonical, epochs=epochs, warmup=1, seeds=seeds, **kwargs)
+    result = run_repeated(
+        build_canonical, epochs=epochs, warmup=1, seeds=seeds, **kwargs
+    )
     wall = time.perf_counter() - started
-    # One "event" per (seed, epoch) is meaningless; report simulated seeds/s
-    # alongside a wall-clock figure comparable across modes.
+    # Simulated events summed across seeds (each worker reports its own
+    # simulator's count), so events/s is comparable with ``canonical``.
+    events = result.total_events
     return {
         "wall_s": wall,
-        "events": len(result.seeds) * epochs,
-        "events_per_s": len(result.seeds) * epochs / wall if wall else 0.0,
+        "events": events,
+        "events_per_s": events / wall if wall else 0.0,
         "seeds": len(result.seeds),
         "epochs": epochs,
         "mode": mode,
     }
 
 
+def bench_multi_seed(quick: bool) -> Dict[str, float]:
+    return _multi_seed(quick, parallel=False)
+
+
+def bench_multi_seed_parallel(quick: bool) -> Dict[str, float]:
+    return _multi_seed(quick, parallel=True)
+
+
+def bench_cached_figure(quick: bool) -> Dict[str, float]:
+    """Cold figure run (simulation + cache populate) vs warm replay.
+
+    ``wall_s`` is the warm replay — the number the regression gate tracks;
+    ``cold_s`` and ``speedup`` document the cache win in the record."""
+    from repro.experiments.figures import REGISTRY
+
+    epochs = 3 if quick else 6
+    cache_dir = tempfile.mkdtemp(prefix="repro-bench-cache-")
+    saved_cache = runcache.get_cache()
+    runcache.set_cache(runcache.RunCache(root=Path(cache_dir)))
+    try:
+        runner = REGISTRY["fig8b"]
+        started = time.perf_counter()
+        cold = runner(epochs=epochs, seed=0xA4)
+        cold_s = time.perf_counter() - started
+        started = time.perf_counter()
+        warm = runner(epochs=epochs, seed=0xA4)
+        warm_s = time.perf_counter() - started
+        assert warm == cold, "cache replay diverged from the cold run"
+        stats = runcache.get_cache().stats
+        assert stats.hits >= 1, "warm invocation was not a cache hit"
+    finally:
+        runcache.set_cache(saved_cache)
+        shutil.rmtree(cache_dir, ignore_errors=True)
+    return {
+        "wall_s": warm_s,
+        "cold_s": cold_s,
+        "speedup": cold_s / warm_s if warm_s else 0.0,
+        "events": 1,  # one figure replay
+        "events_per_s": 1.0 / warm_s if warm_s else 0.0,
+        "epochs": epochs,
+    }
+
+
 MACRO_BENCHMARKS = {
     "canonical": bench_canonical,
     "multi_seed": bench_multi_seed,
+    "multi_seed_parallel": bench_multi_seed_parallel,
+    "cached_figure": bench_cached_figure,
 }

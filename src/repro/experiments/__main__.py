@@ -12,6 +12,12 @@ Usage::
 EXPERIMENTS.md numbers.  ``--jobs N`` (N > 1) fans the selected figures out
 over a process pool via :mod:`repro.experiments.parallel`; output order is
 unchanged.
+
+Completed figures are memoized in the content-addressed run cache
+(``.repro-cache/`` by default): rerunning the same figure with unchanged
+code and parameters replays the stored result instead of simulating.
+``--no-cache`` disables the cache for this invocation; ``--cache-dir``
+relocates it.  The closing run report prints hit/miss counters.
 """
 
 from __future__ import annotations
@@ -20,6 +26,7 @@ import argparse
 import sys
 import time
 
+from repro.experiments import runcache
 from repro.experiments.figures import REGISTRY
 from repro.experiments.parallel import FigureTask, run_figure, run_tasks
 
@@ -65,7 +72,22 @@ def main(argv=None) -> int:
         default=1,
         help="run figures across N worker processes (default: 1, serial)",
     )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the content-addressed run cache (always re-simulate)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help=f"run-cache directory (default: {runcache.DEFAULT_CACHE_DIR})",
+    )
     args = parser.parse_args(argv)
+
+    cache = runcache.configure(
+        cache_dir=args.cache_dir,
+        enabled=False if args.no_cache else None,
+    )
 
     if args.list:
         for name in REGISTRY:
@@ -103,6 +125,7 @@ def main(argv=None) -> int:
             f"[{len(targets)} figures done in {time.time() - started:.1f}s "
             f"across {args.jobs} jobs]"
         )
+        print(f"[run cache: {cache.stats.summary()}]")
         return 0
 
     for name in targets:
@@ -112,6 +135,7 @@ def main(argv=None) -> int:
         result = runner(**kwargs)
         print(result.render())
         print(f"[{name} done in {time.time() - started:.1f}s]\n")
+    print(f"[run cache: {cache.stats.summary()}]")
     return 0
 
 

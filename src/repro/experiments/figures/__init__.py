@@ -5,6 +5,7 @@ with ``epochs``/``seed`` knobs so benches can run them quickly and scripts
 can run them at full length.  ``REGISTRY`` maps figure ids to runners.
 """
 
+from repro.experiments import runcache
 from repro.experiments.figures import (
     ablation,
     fig3,
@@ -20,7 +21,7 @@ from repro.experiments.figures import (
     fig15,
 )
 
-REGISTRY = {
+_RUNNERS = {
     "fig3a": fig3.run_fig3a,
     "fig3b": fig3.run_fig3b,
     "fig4": fig4.run,
@@ -38,7 +39,17 @@ REGISTRY = {
     "fig15b": fig15.run_leak_thresholds,
     "fig15c": fig15.run_timing,
 }
-REGISTRY.update(ablation.ABLATIONS)
+_RUNNERS.update(ablation.ABLATIONS)
+
+REGISTRY = {
+    figure_id: runcache.CachedFigure(figure_id, runner)
+    for figure_id, runner in _RUNNERS.items()
+}
+"""Figure id -> cache-through runner.  Every registry entry memoizes its
+:class:`~repro.experiments.report.FigureResult` in the content-addressed
+run cache (keyed on figure id, call kwargs, runner code identity, and the
+global code salt), so a second invocation with a warm cache does zero
+simulation work.  Disable with ``--no-cache`` / ``$REPRO_CACHE_DISABLE``."""
 
 __all__ = ["REGISTRY", "ablation"] + [
     f"fig{n}" for n in (3, 4, 5, 6, 7, 8, 11, 12, 13, 14, 15)

@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, Optional, Tuple
 
+from repro.experiments import runcache
+from repro.experiments.errors import WorkloadConfigError
 from repro.experiments.harness import RunResult, Server
 from repro.workloads.base import Workload
 
@@ -31,8 +33,36 @@ def run_setup(
     ``masks`` maps workload name to an inclusive way range (the paper's
     way[m:n]); ``dca_off`` names workloads whose device port runs the
     non-allocating flow.
+
+    Completed runs are memoized in the content-addressed run cache keyed
+    on the full canonical configuration; a warm hit rebuilds the
+    :class:`RunResult` from stored epoch samples with a
+    :class:`~repro.experiments.runcache.CachedServer` stub (no simulation
+    work).  The key must be derived *before* the server mutates the
+    workload objects (``setup`` assigns cores/ports).
     """
     workloads = list(workloads)
+    dca_off = tuple(dca_off)
+    cache = runcache.get_cache()
+    key = runcache.fingerprint(
+        (
+            "run_setup",
+            workloads,
+            masks or {},
+            dca_off,
+            epochs,
+            warmup,
+            seed,
+            spare_cores,
+        )
+    )
+    cached = cache.get(key)
+    if cached is not runcache.MISS:
+        return RunResult(
+            samples=cached["samples"],
+            warmup=cached["warmup"],
+            server=runcache.CachedServer(epoch_cycles=cached["epoch_cycles"]),
+        )
     cores = sum(w.num_cores for w in workloads) + spare_cores
     server = Server(cores=cores, seed=seed)
     for workload in workloads:
@@ -42,9 +72,20 @@ def run_setup(
     for name in dca_off:
         workload = server.workload(name)
         if workload.port_id is None:
-            raise ValueError(f"{name} has no I/O device to disable DCA for")
+            raise WorkloadConfigError(
+                f"{name} has no I/O device to disable DCA for"
+            )
         server.pcie.port(workload.port_id).disable_dca()
-    return server.run(epochs=epochs, warmup=warmup)
+    result = server.run(epochs=epochs, warmup=warmup)
+    cache.put(
+        key,
+        {
+            "samples": result.samples,
+            "warmup": result.warmup,
+            "epoch_cycles": server.epoch_cycles,
+        },
+    )
+    return result
 
 
 def way_label(first: int, last: int) -> str:

@@ -16,6 +16,7 @@ from dataclasses import replace
 from typing import Dict, Optional
 
 from repro.core.policy import A4Policy
+from repro.experiments import runcache
 from repro.experiments.figures.fig13 import performance_of
 from repro.experiments.report import FigureResult, geometric_mean
 from repro.experiments.scenarios import build_server, hpw_heavy_workloads
@@ -30,7 +31,27 @@ def _hpw_relative_perf(
     seed: int,
     baselines: Dict[str, float],
 ) -> Dict[str, float]:
-    """Run one configuration; return per-workload performance."""
+    """Run one configuration; return per-workload performance.
+
+    Memoized in the run cache: the sensitivity sweeps re-run the same
+    (policy, scheme, seed) corner across sub-figures."""
+    return runcache.get_cache().memo(
+        ("fig15_hpw_relative_perf", policy, scheme, epochs, warmup, seed,
+         baselines),
+        lambda: _hpw_relative_perf_compute(
+            policy, scheme, epochs, warmup, seed, baselines
+        ),
+    )
+
+
+def _hpw_relative_perf_compute(
+    policy: Optional[A4Policy],
+    scheme: str,
+    epochs: int,
+    warmup: int,
+    seed: int,
+    baselines: Dict[str, float],
+) -> Dict[str, float]:
     workloads = hpw_heavy_workloads()
     server = build_server(workloads, scheme=scheme, seed=seed, policy=policy)
     run = server.run(epochs=epochs, warmup=warmup)
@@ -49,6 +70,15 @@ def _hpw_relative_perf(
 
 
 def _default_baseline(epochs, warmup, seed) -> Dict[str, float]:
+    """Default-model per-workload performance (shared across all three
+    sensitivity panels — memoized so the suite computes it once)."""
+    return runcache.get_cache().memo(
+        ("fig15_default_baseline", epochs, warmup, seed),
+        lambda: _default_baseline_compute(epochs, warmup, seed),
+    )
+
+
+def _default_baseline_compute(epochs, warmup, seed) -> Dict[str, float]:
     workloads = hpw_heavy_workloads()
     server = build_server(workloads, scheme="default", seed=seed)
     run = server.run(epochs=epochs, warmup=warmup)

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro import config
+from repro.experiments.errors import CoreAllocationError, InsufficientEpochsError
 from repro.cache.hierarchy import CacheHierarchy, HierarchyConfig
 from repro.rdt.cat import CacheAllocation
 from repro.rdt.mba import MemoryBandwidthAllocation
@@ -72,7 +73,7 @@ class Server:
 
     def alloc_cores(self, n: int) -> Tuple[int, ...]:
         if self._next_core + n > self.total_cores:
-            raise RuntimeError(
+            raise CoreAllocationError(
                 f"out of cores: need {n}, have {self.total_cores - self._next_core}"
             )
         cores = tuple(range(self._next_core, self._next_core + n))
@@ -142,7 +143,9 @@ class Server:
 
     def run(self, epochs: int, warmup: int = config.WARMUP_EPOCHS) -> "RunResult":
         if epochs <= warmup:
-            raise ValueError("need more epochs than warm-up intervals")
+            raise InsufficientEpochsError(
+                "need more epochs than warm-up intervals"
+            )
         samples: List[EpochSample] = []
         for _ in range(epochs):
             self.sim.run_until(self.sim.now + self.epoch_cycles)

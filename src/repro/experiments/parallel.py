@@ -22,16 +22,28 @@ Design constraints, in order of importance:
   the calling process — no pool, no forked interpreters.
 * **Per-task error capture.**  A failing task does not abort its siblings;
   every task runs to completion and failures are re-raised together as a
-  :class:`ParallelExecutionError` carrying per-task tracebacks.
+  :class:`ParallelExecutionError` carrying per-task tracebacks, each
+  classified through :func:`repro.experiments.errors.classify`.
+* **Warm pools.**  The executor is module-level and reused across batches
+  (multi-figure ``--jobs`` runs previously paid pool startup per batch).
+  Workers are warmed by an initializer that imports the experiment stack
+  and inherits the parent's run-cache settings; dispatch is chunked so a
+  large batch costs ``O(workers)`` round-trips, not ``O(tasks)``.
 """
 
 from __future__ import annotations
 
+import atexit
+import functools
 import os
 import traceback
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments import runcache
+from repro.experiments.errors import classify
 
 METRIC_FIELDS = (
     "ipc",
@@ -80,12 +92,15 @@ class FigureTask:
 
 @dataclass(frozen=True)
 class TaskFailure:
-    """A captured per-task error (exception text + formatted traceback)."""
+    """A captured per-task error (exception text + formatted traceback),
+    classified into a coarse ``category`` (``config`` / ``resources`` /
+    ``figure`` / ``runtime``) via :mod:`repro.experiments.errors`."""
 
     index: int
     task: Any
     error: str
     traceback: str
+    category: str = "runtime"
 
 
 class ParallelExecutionError(RuntimeError):
@@ -95,21 +110,23 @@ class ParallelExecutionError(RuntimeError):
         self.failures = tuple(failures)
         lines = [f"{len(self.failures)} task(s) failed:"]
         for failure in self.failures:
-            lines.append(f"  task[{failure.index}]: {failure.error}")
+            lines.append(
+                f"  task[{failure.index}] [{failure.category}]: {failure.error}"
+            )
         super().__init__("\n".join(lines))
+
+    def categories(self) -> Dict[str, int]:
+        """Failure count per category (for run reports)."""
+        counts: Dict[str, int] = {}
+        for failure in self.failures:
+            counts[failure.category] = counts.get(failure.category, 0) + 1
+        return counts
 
 
 # -- worker entry points ---------------------------------------------------
 
 
-def seed_metrics(task: SeedTask) -> Tuple[float, Dict[str, Dict[str, float]]]:
-    """Run one seed and reduce it to a picklable numeric summary.
-
-    Returns ``(mem_total_bw, {stream: {metric: value}})`` over
-    :data:`METRIC_FIELDS`.  Both the serial and the parallel path of
-    ``run_repeated`` go through this function, which is what guarantees
-    identical :class:`MultiSeedResult` objects either way.
-    """
+def _seed_metrics_compute(task: SeedTask) -> Tuple[float, Dict[str, Dict[str, float]], int]:
     server = task.build(task.seed)
     result = server.run(epochs=task.epochs, warmup=task.warmup)
     streams: Dict[str, Dict[str, float]] = {}
@@ -118,12 +135,54 @@ def seed_metrics(task: SeedTask) -> Tuple[float, Dict[str, Dict[str, float]]]:
         streams[name] = {
             metric: getattr(aggregate, metric) for metric in METRIC_FIELDS
         }
-    return result.mem_total_bw, streams
+    return result.mem_total_bw, streams, server.sim.events_executed
+
+
+def seed_metrics(
+    task: SeedTask,
+) -> Tuple[float, Dict[str, Dict[str, float]], int]:
+    """Run one seed and reduce it to a picklable numeric summary.
+
+    Returns ``(mem_total_bw, {stream: {metric: value}}, events_executed)``
+    over :data:`METRIC_FIELDS`.  Both the serial and the parallel path of
+    ``run_repeated`` go through this function, which is what guarantees
+    identical :class:`MultiSeedResult` objects either way.  The summary is
+    memoized in the content-addressed run cache, keyed on the builder's
+    code identity plus ``(epochs, warmup, seed)``.
+    """
+    payload = (
+        "seed_metrics",
+        runcache.callable_token(task.build),
+        task.epochs,
+        task.warmup,
+        task.seed,
+    )
+    return runcache.get_cache().memo(
+        payload, functools.partial(_seed_metrics_compute, task)
+    )
 
 
 def run_figure(task: FigureTask) -> Any:
-    """Invoke a figure runner for one seed (worker entry point)."""
-    return task.runner(seed=task.seed, **dict(task.kwargs))
+    """Invoke a figure runner for one seed (worker entry point).
+
+    Registry runners are already cache-wrapped (they carry a
+    ``__cache_token__``) and handle their own memoization; bare
+    module-level runners are memoized here so ``average_figure`` sweeps
+    hit the cache too.
+    """
+    runner = task.runner
+    kwargs = dict(task.kwargs)
+    if getattr(runner, "__cache_token__", None) is not None:
+        return runner(seed=task.seed, **kwargs)
+    payload = (
+        "run_figure",
+        runcache.callable_token(runner),
+        task.seed,
+        task.kwargs,
+    )
+    return runcache.get_cache().memo(
+        payload, lambda: runner(seed=task.seed, **kwargs)
+    )
 
 
 def _run_one(
@@ -143,7 +202,87 @@ def _run_one(
             task=task,
             error=f"{type(exc).__name__}: {exc}",
             traceback=traceback.format_exc(),
+            category=classify(exc),
         )
+
+
+def _run_chunk(
+    fn: Callable[[Any], Any], chunk: Sequence[Tuple[int, Any]]
+) -> Tuple[List[Tuple[int, Any, Optional[TaskFailure]]], runcache.CacheStats]:
+    """Worker side of chunked dispatch: run a slice of the batch.
+
+    Also returns the worker's cache-stats delta for this chunk so the
+    parent's hit/miss report covers pool-side lookups."""
+    stats = runcache.get_cache().stats
+    before = runcache.CacheStats(
+        stats.hits, stats.misses, stats.stores, stats.errors
+    )
+    outcomes = [_run_one(fn, index, task) for index, task in chunk]
+    delta = runcache.CacheStats(
+        stats.hits - before.hits,
+        stats.misses - before.misses,
+        stats.stores - before.stores,
+        stats.errors - before.errors,
+    )
+    return outcomes, delta
+
+
+# -- the warm pool ---------------------------------------------------------
+
+
+_pool: Optional[ProcessPoolExecutor] = None
+_pool_workers: int = 0
+
+
+def _worker_warmup(environ: Dict[str, str]) -> None:
+    """Pool initializer: inherit cache settings and pre-import the hot
+    modules so the first real task does not pay import cost."""
+    os.environ.update(environ)
+    # Imports only; the modules' import side effects build the generated
+    # counter snapshot code and register figure runners.
+    from repro.experiments import harness, scenarios  # noqa: F401
+
+    runcache.get_cache()
+
+
+def _cache_environ() -> Dict[str, str]:
+    """The parent's run-cache settings, as env for worker initializers."""
+    cache = runcache.get_cache()
+    return {
+        runcache.ENV_CACHE_DIR: str(cache.root),
+        runcache.ENV_CACHE_DISABLE: "" if cache.enabled else "1",
+    }
+
+
+def get_pool(workers: int) -> ProcessPoolExecutor:
+    """The shared executor, created on first use and reused across batches.
+
+    A request for a different worker count (or a previously broken pool)
+    tears the old executor down and starts a fresh one.
+    """
+    global _pool, _pool_workers
+    if _pool is not None and _pool_workers == workers:
+        return _pool
+    shutdown_pool()
+    _pool = ProcessPoolExecutor(
+        max_workers=workers,
+        initializer=_worker_warmup,
+        initargs=(_cache_environ(),),
+    )
+    _pool_workers = workers
+    return _pool
+
+
+def shutdown_pool() -> None:
+    """Tear down the shared executor (atexit, tests, broken-pool reset)."""
+    global _pool, _pool_workers
+    if _pool is not None:
+        _pool.shutdown()
+        _pool = None
+        _pool_workers = 0
+
+
+atexit.register(shutdown_pool)
 
 
 # -- the engine ------------------------------------------------------------
@@ -155,6 +294,19 @@ def resolve_workers(n_tasks: int, max_workers: Optional[int] = None) -> int:
     return max(1, min(n_tasks, limit))
 
 
+def _chunked(items: Sequence[Any], n_chunks: int) -> List[List[Any]]:
+    """Split ``items`` into at most ``n_chunks`` contiguous, near-even runs."""
+    n_chunks = max(1, min(n_chunks, len(items)))
+    size, extra = divmod(len(items), n_chunks)
+    chunks: List[List[Any]] = []
+    start = 0
+    for c in range(n_chunks):
+        end = start + size + (1 if c < extra else 0)
+        chunks.append(list(items[start:end]))
+        start = end
+    return chunks
+
+
 def run_tasks(
     fn: Callable[[Any], Any],
     tasks: Sequence[Any],
@@ -163,11 +315,12 @@ def run_tasks(
 ) -> List[Any]:
     """Run ``fn(task)`` for every task; results come back in task order.
 
-    With ``parallel=True`` and more than one effective worker the tasks run
-    across a :class:`ProcessPoolExecutor`; otherwise they run serially in
-    this process.  Either way every task is attempted, and if any failed a
-    :class:`ParallelExecutionError` aggregating all failures is raised
-    after the batch completes.
+    With ``parallel=True`` and more than one effective worker the tasks
+    run across the shared warm :class:`ProcessPoolExecutor` (chunked: each
+    worker receives one contiguous slice of the batch); otherwise they run
+    serially in this process.  Either way every task is attempted, and if
+    any failed a :class:`ParallelExecutionError` aggregating all failures
+    is raised after the batch completes.
     """
     tasks = list(tasks)
     if not tasks:
@@ -179,15 +332,23 @@ def run_tasks(
     if not parallel or workers <= 1:
         outcomes = (_run_one(fn, i, task) for i, task in enumerate(tasks))
     else:
-        pool = ProcessPoolExecutor(max_workers=workers)
+        chunks = _chunked(list(enumerate(tasks)), workers)
         try:
+            pool = get_pool(workers)
             futures = [
-                pool.submit(_run_one, fn, i, task)
-                for i, task in enumerate(tasks)
+                pool.submit(_run_chunk, fn, chunk) for chunk in chunks
             ]
-            outcomes = [future.result() for future in futures]
-        finally:
-            pool.shutdown()
+            outcomes = []
+            parent_stats = runcache.get_cache().stats
+            for future in futures:
+                chunk_outcomes, chunk_stats = future.result()
+                outcomes.extend(chunk_outcomes)
+                parent_stats.merge(chunk_stats)
+        except BrokenProcessPool:
+            # A dead worker (OOM-kill etc.) poisons the executor; discard
+            # it and run the batch once in-process rather than failing.
+            shutdown_pool()
+            outcomes = (_run_one(fn, i, task) for i, task in enumerate(tasks))
 
     for index, value, failure in outcomes:
         if failure is not None:

@@ -13,6 +13,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
+from repro.experiments.errors import FigureShapeError, SweepConfigError
 from repro.experiments.harness import Server
 from repro.experiments.parallel import (
     METRIC_FIELDS,
@@ -62,6 +63,10 @@ class MultiSeedResult:
     seeds: Sequence[int]
     streams: Dict[str, Dict[str, MetricStats]]
     mem_total_bw: MetricStats
+    total_events: int = 0
+    """Simulated events executed across all seeds, as reported by each
+    seed's simulation (a memoized summary carries the count from the run
+    that originally produced it)."""
 
     def metric(self, stream: str, name: str) -> MetricStats:
         return self.streams[stream][name]
@@ -84,15 +89,17 @@ def run_repeated(
     summaries in seed order.
     """
     if not seeds:
-        raise ValueError("need at least one seed")
+        raise SweepConfigError("need at least one seed")
     tasks = [SeedTask(build, epochs, warmup, seed) for seed in seeds]
     summaries = run_tasks(
         seed_metrics, tasks, parallel=parallel, max_workers=max_workers
     )
     per_stream: Dict[str, Dict[str, List[float]]] = {}
     mem_values: List[float] = []
-    for mem_total_bw, streams in summaries:
+    total_events = 0
+    for mem_total_bw, streams, events in summaries:
         mem_values.append(mem_total_bw)
+        total_events += events
         for name, metrics in streams.items():
             bucket = per_stream.setdefault(name, {})
             for field_name, value in metrics.items():
@@ -107,6 +114,7 @@ def run_repeated(
             for name, metrics in per_stream.items()
         },
         mem_total_bw=MetricStats(mean(mem_values), stdev(mem_values), mem_values),
+        total_events=total_events,
     )
 
 
@@ -125,7 +133,7 @@ def average_figure(
     be module-level so it pickles).
     """
     if not seeds:
-        raise ValueError("need at least one seed")
+        raise SweepConfigError("need at least one seed")
     tasks = [
         FigureTask(runner, seed, tuple(kwargs.items())) for seed in seeds
     ]
@@ -135,7 +143,9 @@ def average_figure(
     first = results[0]
     for other in results[1:]:
         if len(other.rows) != len(first.rows):
-            raise RuntimeError("figure runners must be deterministic in shape")
+            raise FigureShapeError(
+                "figure runners must be deterministic in shape"
+            )
     averaged = FigureResult(
         figure=first.figure,
         title=f"{first.title} (mean of {len(seeds)} seeds)",

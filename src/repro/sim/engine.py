@@ -12,27 +12,65 @@ Two styles of actors are supported:
 The clock is an integer-friendly float.  Determinism is guaranteed by a
 monotonically increasing sequence number used as a heap tie-breaker.
 
-Internally the heap holds plain ``[time, seq, action]`` lists, so ordering
-is resolved by C-level list comparison on the unique ``(time, seq)`` prefix
-— the ``action`` slot is never compared.  Cancellation nulls the action
-slot in place; :class:`Event` is a thin handle over the queued entry.
+Pending events live in a two-tier bucket queue:
 
-Process resumes take a fast path: their entries are ``[time, seq, body,
-process]`` (the generator itself in the action slot), the run loop resumes
-the generator inline — no per-event trampoline frame — and the popped
-entry list is reused for the re-schedule, so steady-state process
-execution allocates nothing.
+* **Calendar wheel (the fast path).**  Almost every event is a short-delay
+  process resume, so the near future — ``WHEEL_SLOTS`` buckets of
+  ``WHEEL_GRAIN`` cycles each, anchored at ``_base`` — is kept in a bucket
+  array.  Future buckets are unsorted append-only lists; a bucket is sorted
+  once when the run loop reaches it and then consumed through an index
+  pointer, so the steady state replaces heap sifts with ``list.append``,
+  one amortized ``sort`` of a short nearly-sorted run, and plain indexing.
+  Inserts that land in the *current* bucket use ``bisect.insort`` bounded
+  to the unconsumed suffix, which keeps it sorted in place.
+* **Far heap (the fallback).**  Events at or beyond the wheel horizon go to
+  a plain heapq.  Whenever the wheel drains, it is re-anchored at ``now``
+  and near-future entries migrate from the heap into buckets.
+
+The bucket index is a monotone function of time and each bucket is consumed
+in ``(time, seq)`` order, so the pop sequence is bit-identical to a single
+heap ordered by ``(time, seq)`` — ``tests/test_engine_wheel.py`` proves
+the equivalence against a reference heap scheduler on randomized programs.
+
+Entries are plain ``[time, seq, action]`` lists, so ordering is resolved by
+C-level list comparison on the unique ``(time, seq)`` prefix — the
+``action`` slot is never compared.  Cancellation nulls the action slot in
+place; :class:`Event` is a thin handle over the queued entry.  Process
+resumes take a fast path: their entries are ``[time, seq, body, process]``
+(the generator itself in the action slot), the run loops resume the
+generator inline — no per-event trampoline frame — and the popped entry
+list is reused for the re-schedule, so steady-state process execution
+allocates nothing.
+
+Reentrancy rule: event actions may schedule, spawn, and cancel freely, but
+must not drive the simulator themselves — ``run_until`` guards against
+nested calls because the hot loop mirrors queue state in locals while a
+bucket is being consumed.
 """
 
 from __future__ import annotations
 
 import itertools
+from bisect import insort
 from heapq import heappop, heappush
 from typing import Callable, Generator, Iterable, Optional
 
 ProcessBody = Generator[float, None, None]
 
 _TIME, _SEQ, _ACTION = 0, 1, 2
+
+WHEEL_SLOTS = 256
+"""Buckets in the calendar wheel."""
+
+WHEEL_GRAIN = 16.0
+"""Cycles per bucket; the wheel spans ``WHEEL_SLOTS * WHEEL_GRAIN`` cycles.
+Sized so the common process delays (tens to a couple hundred cycles, see
+the latency ladder in ``repro.config``) land a few buckets ahead and only
+rare long sleeps fall through to the far heap."""
+
+_INV_GRAIN = 1.0 / WHEEL_GRAIN
+_SPAN = WHEEL_SLOTS * WHEEL_GRAIN
+_LAST_SLOT = WHEEL_SLOTS - 1
 
 
 class Event:
@@ -99,7 +137,7 @@ class Process:
             raise ValueError(
                 f"process {self.name!r} yielded negative delay {delay!r}"
             )
-        heappush(sim._queue, [sim.now + delay, next(sim._seq), self._body, self])
+        sim._push([sim.now + delay, next(sim._seq), self._body, self])
 
 
 class Simulator:
@@ -112,14 +150,93 @@ class Simulator:
         sim.run_until(100_000)
     """
 
+    __slots__ = (
+        "now",
+        "_seq",
+        "processes",
+        "events_executed",
+        "_buckets",
+        "_base",
+        "_limit",
+        "_pos",
+        "_pos_end",
+        "_bptr",
+        "_wheel_len",
+        "_far",
+        "_running",
+    )
+
     def __init__(self) -> None:
         self.now: float = 0.0
-        self._queue: list[list] = []
         self._seq = itertools.count()
         self.processes: list[Process] = []
         self.events_executed: int = 0
         """Cumulative count of fired (non-cancelled) events; the perf
         harness divides this by wall time for simulated-events/second."""
+        # Bucket queue state.  Invariants: ``_base <= now``; every wheel
+        # entry has ``time < _limit`` and lives in bucket
+        # ``int((time - _base) * _INV_GRAIN)``; buckets before ``_pos`` are
+        # empty; the bucket at ``_pos`` is sorted and consumed up to
+        # ``_bptr``; ``_wheel_len`` counts unconsumed wheel entries; every
+        # ``_far`` entry had ``time >= _limit`` when filed.
+        self._buckets: list[list] = [[] for _ in range(WHEEL_SLOTS)]
+        self._base: float = 0.0
+        self._limit: float = _SPAN
+        self._pos: int = 0
+        self._pos_end: float = WHEEL_GRAIN
+        """End time of the current bucket (``_base + (_pos + 1) * grain``);
+        lets the hot re-schedule path detect a same-bucket insert with one
+        float compare instead of recomputing the bucket index."""
+        self._bptr: int = 0
+        self._wheel_len: int = 0
+        self._far: list[list] = []
+        self._running = False
+
+    # -- queue internals ---------------------------------------------------
+
+    def _push(self, entry: list) -> None:
+        """File ``entry`` into its wheel bucket, or the far heap beyond the
+        horizon.  Entries never land before ``_pos``/``_bptr`` because
+        scheduling into the past is rejected and the bucket index is a
+        monotone function of time."""
+        when = entry[_TIME]
+        if when < self._limit:
+            idx = int((when - self._base) * _INV_GRAIN)
+            if idx > _LAST_SLOT:  # float rounding at the horizon edge
+                idx = _LAST_SLOT
+            bucket = self._buckets[idx]
+            if idx == self._pos:
+                insort(bucket, entry, self._bptr)
+            else:
+                bucket.append(entry)
+            self._wheel_len += 1
+        else:
+            heappush(self._far, entry)
+
+    def _rebase(self) -> None:
+        """Re-anchor the empty wheel at ``now`` and drain near-future far
+        entries into buckets.  Caller guarantees ``_wheel_len == 0``."""
+        self._buckets[self._pos].clear()
+        self._pos = 0
+        self._bptr = 0
+        base = self._base = self.now
+        self._pos_end = base + WHEEL_GRAIN
+        limit = self._limit = base + _SPAN
+        far = self._far
+        buckets = self._buckets
+        count = 0
+        while far and far[0][_TIME] < limit:
+            entry = heappop(far)
+            idx = int((entry[_TIME] - base) * _INV_GRAIN)
+            if idx > _LAST_SLOT:
+                idx = _LAST_SLOT
+            buckets[idx].append(entry)
+            count += 1
+        if count:
+            self._wheel_len = count
+            bucket = buckets[0]
+            if len(bucket) > 1:
+                bucket.sort()
 
     # -- scheduling -------------------------------------------------------
 
@@ -128,7 +245,7 @@ class Simulator:
         if when < self.now:
             raise ValueError(f"cannot schedule into the past ({when} < {self.now})")
         entry = [when, next(self._seq), action]
-        heappush(self._queue, entry)
+        self._push(entry)
         return Event(entry)
 
     def call_in(self, delay: float, action: Callable[["Simulator"], None]) -> Event:
@@ -144,7 +261,7 @@ class Simulator:
         when = self.now if start_at is None else start_at
         if when < self.now:
             raise ValueError(f"cannot schedule into the past ({when} < {self.now})")
-        heappush(self._queue, [when, next(self._seq), body, process])
+        self._push([when, next(self._seq), body, process])
         return process
 
     def every(
@@ -183,13 +300,88 @@ class Simulator:
             )
         entry[_TIME] = self.now + delay
         entry[_SEQ] = next(self._seq)
-        heappush(self._queue, entry)
+        self._push(entry)
 
     def step(self) -> bool:
-        """Execute the next pending event.  Returns False when idle."""
-        queue = self._queue
-        while queue:
-            entry = heappop(queue)
+        """Execute the next pending event.  Returns False when idle.
+
+        ``_wheel_len`` accounting is deferred: on the hot path — a process
+        resume whose re-schedule lands back in the wheel — the pop and push
+        cancel, so the counter is only touched on the rare exits
+        (cancelled entry, finished process, far-heap push, callback).
+        """
+        buckets = self._buckets
+        while True:
+            # Inlined bucket pop (the same walk run_until batches).
+            if self._wheel_len:
+                pos = self._pos
+                bucket = buckets[pos]
+                bptr = self._bptr
+                if bptr >= len(bucket):
+                    bucket.clear()
+                    pos += 1
+                    bucket = buckets[pos]
+                    while not bucket:
+                        pos += 1
+                        bucket = buckets[pos]
+                    if len(bucket) > 1:
+                        bucket.sort()
+                    self._pos = pos
+                    self._pos_end = self._base + (pos + 1) * WHEEL_GRAIN
+                    bptr = 0
+                entry = bucket[bptr]
+                self._bptr = bptr + 1
+                action = entry[_ACTION]
+                if action is None:
+                    self._wheel_len -= 1
+                    continue
+                self.now = entry[_TIME]
+                self.events_executed += 1
+                if len(entry) == 4:
+                    # Inlined process resume + re-schedule.
+                    try:
+                        delay = next(action)
+                    except StopIteration:
+                        self._wheel_len -= 1
+                        process = entry[3]
+                        process.finished = True
+                        for callback in process._finish_callbacks:
+                            callback(self)
+                        return True
+                    if delay < 0:
+                        raise ValueError(
+                            f"process {entry[3].name!r} yielded negative "
+                            f"delay {delay!r}"
+                        )
+                    when = self.now + delay
+                    entry[_TIME] = when
+                    entry[_SEQ] = next(self._seq)
+                    if when < self._pos_end:
+                        # Same-bucket re-schedule: one compare, no index math.
+                        insort(bucket, entry, bptr)
+                        # pop + wheel push cancel out: _wheel_len unchanged
+                    elif when < self._limit:
+                        idx = int((when - self._base) * _INV_GRAIN)
+                        if idx > _LAST_SLOT:
+                            idx = _LAST_SLOT
+                        if idx == pos:  # boundary rounding can disagree
+                            insort(bucket, entry, bptr)
+                        else:
+                            buckets[idx].append(entry)
+                    else:
+                        self._wheel_len -= 1
+                        heappush(self._far, entry)
+                else:
+                    self._wheel_len -= 1
+                    action(self)
+                return True
+            # Wheel empty: fall back to the far heap.
+            if not self._far:
+                return False
+            self._rebase()
+            if self._wheel_len:
+                continue
+            entry = heappop(self._far)  # isolated event beyond the span
             action = entry[_ACTION]
             if action is None:
                 continue
@@ -200,45 +392,130 @@ class Simulator:
             else:
                 action(self)
             return True
-        return False
 
     def run_until(self, end_time: float) -> None:
-        """Run events with time <= ``end_time`` and advance the clock there."""
-        queue = self._queue
-        pop = heappop
-        push = heappush
+        """Run events with time <= ``end_time`` and advance the clock there.
+
+        The loop consumes the wheel bucket by bucket with the cursor state
+        mirrored in locals; ``_bptr`` is committed before every action so
+        nested ``schedule``/``spawn``/``cancel`` calls observe a consistent
+        queue, and pop counts are flushed to ``_wheel_len`` at every bucket
+        boundary.  Actions must not re-enter the run loop itself.
+        """
+        if self._running:
+            raise RuntimeError("run_until is not reentrant; actions must "
+                               "not drive the simulator")
+        self._running = True
+        buckets = self._buckets
+        far = self._far
         seq = self._seq
         executed = 0
         try:
-            while queue and queue[0][_TIME] <= end_time:
-                entry = pop(queue)
-                action = entry[_ACTION]
-                if action is None:
-                    continue
-                self.now = entry[_TIME]
-                executed += 1
-                if len(entry) == 4:
-                    # Inlined process resume: the generator is the action;
-                    # the popped entry is reused for the re-schedule.
-                    try:
-                        delay = next(action)
-                    except StopIteration:
-                        process = entry[3]
-                        process.finished = True
-                        for callback in process._finish_callbacks:
-                            callback(self)
-                        continue
-                    if delay < 0:
-                        raise ValueError(
-                            f"process {entry[3].name!r} yielded negative "
-                            f"delay {delay!r}"
-                        )
-                    entry[_TIME] = self.now + delay
-                    entry[_SEQ] = next(seq)
-                    push(queue, entry)
+            while True:
+                # -- position at the next non-empty bucket ----------------
+                if self._wheel_len:
+                    pos = self._pos
+                    bucket = buckets[pos]
+                    i = self._bptr
+                    if i >= len(bucket):
+                        bucket.clear()
+                        pos += 1
+                        bucket = buckets[pos]
+                        while not bucket:
+                            pos += 1
+                            bucket = buckets[pos]
+                        if len(bucket) > 1:
+                            bucket.sort()
+                        self._pos = pos
+                        self._pos_end = self._base + (pos + 1) * WHEEL_GRAIN
+                        self._bptr = i = 0
                 else:
-                    action(self)
+                    if not far or far[0][_TIME] > end_time:
+                        break
+                    self._rebase()
+                    if not self._wheel_len:
+                        # Isolated far-future event inside the run window
+                        # but beyond the wheel span: execute it directly.
+                        entry = heappop(far)
+                        action = entry[_ACTION]
+                        if action is None:
+                            continue
+                        self.now = entry[_TIME]
+                        executed += 1
+                        if len(entry) == 4:
+                            self._resume_process(entry)
+                        else:
+                            action(self)
+                    continue
+                # -- consume the current bucket ---------------------------
+                base = self._base
+                limit = self._limit
+                pos_end = self._pos_end
+                popped = 0
+                while i < len(bucket):
+                    entry = bucket[i]
+                    when = entry[_TIME]
+                    if when > end_time:
+                        self._bptr = i
+                        self._wheel_len -= popped
+                        self.events_executed += executed
+                        executed = 0
+                        if self.now < end_time:
+                            self.now = end_time
+                        return
+                    i += 1
+                    self._bptr = i
+                    popped += 1
+                    action = entry[_ACTION]
+                    if action is None:
+                        continue
+                    self.now = when
+                    executed += 1
+                    if len(entry) == 4:
+                        # Inlined process resume; the popped entry is
+                        # reused for the re-schedule.
+                        try:
+                            delay = next(action)
+                        except StopIteration:
+                            process = entry[3]
+                            process.finished = True
+                            for callback in process._finish_callbacks:
+                                callback(self)
+                            continue
+                        if delay < 0:
+                            raise ValueError(
+                                f"process {entry[3].name!r} yielded "
+                                f"negative delay {delay!r}"
+                            )
+                        when += delay
+                        entry[_TIME] = when
+                        entry[_SEQ] = next(seq)
+                        # Inlined _push (base/limit/pos_end only move on
+                        # _rebase or bucket advance, which cannot run while
+                        # this bucket has entries).
+                        if when < pos_end:
+                            # Same-bucket re-schedule: one compare.
+                            insort(bucket, entry, i)
+                            popped -= 1  # pop + wheel push cancel out
+                        elif when < limit:
+                            idx = int((when - base) * _INV_GRAIN)
+                            if idx > _LAST_SLOT:
+                                idx = _LAST_SLOT
+                            if idx == pos:  # boundary rounding disagreement
+                                insort(bucket, entry, i)
+                            else:
+                                buckets[idx].append(entry)
+                            popped -= 1
+                        else:
+                            heappush(far, entry)
+                    else:
+                        action(self)
+                        # The callback may have pushed into this bucket
+                        # (tracked by _wheel_len directly) or anywhere
+                        # else; only our own pops stay in ``popped``.
+                self._wheel_len -= popped
         finally:
+            self._running = False
             self.events_executed += executed
         if self.now < end_time:
             self.now = end_time
@@ -252,4 +529,8 @@ class Simulator:
 
     def pending(self) -> Iterable[Event]:
         """Live events still queued (for inspection in tests)."""
-        return (Event(e) for e in self._queue if e[_ACTION] is not None)
+        entries = list(self._buckets[self._pos][self._bptr:])
+        for bucket in self._buckets[self._pos + 1:]:
+            entries.extend(bucket)
+        entries.extend(self._far)
+        return (Event(e) for e in entries if e[_ACTION] is not None)

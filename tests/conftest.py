@@ -1,4 +1,5 @@
-"""Shared fixtures: a small cache hierarchy and its supporting pieces."""
+"""Shared fixtures: a small cache hierarchy and its supporting pieces,
+plus run-cache isolation so tests never touch the repo's `.repro-cache/`."""
 
 from __future__ import annotations
 
@@ -11,6 +12,26 @@ from repro.telemetry.counters import CounterBank
 from repro.uncore.iio import IIOAgent
 from repro.uncore.memory import MemoryController
 from repro.uncore.pcie import PcieComplex
+
+
+@pytest.fixture(autouse=True)
+def _isolated_run_cache(tmp_path, monkeypatch):
+    """Point the content-addressed run cache at a per-test temp dir.
+
+    Keeps test runs from writing into the repository and from observing
+    entries another test (or a real figure run) stored."""
+    from repro.experiments import runcache
+
+    from repro.experiments import parallel
+
+    monkeypatch.setenv(runcache.ENV_CACHE_DIR, str(tmp_path / "repro-cache"))
+    monkeypatch.delenv(runcache.ENV_CACHE_DISABLE, raising=False)
+    runcache.set_cache(None)  # re-init from env on next use
+    yield
+    runcache.set_cache(None)
+    # Warm pool workers captured this test's cache env at spawn; drop them
+    # so the next test gets workers pointed at its own temp dir.
+    parallel.shutdown_pool()
 
 
 @pytest.fixture

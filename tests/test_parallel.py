@@ -71,6 +71,38 @@ def test_run_tasks_captures_every_failure(parallel):
     assert "ValueError" in str(excinfo.value)
 
 
+def test_warm_pool_reused_across_batches():
+    """Consecutive same-width batches share one executor (warm pool)."""
+    from repro.experiments import parallel as par
+
+    run_tasks(_fail_on_negative, [1, 2, 3, 4], parallel=True, max_workers=2)
+    first_pool = par._pool
+    assert first_pool is not None
+    run_tasks(_fail_on_negative, [5, 6, 7, 8], parallel=True, max_workers=2)
+    assert par._pool is first_pool
+    # A different width tears down and replaces the executor.
+    run_tasks(_fail_on_negative, [1, 2, 3], parallel=True, max_workers=3)
+    assert par._pool is not first_pool
+    par.shutdown_pool()
+    assert par._pool is None
+
+
+def test_failures_carry_category():
+    from repro.experiments.errors import WorkloadConfigError
+
+    def boom(task):
+        if task == "config":
+            raise WorkloadConfigError("bad workload")
+        raise OSError("disk on fire")
+
+    with pytest.raises(ParallelExecutionError) as excinfo:
+        run_tasks(boom, ["config", "other"], parallel=False)
+    categories = {f.task: f.category for f in excinfo.value.failures}
+    assert categories == {"config": "config", "other": "runtime"}
+    assert excinfo.value.categories() == {"config": 1, "runtime": 1}
+    assert "[config]" in str(excinfo.value)
+
+
 def test_resolve_workers():
     assert resolve_workers(10, max_workers=4) == 4
     assert resolve_workers(2, max_workers=8) == 2
@@ -81,7 +113,14 @@ def test_resolve_workers():
 # -- equivalence: serial vs parallel ---------------------------------------
 
 
-def test_run_repeated_parallel_matches_serial():
+@pytest.mark.parametrize("cached", [False, True])
+def test_run_repeated_parallel_matches_serial(cached, monkeypatch):
+    if not cached:
+        # Force real simulation on both paths (no cache replay).
+        from repro.experiments import runcache
+
+        monkeypatch.setenv(runcache.ENV_CACHE_DISABLE, "1")
+        runcache.set_cache(None)
     seeds = (1, 2, 3)
     serial = run_repeated(build, epochs=3, warmup=1, seeds=seeds)
     pooled = run_repeated(
@@ -89,6 +128,7 @@ def test_run_repeated_parallel_matches_serial():
     )
     assert serial == pooled  # bit-identical MultiSeedResult
     assert pooled.seeds == seeds
+    assert pooled.total_events > 0
     for stream, metrics in serial.streams.items():
         assert set(metrics) == set(METRIC_FIELDS)
         for name in METRIC_FIELDS:
@@ -109,10 +149,24 @@ def test_average_figure_parallel_matches_serial():
 
 
 def test_seed_metrics_summary_shape():
-    mem_total_bw, streams = seed_metrics(SeedTask(build, 3, 1, 7))
+    mem_total_bw, streams, events = seed_metrics(SeedTask(build, 3, 1, 7))
     assert mem_total_bw >= 0
     assert set(streams) == {"a"}
     assert set(streams["a"]) == set(METRIC_FIELDS)
+    assert events > 0  # simulated-event count for bench accounting
+
+
+def test_seed_metrics_memoized():
+    """A repeated identical seed is served from the run cache."""
+    from repro.experiments import runcache
+
+    cache = runcache.get_cache()
+    task = SeedTask(build, 3, 1, 11)
+    first = seed_metrics(task)
+    hits_before = cache.stats.hits
+    second = seed_metrics(task)
+    assert second == first
+    assert cache.stats.hits == hits_before + 1
 
 
 def test_task_descriptors_pickle():

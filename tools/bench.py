@@ -36,6 +36,12 @@ for path in (str(ROOT / "src"), str(ROOT / "benchmarks")):
     if path not in sys.path:
         sys.path.insert(0, path)
 
+# Benchmarks measure simulation, not cache replay: disable the run cache
+# for this process and any pool workers it spawns.  The ``cached_figure``
+# scenario re-enables it locally against a temp dir to measure the replay
+# path itself.
+os.environ["REPRO_CACHE_DISABLE"] = "1"
+
 from perf import ALL_BENCHMARKS  # noqa: E402  (needs sys.path above)
 
 BENCH_GLOB = "BENCH_*.json"

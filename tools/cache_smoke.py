@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""CI smoke test for the content-addressed run cache.
+
+Runs a small figure twice against a fresh temp cache directory and asserts:
+
+1. the cold run simulates (misses + stores, no hits for the figure key);
+2. the warm run is a cache hit that constructs no ``Simulator`` at all;
+3. the two results are identical objects value-wise.
+
+Exit code 0 on success, 1 with a diagnostic on any violation.  Usage::
+
+    python tools/cache_smoke.py [figure_id] [epochs]
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+if str(ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(ROOT / "src"))
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    figure_id = argv[0] if argv else "fig8b"
+    epochs = int(argv[1]) if len(argv) > 1 else 3
+
+    from repro.experiments import runcache
+    from repro.experiments.figures import REGISTRY
+    from repro.sim import engine as engine_mod
+
+    if figure_id not in REGISTRY:
+        print(f"FAIL: unknown figure {figure_id!r}; have {sorted(REGISTRY)}")
+        return 1
+
+    with tempfile.TemporaryDirectory(prefix="repro-cache-smoke-") as tmp:
+        runcache.set_cache(runcache.RunCache(root=Path(tmp)))
+        cache = runcache.get_cache()
+        runner = REGISTRY[figure_id]
+
+        cold = runner(epochs=epochs, seed=0xA4)
+        if cache.stats.stores < 1 or cache.stats.hits != 0:
+            print(f"FAIL: cold run should store and not hit: {cache.stats}")
+            return 1
+
+        constructed = []
+        original_init = engine_mod.Simulator.__init__
+        engine_mod.Simulator.__init__ = lambda self: (
+            constructed.append(self),
+            original_init(self),
+        )[-1]
+        try:
+            warm = runner(epochs=epochs, seed=0xA4)
+        finally:
+            engine_mod.Simulator.__init__ = original_init
+
+        if constructed:
+            print(
+                f"FAIL: warm run built {len(constructed)} Simulator(s); "
+                "expected pure cache replay"
+            )
+            return 1
+        if cache.stats.hits < 1:
+            print(f"FAIL: warm run was not a cache hit: {cache.stats}")
+            return 1
+        if warm != cold:
+            print("FAIL: warm result differs from cold result")
+            print(f"  cold: {cold}")
+            print(f"  warm: {warm}")
+            return 1
+
+        print(
+            f"OK: {figure_id} (epochs={epochs}) warm replay identical, "
+            f"zero simulation work [{cache.stats.summary()}]"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
