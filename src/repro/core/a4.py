@@ -24,6 +24,17 @@ Per monitoring epoch (the paper's 1 second), the controller:
    one way per epoch from LP Zone toward the right-most standard way
    (way[8]), ceasing on >10% instability in its own metric or system memory
    bandwidth.
+
+The controller is hardened against glitchy telemetry and flaky control
+writes (see :mod:`repro.core.guard` and :mod:`repro.faults`): every epoch
+sample passes a :class:`~repro.core.guard.SampleSanitizer` before the
+detectors see it, failed CAT/DCA applies follow the base-class
+retry/backoff contract, and an
+:class:`~repro.core.guard.OscillationWatchdog` catches reallocation
+flip-flop — when fluctuation-driven reallocations re-trigger faster than
+any real phase change would, the FSM enters a ``degraded`` phase that pins
+the safe initial partitions (an Isolate-style static layout) for a
+cooldown window before re-deriving a fresh allocation.
 """
 
 from __future__ import annotations
@@ -32,6 +43,7 @@ from typing import Dict, List, Optional
 
 from repro.core import detectors
 from repro.core.detectors import AntagonistState, RestoreChecker
+from repro.core.guard import OscillationWatchdog, SampleSanitizer
 from repro.core.manager import LlcManager
 from repro.core.policy import A4Policy
 from repro.core.zones import ZoneLayout
@@ -47,6 +59,7 @@ PHASE_BASELINE = "baseline"
 PHASE_EXPANDING = "expanding"
 PHASE_STABLE = "stable"
 PHASE_REVERTING = "reverting"
+PHASE_DEGRADED = "degraded"
 
 
 class A4Manager(LlcManager):
@@ -57,6 +70,14 @@ class A4Manager(LlcManager):
     def __init__(self, policy: Optional[A4Policy] = None):
         super().__init__()
         self.policy = policy or A4Policy()
+        self.apply_retry_limit = self.policy.apply_retry_limit
+        self.apply_backoff_epochs = self.policy.apply_backoff_epochs
+        self.sanitizer = SampleSanitizer()
+        self.watchdog = OscillationWatchdog(
+            window=self.policy.watchdog_window,
+            threshold=self.policy.watchdog_reallocs,
+            cooldown=self.policy.watchdog_cooldown,
+        )
         self.layout: ZoneLayout = None
         self.antagonists: Dict[str, AntagonistState] = {}
         self.demoted: set = set()
@@ -107,14 +128,31 @@ class A4Manager(LlcManager):
 
     def on_workload_change(self) -> None:
         """§5.6 condition (1): new HPW combinations at launch/termination."""
+        live = {w.name for w in self.server.workloads}
         for name in list(self.antagonists):
-            if not any(w.name == name for w in self.server.workloads):
+            if name not in live:
                 del self.antagonists[name]
                 self.demoted.discard(name)
+        for name in list(self._pending_ways):
+            if name not in live:
+                self.discard_pending(name)
+        self.sanitizer.prune(live)
+        if self.watchdog.degraded:
+            # A new workload combination voids the oscillation evidence.
+            self.watchdog.reset()
+            self.events.append("watchdog: degraded mode cleared (workload change)")
         self._begin_reallocation("workload launched or terminated")
 
-    def _begin_reallocation(self, reason: str) -> None:
-        """Apply the initial partitions and restart the state machine."""
+    def _begin_reallocation(self, reason: str, counted: bool = False) -> None:
+        """Apply the initial partitions and restart the state machine.
+
+        ``counted`` marks fluctuation-driven reallocations (the ones the
+        oscillation watchdog guards against); structural ones — attach,
+        launch/termination, antagonist detection — are exempt.
+        """
+        if counted and self.watchdog.note_reallocation():
+            self._enter_degraded(reason)
+            return
         self.reallocations += 1
         self.events.append(f"reallocate: {reason}")
         self.layout.io_hpw_present = self._io_hpw_present()
@@ -146,11 +184,39 @@ class A4Manager(LlcManager):
                 first, last = self.layout.io_hpw_span()
             self.set_ways(workload.name, first, last)
 
+    def _enter_degraded(self, reason: str) -> None:
+        """Oscillation watchdog tripped: pin the safe static layout (the
+        initial partitions, Isolate-style) for the cooldown window."""
+        self.phase = PHASE_DEGRADED
+        self.events.append(f"watchdog: oscillation ({reason}); pin static layout")
+        self.layout.io_hpw_present = self._io_hpw_present()
+        self.layout.reset_lp()
+        self.baseline_hits = {}
+        self.stable_hits = {}
+        self._epochs_in_phase = 0
+        self._stable_epochs = 0
+        self._apply_layout()
+
     # ------------------------------------------------------------------
     # Epoch handler
     # ------------------------------------------------------------------
 
     def on_epoch(self, sample: EpochSample) -> None:
+        self.retry_pending()
+        view = self.sanitizer.sanitize(
+            sample, [w.name for w in self.server.workloads]
+        )
+        if view is None:
+            return
+        sample = view
+
+        if self.watchdog.note_epoch():
+            self.events.append("watchdog: cooldown complete; reallocating")
+            self._begin_reallocation("watchdog cooldown complete")
+            return
+        if self.watchdog.degraded:
+            return
+
         if self.phase == PHASE_REVERTING:
             self._finish_revert(sample)
             return
@@ -246,7 +312,9 @@ class A4Manager(LlcManager):
             if detectors.hpw_hit_rate_degraded(self.policy, baseline, smoothed):
                 phase_change = True
         if phase_change:
-            self._begin_reallocation("HPW hit-rate fluctuation beyond T1")
+            self._begin_reallocation(
+                "HPW hit-rate fluctuation beyond T1", counted=True
+            )
             return
         self._stable_epochs += 1
         if self._stable_epochs >= self.policy.stable_interval:
@@ -279,7 +347,9 @@ class A4Manager(LlcManager):
             ):
                 reallocate = True
         if reallocate:
-            self._begin_reallocation("uncapturable phase change found by revert")
+            self._begin_reallocation(
+                "uncapturable phase change found by revert", counted=True
+            )
             return
         self.layout.lp_left = self._saved_lp_left
         self._apply_layout()
@@ -432,3 +502,13 @@ class A4Manager(LlcManager):
                 self.events.append(f"restore {name} (phase change ended)")
                 changed = True
         return changed
+
+    # ------------------------------------------------------------------
+    # Telemetry
+    # ------------------------------------------------------------------
+
+    def robustness_stats(self) -> Dict[str, int]:
+        stats = super().robustness_stats()
+        stats.update(self.sanitizer.stats())
+        stats.update(self.watchdog.stats())
+        return stats

@@ -1,0 +1,214 @@
+"""Controller hardening: sample sanitization and the oscillation watchdog.
+
+The A4 daemon on real hardware reads PCM counters that occasionally glitch
+and drives ``pqos``/MSR writes that occasionally fail; this module holds the
+defensive machinery the controller wraps around those surfaces.  Everything
+here is *structurally* conservative: on clean telemetry the sanitizer
+returns the sample object unchanged and the watchdog never fires, so runs
+without faults are bit-identical to an unhardened controller.
+
+* :class:`SampleSanitizer` — validates the per-epoch telemetry view,
+  holding over the last good reading for streams that are missing or
+  structurally invalid (negative/non-finite counters, rates outside
+  [0, 1]) and rejecting epochs whose cycle count is unusable.  It never
+  second-guesses *plausible* values — a genuine phase change must reach
+  the detectors.
+* :class:`OscillationWatchdog` — detects reallocation flip-flop (the
+  EXPAND/REVERT loop re-triggering every few epochs on noisy hit rates)
+  and pins a safe static layout for a cooldown window, counting
+  time-in-degraded-mode for telemetry.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import replace
+from typing import Deque, Dict, Iterable, Optional
+
+from repro.telemetry.counters import StreamCounters
+from repro.telemetry.latency import LatencyStats
+from repro.telemetry.pcm import EpochSample, StreamInfo, StreamSample
+
+_RATE_PROPS = ("llc_hit_rate", "llc_miss_rate", "mlc_miss_rate", "dca_miss_rate")
+_NONNEGATIVE = (
+    "mlc_hits",
+    "mlc_misses",
+    "llc_hits",
+    "llc_misses",
+    "io_reads",
+    "io_read_misses",
+    "dma_writes",
+    "mem_reads",
+    "mem_writes",
+    "instructions",
+    "io_bytes_completed",
+)
+
+
+def stream_reading_valid(stream: StreamSample) -> bool:
+    """Structural validity of one per-stream reading.
+
+    Counters must be non-negative and every derived rate finite and in
+    [0, 1].  Values that are merely *surprising* pass — surprise is the
+    detectors' job, not the sanitizer's.
+    """
+    counters = stream.counters
+    for name in _NONNEGATIVE:
+        if getattr(counters, name) < 0:
+            return False
+    for name in _RATE_PROPS:
+        rate = getattr(counters, name)
+        if not math.isfinite(rate) or rate < 0.0 or rate > 1.0:
+            return False
+    return True
+
+
+class SampleSanitizer:
+    """Last-good holdover + structural clamping for the controller's
+    telemetry view.  Stateful: remembers the newest valid reading per
+    stream across epochs."""
+
+    def __init__(self) -> None:
+        self._last_good: Dict[str, StreamSample] = {}
+        self.held_over = 0
+        """Readings replaced by the last good value (missing or invalid)."""
+        self.zeroed = 0
+        """Invalid readings neutralized to idle (no good value yet)."""
+        self.skipped_epochs = 0
+        """Whole epochs rejected (unusable cycle count)."""
+
+    def sanitize(
+        self, sample: EpochSample, expected: Iterable[str]
+    ) -> Optional[EpochSample]:
+        """Return a safe view of ``sample`` or ``None`` when the whole
+        epoch must be skipped.  On fully clean input this returns the
+        *same object* — the clean path allocates nothing."""
+        if not math.isfinite(sample.epoch_cycles) or sample.epoch_cycles <= 0:
+            self.skipped_epochs += 1
+            return None
+        patched: Optional[Dict[str, StreamSample]] = None
+        for name in expected:
+            stream = sample.streams.get(name)
+            if stream is not None and stream_reading_valid(stream):
+                self._last_good[name] = stream
+                continue
+            if patched is None:
+                patched = dict(sample.streams)
+            held = self._last_good.get(name)
+            if held is not None:
+                self.held_over += 1
+                patched[name] = held
+            elif stream is not None:
+                # Invalid and nothing to hold over: neutralize to idle so
+                # the detectors ignore it rather than divide by garbage.
+                self.zeroed += 1
+                patched[name] = _idle_like(stream)
+            else:
+                # Missing with no history: leave absent; every consumer
+                # already tolerates an absent stream.
+                self.held_over += 1
+        if patched is None:
+            return sample
+        return replace(sample, streams=patched)
+
+    def forget(self, name: str) -> None:
+        """Drop holdover state for a terminated workload."""
+        self._last_good.pop(name, None)
+
+    def prune(self, live: Iterable[str]) -> None:
+        """Drop holdover state for every stream not in ``live``."""
+        keep = set(live)
+        for name in list(self._last_good):
+            if name not in keep:
+                del self._last_good[name]
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "held_over": self.held_over,
+            "zeroed": self.zeroed,
+            "skipped_epochs": self.skipped_epochs,
+        }
+
+
+def _idle_like(stream: StreamSample) -> StreamSample:
+    """An all-zero reading with the stream's identity (safe neutral)."""
+    return StreamSample(
+        name=stream.name,
+        info=stream.info,
+        counters=StreamCounters(),
+        latency=LatencyStats(),
+        epoch_cycles=stream.epoch_cycles,
+    )
+
+
+class OscillationWatchdog:
+    """Detects reallocation flip-flop and enforces a degraded cooldown.
+
+    The FSM's legitimate reallocations are rare: a phase change re-baselines
+    once and the system settles.  Under corrupted telemetry the
+    EXPAND→STABLE→REVERT loop can re-trigger every few epochs, thrashing
+    CAT masks (each reallocation perturbs every workload).  The watchdog
+    counts *fluctuation-driven* reallocations inside a sliding epoch
+    window; past the threshold it reports oscillation and the controller
+    pins its safe static layout for ``cooldown`` epochs.
+    """
+
+    def __init__(self, window: int = 12, threshold: int = 4, cooldown: int = 10):
+        if window < 1 or threshold < 2 or cooldown < 1:
+            raise ValueError("watchdog parameters out of range")
+        self.window = window
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self.degraded = False
+        self.degraded_entries = 0
+        self.degraded_epochs = 0
+        self._epoch = 0
+        self._cooldown_left = 0
+        self._history: Deque[int] = deque()
+
+    def note_epoch(self) -> bool:
+        """Advance one epoch.  Returns True when a degraded cooldown just
+        expired (the controller should re-derive a fresh allocation)."""
+        self._epoch += 1
+        if not self.degraded:
+            return False
+        self.degraded_epochs += 1
+        self._cooldown_left -= 1
+        if self._cooldown_left > 0:
+            return False
+        self.degraded = False
+        self._history.clear()
+        return True
+
+    def note_reallocation(self) -> bool:
+        """Record one fluctuation-driven reallocation.  Returns True when
+        this one trips the oscillation threshold (and enters degraded
+        mode); the caller should pin its safe layout instead of
+        reallocating yet again."""
+        if self.degraded:
+            return True
+        self._history.append(self._epoch)
+        floor = self._epoch - self.window
+        while self._history and self._history[0] <= floor:
+            self._history.popleft()
+        if len(self._history) < self.threshold:
+            return False
+        self.degraded = True
+        self.degraded_entries += 1
+        self._cooldown_left = self.cooldown
+        return True
+
+    def reset(self) -> None:
+        """A structural change (workload launched/terminated) voids the
+        oscillation evidence: clear history and leave degraded mode."""
+        self.degraded = False
+        self._cooldown_left = 0
+        self._history.clear()
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "degraded": int(self.degraded),
+            "degraded_entries": self.degraded_entries,
+            "degraded_epochs": self.degraded_epochs,
+        }

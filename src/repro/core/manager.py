@@ -3,17 +3,33 @@
 A manager sees exactly what the paper's daemon sees: launch-time workload
 metadata, per-epoch PCM samples, CAT, and the PCIe port registers.  It never
 touches the cache models directly.
+
+The two write surfaces — :meth:`LlcManager.set_ways` and
+:meth:`LlcManager.set_port_dca` — are hardened against *transient* apply
+failures (a glitched ``pqos`` run, a config-space write that did not stick;
+injected by :mod:`repro.faults`): a failed write is retried up to
+``apply_retry_limit`` times in place, then parked and re-attempted each
+epoch with doubling backoff via :meth:`retry_pending`.  Permanent errors
+(an actually invalid mask) are caller bugs and propagate unchanged.  On a
+failed write the previously committed state stays active, so the hardware
+invariant — every CLOS mask valid at all times — holds regardless.
 """
 
 from __future__ import annotations
 
 import abc
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Dict, List, Optional
 
+from repro.rdt.cat import TransientClosError
 from repro.telemetry.pcm import EpochSample
+from repro.uncore.pcie import TransientPortError
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.experiments.harness import Server
+
+TRANSIENT_APPLY_ERRORS = (TransientClosError, TransientPortError)
+
+_MAX_BACKOFF_EPOCHS = 8
 
 
 class LlcManager(abc.ABC):
@@ -21,8 +37,24 @@ class LlcManager(abc.ABC):
 
     name = "manager"
 
+    apply_retry_limit = 3
+    """Immediate retries for a transiently failed apply (A4 overrides
+    this from its policy)."""
+    apply_backoff_epochs = 1
+    """Initial deferred-retry interval (doubles per failure, capped)."""
+
     def __init__(self) -> None:
         self.server: "Server" = None
+        self.apply_retries = 0
+        """Transient failures recovered by an immediate retry."""
+        self.apply_deferred = 0
+        """Applies that exhausted immediate retries and were parked."""
+        self.apply_recovered = 0
+        """Parked applies that later committed via :meth:`retry_pending`."""
+        self._pending_ways: Dict[str, List[int]] = {}
+        """name -> [first, last, epochs_until_retry, current_interval]"""
+        self._pending_dca: Dict[int, List[int]] = {}
+        """port_id -> [enabled, epochs_until_retry, current_interval]"""
 
     def attach(self, server: "Server") -> None:
         """Bind to a server after all workloads are added; apply the initial
@@ -44,19 +76,110 @@ class LlcManager(abc.ABC):
 
     # -- convenience accessors (the daemon's 'system call' surface) -------
 
-    def set_ways(self, workload_name: str, first: int, last: int) -> None:
-        """Point the workload's CLOS at way[first:last] (paper notation)."""
+    def set_ways(self, workload_name: str, first: int, last: int) -> bool:
+        """Point the workload's CLOS at way[first:last] (paper notation).
+
+        Returns True when the write was accepted (committed, or accepted
+        for a delayed commit); False when every immediate retry failed
+        transiently and the apply was parked for :meth:`retry_pending`.
+        """
         server = self.server
         clos = server.clos_of(workload_name)
-        server.cat.set_mask(clos, range(first, last + 1))
+        ways = range(first, last + 1)
+        for attempt in range(1 + self.apply_retry_limit):
+            try:
+                server.cat.set_mask(clos, ways)
+            except TransientClosError:
+                continue
+            if attempt:
+                self.apply_retries += attempt
+            self._pending_ways.pop(workload_name, None)
+            return True
+        self.apply_deferred += 1
+        interval = self.apply_backoff_epochs
+        self._pending_ways[workload_name] = [first, last, interval, interval]
+        return False
 
     def ways_of(self, workload_name: str):
         server = self.server
         return server.cat.mask(server.clos_of(workload_name))
 
-    def set_port_dca(self, port_id: int, enabled: bool) -> None:
+    def set_port_dca(self, port_id: int, enabled: bool) -> bool:
+        """Steer the port's inbound writes (DCA on/off), with the same
+        retry/backoff contract as :meth:`set_ways`."""
         port = self.server.pcie.port(port_id)
-        if enabled:
-            port.enable_dca()
+        for attempt in range(1 + self.apply_retry_limit):
+            try:
+                if enabled:
+                    port.enable_dca()
+                else:
+                    port.disable_dca()
+            except TransientPortError:
+                continue
+            if attempt:
+                self.apply_retries += attempt
+            self._pending_dca.pop(port_id, None)
+            return True
+        self.apply_deferred += 1
+        interval = self.apply_backoff_epochs
+        self._pending_dca[port_id] = [int(enabled), interval, interval]
+        return False
+
+    # -- deferred-apply bookkeeping ---------------------------------------
+
+    @property
+    def pending_applies(self) -> int:
+        """Writes parked after exhausting their immediate retries."""
+        return len(self._pending_ways) + len(self._pending_dca)
+
+    def retry_pending(self) -> None:
+        """One epoch tick of the deferred-apply queue: attempt every entry
+        whose backoff expired; double the interval on another transient
+        failure.  Managers that react per epoch call this first."""
+        for name, entry in list(self._pending_ways.items()):
+            first, last, wait, interval = entry
+            if wait > 1:
+                entry[2] = wait - 1
+                continue
+            try:
+                self.server.cat.set_mask(
+                    self.server.clos_of(name), range(first, last + 1)
+                )
+            except TransientClosError:
+                entry[2] = entry[3] = min(interval * 2, _MAX_BACKOFF_EPOCHS)
+                continue
+            del self._pending_ways[name]
+            self.apply_recovered += 1
+        for port_id, entry in list(self._pending_dca.items()):
+            enabled, wait, interval = entry
+            if wait > 1:
+                entry[1] = wait - 1
+                continue
+            port = self.server.pcie.port(port_id)
+            try:
+                if enabled:
+                    port.enable_dca()
+                else:
+                    port.disable_dca()
+            except TransientPortError:
+                entry[1] = entry[2] = min(interval * 2, _MAX_BACKOFF_EPOCHS)
+                continue
+            del self._pending_dca[port_id]
+            self.apply_recovered += 1
+
+    def discard_pending(self, workload_name: Optional[str] = None) -> None:
+        """Drop parked way-applies (all, or one workload's) — used when a
+        newer layout supersedes them or the workload terminated."""
+        if workload_name is None:
+            self._pending_ways.clear()
         else:
-            port.disable_dca()
+            self._pending_ways.pop(workload_name, None)
+
+    def robustness_stats(self) -> Dict[str, int]:
+        """Hardening counters, for run reports and figures."""
+        return {
+            "apply_retries": self.apply_retries,
+            "apply_deferred": self.apply_deferred,
+            "apply_recovered": self.apply_recovered,
+            "pending_applies": self.pending_applies,
+        }

@@ -60,6 +60,22 @@ class A4Policy:
     selective_dca_disable: bool = True
     pseudo_llc_bypass: bool = True
 
+    # -- robustness hardening (fault tolerance; see core/guard.py) --------
+    apply_retry_limit: int = 3
+    """Immediate same-epoch retries for a transiently failed CAT/DCA
+    write before it is deferred to the per-epoch backoff path."""
+    apply_backoff_epochs: int = 1
+    """Initial epochs between deferred retry attempts (doubles per
+    failure, capped at 8)."""
+    watchdog_window: int = 12
+    """Sliding window (epochs) over which reallocation flip-flop is
+    counted."""
+    watchdog_reallocs: int = 4
+    """Fluctuation-driven reallocations within the window that trip the
+    oscillation watchdog."""
+    watchdog_cooldown: int = 10
+    """Epochs the watchdog pins the safe static layout once tripped."""
+
     # -- §1 extension: network DMA-bloat treatment -------------------------
     network_bloat_bypass: bool = False
     """Opt-in extension: when a network-I/O workload DMA-bloats heavily,
@@ -85,6 +101,14 @@ class A4Policy:
                 raise ValueError(f"{name} must be within (0, 1], got {value}")
         if self.expand_interval < 1 or self.stable_interval < 1:
             raise ValueError("timing intervals must be >= 1 epoch")
+        if self.apply_retry_limit < 0 or self.apply_backoff_epochs < 1:
+            raise ValueError("apply retry/backoff parameters out of range")
+        if (
+            self.watchdog_window < 1
+            or self.watchdog_reallocs < 2
+            or self.watchdog_cooldown < 1
+        ):
+            raise ValueError("watchdog parameters out of range")
 
     @property
     def trash_way(self) -> int:

@@ -92,8 +92,18 @@ class NvmeSsd:
         self._active: List[NvmeCommand] = []
         self._admission_credit = 0.0
         self._started = False
+        self._pending_stall = 0.0
         self.commands_completed = 0
         self.lines_transferred = 0
+        self.stalls_injected = 0
+
+    def inject_stall(self, cycles: float) -> None:
+        """Freeze the service engine for ``cycles`` (a firmware hiccup /
+        garbage-collection pause; used by the fault injector).  Queued and
+        in-flight commands are preserved — service merely pauses."""
+        if cycles > 0:
+            self._pending_stall += cycles
+            self.stalls_injected += 1
 
     @property
     def queue_depth(self) -> int:
@@ -110,6 +120,9 @@ class NvmeSsd:
         cfg = self.cfg
         while True:
             yield cfg.quantum_cycles
+            if self._pending_stall > 0.0:
+                stall, self._pending_stall = self._pending_stall, 0.0
+                yield stall
             self._admit(sim)
             self._transfer(sim)
 

@@ -78,6 +78,9 @@ class PacketGenerator:
         self.cfg = cfg
         self.rng = rng
         self._mix = list(cfg.size_mix) if cfg.size_mix is not None else None
+        self.rate_scale = 1.0
+        """Instantaneous rate multiplier (>1 = burst storm; set by the
+        fault injector, reset to 1.0 when the storm ends)."""
 
     def next_packet_lines(self) -> int:
         """Size of the next packet in cache lines."""
@@ -96,4 +99,7 @@ class PacketGenerator:
         if self.cfg.jitter:
             spread = self.cfg.jitter * gap
             gap += self.rng.uniform(-spread, spread)
+        if self.rate_scale != 1.0:
+            # Guarded so the unstormed arrival process is bit-identical.
+            gap /= self.rate_scale
         return max(gap, 0.1)

@@ -26,9 +26,16 @@ import argparse
 import sys
 import time
 
+import os
+
 from repro.experiments import runcache
 from repro.experiments.figures import REGISTRY
-from repro.experiments.parallel import FigureTask, run_figure, run_tasks
+from repro.experiments.parallel import (
+    FigureTask,
+    dispatch_stats,
+    run_figure,
+    run_tasks,
+)
 
 QUICK_KWARGS = {
     "fig3a": dict(epochs=6),
@@ -82,7 +89,21 @@ def main(argv=None) -> int:
         default=None,
         help=f"run-cache directory (default: {runcache.DEFAULT_CACHE_DIR})",
     )
+    parser.add_argument(
+        "--fault-intensity",
+        type=float,
+        default=None,
+        help="enable deterministic fault injection at this intensity "
+        "(exported as $REPRO_FAULT_INTENSITY so pool workers inherit it; "
+        "results are cached under a separate key)",
+    )
     args = parser.parse_args(argv)
+
+    if args.fault_intensity is not None:
+        if args.fault_intensity < 0:
+            print("--fault-intensity must be >= 0", file=sys.stderr)
+            return 2
+        os.environ[runcache.ENV_FAULT_INTENSITY] = str(args.fault_intensity)
 
     cache = runcache.configure(
         cache_dir=args.cache_dir,
@@ -126,6 +147,7 @@ def main(argv=None) -> int:
             f"across {args.jobs} jobs]"
         )
         print(f"[run cache: {cache.stats.summary()}]")
+        print(f"[dispatch: {dispatch_stats.summary()}]")
         return 0
 
     for name in targets:

@@ -57,9 +57,18 @@ def classify(exc: BaseException) -> str:
 
     Typed experiment errors carry their own ``category``; anything else is
     bucketed by builtin family so pool-side tracebacks remain useful.
+    RDT/PCIe apply errors get their own ``allocation`` bucket (checked
+    before the ``ValueError`` family — :class:`ClosConfigError` *is* a
+    ``ValueError``) so a bad mask computed from a sweep config surfaces as
+    exactly that, not as a generic config failure.
     """
+    from repro.rdt.cat import ClosConfigError
+    from repro.uncore.pcie import PortConfigError
+
     if isinstance(exc, ExperimentError):
         return exc.category
+    if isinstance(exc, (ClosConfigError, PortConfigError)):
+        return "allocation"
     if isinstance(exc, (ValueError, TypeError)):
         return "config"
     if isinstance(exc, MemoryError):
@@ -83,5 +92,9 @@ def classify_name(exc_type_name: str) -> str:
         "CoreAllocationError": "resources",
         "MemoryError": "resources",
         "FigureShapeError": "figure",
+        "ClosConfigError": "allocation",
+        "TransientClosError": "allocation",
+        "PortConfigError": "allocation",
+        "TransientPortError": "allocation",
     }
     return mapping.get(exc_type_name, "runtime")

@@ -42,6 +42,7 @@ class Server:
         epoch_cycles: float = config.EPOCH_CYCLES,
         seed: int = 0xA4,
         hierarchy_cfg: Optional[HierarchyConfig] = None,
+        fault_plan=None,
     ):
         self.sim = Simulator()
         self.rng = DeterministicRng(seed)
@@ -59,6 +60,22 @@ class Server:
         self.pcie = PcieComplex(self.counters)
         self.pcm = PcmSampler(self.counters, epoch_cycles)
         self.monitor = OccupancyMonitor(self.hierarchy.llc)
+        self.faults = None
+        if fault_plan is not None and fault_plan.enabled:
+            # Interpose on the *control plane* only: the hierarchy and the
+            # devices keep their references to the real CAT/PCIe objects
+            # (grabbed above), so injected failures hit the manager's
+            # writes, never the data path.  Imported lazily so a faultless
+            # server never loads the module.
+            from repro.faults.inject import (
+                FaultInjector,
+                FaultyCacheAllocation,
+                FaultyPcieView,
+            )
+
+            self.faults = FaultInjector(fault_plan, self.rng)
+            self.cat = FaultyCacheAllocation(self.cat, self.faults)
+            self.pcie = FaultyPcieView(self.pcie, self.faults)
         self.epoch_cycles = epoch_cycles
         self.total_cores = cores
         self.workloads: List[Workload] = []
@@ -141,18 +158,36 @@ class Server:
 
     # -- execution -------------------------------------------------------------
 
-    def run(self, epochs: int, warmup: int = config.WARMUP_EPOCHS) -> "RunResult":
+    def run(
+        self,
+        epochs: int,
+        warmup: int = config.WARMUP_EPOCHS,
+        epoch_hook=None,
+    ) -> "RunResult":
         if epochs <= warmup:
             raise InsufficientEpochsError(
                 "need more epochs than warm-up intervals"
             )
         samples: List[EpochSample] = []
+        faults = self.faults
         for _ in range(epochs):
+            if faults is not None:
+                # Device chaos is armed before the epoch simulates; delayed
+                # CAT commits mature at the boundary, before the manager
+                # acts on it; the manager sees the (possibly corrupted)
+                # fault view while ``samples`` keeps the true reading.
+                faults.epoch_chaos(self)
             self.sim.run_until(self.sim.now + self.epoch_cycles)
             sample = self.pcm.sample(self.sim.now)
             samples.append(sample)
             if self.manager is not None:
-                self.manager.on_epoch(sample)
+                if faults is not None:
+                    faults.advance_epoch()
+                    self.manager.on_epoch(faults.filter_sample(sample))
+                else:
+                    self.manager.on_epoch(sample)
+            if epoch_hook is not None:
+                epoch_hook(self, sample)
         return RunResult(samples=samples, warmup=warmup, server=self)
 
 
@@ -233,6 +268,18 @@ class RunResult:
 
     def aggregates(self) -> Dict[str, StreamAggregate]:
         return {name: self.aggregate(name) for name in self.stream_names()}
+
+    def robustness(self) -> Dict[str, int]:
+        """Hardening + fault counters for run reports (empty when the
+        manager predates the hardened contract, e.g. a cached stub)."""
+        stats: Dict[str, int] = {}
+        manager = getattr(self.server, "manager", None)
+        if manager is not None and hasattr(manager, "robustness_stats"):
+            stats.update(manager.robustness_stats())
+        faults = getattr(self.server, "faults", None)
+        if faults is not None:
+            stats["faults_injected"] = faults.counters.total
+        return stats
 
     @property
     def mem_read_bw(self) -> float:

@@ -38,6 +38,7 @@ import functools
 import os
 import traceback
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
@@ -94,13 +95,26 @@ class FigureTask:
 class TaskFailure:
     """A captured per-task error (exception text + formatted traceback),
     classified into a coarse ``category`` (``config`` / ``resources`` /
-    ``figure`` / ``runtime``) via :mod:`repro.experiments.errors`."""
+    ``allocation`` / ``figure`` / ``runtime``) via
+    :mod:`repro.experiments.errors`.  ``digest`` is the content fingerprint
+    of the offending task's configuration, so a failure deep inside a
+    pooled sweep names exactly which config produced it."""
 
     index: int
     task: Any
     error: str
     traceback: str
     category: str = "runtime"
+    digest: str = ""
+
+
+def task_digest(task: Any) -> str:
+    """Short content digest of a task descriptor (12 hex chars), built on
+    the run cache's canonical form so it is stable across processes."""
+    try:
+        return runcache.fingerprint(task)[:12]
+    except Exception:  # noqa: BLE001 - a digest must never mask the error
+        return "unfingerprintable"
 
 
 class ParallelExecutionError(RuntimeError):
@@ -110,8 +124,10 @@ class ParallelExecutionError(RuntimeError):
         self.failures = tuple(failures)
         lines = [f"{len(self.failures)} task(s) failed:"]
         for failure in self.failures:
+            where = f" (config {failure.digest})" if failure.digest else ""
             lines.append(
-                f"  task[{failure.index}] [{failure.category}]: {failure.error}"
+                f"  task[{failure.index}] [{failure.category}]{where}: "
+                f"{failure.error}"
             )
         super().__init__("\n".join(lines))
 
@@ -203,6 +219,7 @@ def _run_one(
             error=f"{type(exc).__name__}: {exc}",
             traceback=traceback.format_exc(),
             category=classify(exc),
+            digest=task_digest(task),
         )
 
 
@@ -273,16 +290,67 @@ def get_pool(workers: int) -> ProcessPoolExecutor:
     return _pool
 
 
-def shutdown_pool() -> None:
-    """Tear down the shared executor (atexit, tests, broken-pool reset)."""
+def shutdown_pool(wait: bool = True) -> None:
+    """Tear down the shared executor (atexit, tests, broken-pool reset).
+
+    ``wait=False`` abandons it instead — used after a dispatch timeout,
+    when joining a hung worker would wedge the parent too.  Outstanding
+    futures are cancelled; an already-hung worker process is left to the
+    OS."""
     global _pool, _pool_workers
     if _pool is not None:
-        _pool.shutdown()
+        _pool.shutdown(wait=wait, cancel_futures=not wait)
         _pool = None
         _pool_workers = 0
 
 
 atexit.register(shutdown_pool)
+
+
+# -- dispatch robustness ----------------------------------------------------
+
+
+ENV_TASK_TIMEOUT = "REPRO_TASK_TIMEOUT"
+DEFAULT_TASK_TIMEOUT = 600.0
+"""Per-chunk dispatch timeout (seconds).  Generous: a chunk is tens of
+simulation runs; the timeout exists to catch a *wedged* worker (deadlocked
+fork, livelocked import), not a slow one."""
+
+
+@dataclass
+class DispatchStats:
+    """Pool-dispatch incidents, surfaced in the figures CLI run report."""
+
+    timeouts: int = 0
+    """Chunks whose worker missed the dispatch timeout."""
+    retried_tasks: int = 0
+    """Tasks re-run serially in-parent after a timeout."""
+    broken_pools: int = 0
+    """Whole-batch serial fallbacks after a dead worker."""
+
+    def reset(self) -> None:
+        self.timeouts = 0
+        self.retried_tasks = 0
+        self.broken_pools = 0
+
+    def summary(self) -> str:
+        return (
+            f"{self.timeouts} timeouts, {self.retried_tasks} tasks retried, "
+            f"{self.broken_pools} pool fallbacks"
+        )
+
+
+dispatch_stats = DispatchStats()
+"""Process-wide dispatch accounting (reset via ``dispatch_stats.reset()``)."""
+
+
+def _resolve_timeout(task_timeout: Optional[float]) -> Optional[float]:
+    """Effective per-chunk timeout: explicit arg, else ``$REPRO_TASK_TIMEOUT``,
+    else the default; ``0`` or negative disables the timeout entirely."""
+    if task_timeout is None:
+        raw = os.environ.get(ENV_TASK_TIMEOUT, "").strip()
+        task_timeout = float(raw) if raw else DEFAULT_TASK_TIMEOUT
+    return task_timeout if task_timeout > 0 else None
 
 
 # -- the engine ------------------------------------------------------------
@@ -312,6 +380,7 @@ def run_tasks(
     tasks: Sequence[Any],
     parallel: bool = True,
     max_workers: Optional[int] = None,
+    task_timeout: Optional[float] = None,
 ) -> List[Any]:
     """Run ``fn(task)`` for every task; results come back in task order.
 
@@ -321,6 +390,13 @@ def run_tasks(
     serially in this process.  Either way every task is attempted, and if
     any failed a :class:`ParallelExecutionError` aggregating all failures
     is raised after the batch completes.
+
+    A chunk whose worker exceeds ``task_timeout`` seconds (default
+    :data:`DEFAULT_TASK_TIMEOUT`, override via ``$REPRO_TASK_TIMEOUT``;
+    ``<= 0`` disables) is presumed wedged: the executor is abandoned
+    without joining it and the stranded tasks are retried exactly once,
+    serially, in the parent.  Incidents are counted in
+    :data:`dispatch_stats` for the run report.
     """
     tasks = list(tasks)
     if not tasks:
@@ -333,21 +409,39 @@ def run_tasks(
         outcomes = (_run_one(fn, i, task) for i, task in enumerate(tasks))
     else:
         chunks = _chunked(list(enumerate(tasks)), workers)
+        timeout = _resolve_timeout(task_timeout)
         try:
             pool = get_pool(workers)
             futures = [
                 pool.submit(_run_chunk, fn, chunk) for chunk in chunks
             ]
             outcomes = []
+            stranded: List[Tuple[int, Any]] = []
             parent_stats = runcache.get_cache().stats
-            for future in futures:
-                chunk_outcomes, chunk_stats = future.result()
+            for future, chunk in zip(futures, chunks):
+                try:
+                    chunk_outcomes, chunk_stats = future.result(timeout=timeout)
+                except FutureTimeoutError:
+                    dispatch_stats.timeouts += 1
+                    stranded.extend(chunk)
+                    continue
                 outcomes.extend(chunk_outcomes)
                 parent_stats.merge(chunk_stats)
+            if stranded:
+                # The worker is wedged, not slow: joining it would wedge
+                # us too.  Abandon the executor (no join) and run the
+                # stranded tasks once, serially, where they cannot hang
+                # silently.
+                shutdown_pool(wait=False)
+                dispatch_stats.retried_tasks += len(stranded)
+                outcomes.extend(
+                    _run_one(fn, index, task) for index, task in stranded
+                )
         except BrokenProcessPool:
             # A dead worker (OOM-kill etc.) poisons the executor; discard
             # it and run the batch once in-process rather than failing.
             shutdown_pool()
+            dispatch_stats.broken_pools += 1
             outcomes = (_run_one(fn, i, task) for i, task in enumerate(tasks))
 
     for index, value, failure in outcomes:

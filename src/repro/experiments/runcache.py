@@ -11,9 +11,11 @@ any of those — including editing simulator source — changes the key, so a
 hit is always safe to reuse and invalidation is automatic.
 
 Entries are pickles under ``.repro-cache/`` (override with
-``--cache-dir`` / ``$REPRO_CACHE_DIR``), wrapped with a schema version; a
-corrupt, truncated, or version-skewed entry is treated as a miss and
-silently recomputed.  ``--no-cache`` / ``$REPRO_CACHE_DISABLE=1`` turns
+``--cache-dir`` / ``$REPRO_CACHE_DIR``), wrapped with a schema version and
+a key echo; an entry that is corrupt, truncated, version-skewed, or fails
+wrapper validation after unpickling is treated as a miss **and deleted**,
+so one bad file costs one recompute instead of an error on every future
+lookup.  ``--no-cache`` / ``$REPRO_CACHE_DISABLE=1`` turns
 the layer off entirely, in which case every call is a plain re-run.
 
 Usage::
@@ -40,10 +42,15 @@ from dataclasses import dataclass, field, fields, is_dataclass
 from pathlib import Path
 from typing import Any, Callable, Optional
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 DEFAULT_CACHE_DIR = ".repro-cache"
 ENV_CACHE_DIR = "REPRO_CACHE_DIR"
 ENV_CACHE_DISABLE = "REPRO_CACHE_DISABLE"
+ENV_FAULT_INTENSITY = "REPRO_FAULT_INTENSITY"
+"""Mirrors :data:`repro.faults.plan.ENV_FAULT_INTENSITY` (kept literal here
+to keep this low-level module import-free of the fault layer).  Folded into
+every fingerprint: results computed under env-selected fault injection can
+never alias fault-free ones."""
 
 _code_salt: Optional[str] = None
 
@@ -138,9 +145,15 @@ def canonical(obj: Any) -> Any:
 
 
 def fingerprint(payload: Any) -> str:
-    """SHA-256 key for ``payload``: canonical JSON + schema + code salt."""
+    """SHA-256 key for ``payload``: canonical JSON + schema + code salt +
+    the ambient fault-injection selection (if any)."""
     blob = json.dumps(
-        {"schema": SCHEMA_VERSION, "salt": code_salt(), "payload": canonical(payload)},
+        {
+            "schema": SCHEMA_VERSION,
+            "salt": code_salt(),
+            "faults": os.environ.get(ENV_FAULT_INTENSITY, ""),
+            "payload": canonical(payload),
+        },
         sort_keys=True,
         separators=(",", ":"),
     )
@@ -192,8 +205,11 @@ class RunCache:
     def get(self, key: str) -> Any:
         """Return the cached value for ``key``, or the ``MISS`` sentinel.
 
-        Corrupt or schema-skewed entries count as misses (and bump
-        ``stats.errors``); the caller recomputes and overwrites."""
+        An entry that cannot be unpickled, or whose wrapper fails
+        validation (wrong shape, schema skew, key echo mismatch, missing
+        value) counts as a miss, bumps ``stats.errors``, and is deleted on
+        the spot — a landed bit-flip costs one recompute, not a permanent
+        error source."""
         if not self.enabled:
             self.stats.misses += 1
             return MISS
@@ -201,23 +217,35 @@ class RunCache:
         try:
             with path.open("rb") as fh:
                 wrapper = pickle.load(fh)
-            if (
-                not isinstance(wrapper, dict)
-                or wrapper.get("schema") != SCHEMA_VERSION
-            ):
-                raise ValueError("cache schema mismatch")
-            value = wrapper["value"]
         except FileNotFoundError:
             self.stats.misses += 1
             return MISS
         except Exception:
-            # Truncated write, unreadable pickle, old schema, bad wrapper:
-            # behave exactly like a miss and let the caller overwrite.
+            # Truncated write, unreadable pickle, unpicklable payload.
+            self._evict(path)
+            self.stats.errors += 1
+            self.stats.misses += 1
+            return MISS
+        if (
+            not isinstance(wrapper, dict)
+            or wrapper.get("schema") != SCHEMA_VERSION
+            or wrapper.get("key") != key
+            or "value" not in wrapper
+        ):
+            self._evict(path)
             self.stats.errors += 1
             self.stats.misses += 1
             return MISS
         self.stats.hits += 1
-        return value
+        return wrapper["value"]
+
+    @staticmethod
+    def _evict(path: Path) -> None:
+        """Best-effort removal of a bad entry (never fails the run)."""
+        try:
+            path.unlink()
+        except OSError:
+            pass
 
     def put(self, key: str, value: Any) -> None:
         if not self.enabled:
@@ -227,8 +255,11 @@ class RunCache:
             path.parent.mkdir(parents=True, exist_ok=True)
             tmp = path.with_suffix(f".tmp.{os.getpid()}")
             with tmp.open("wb") as fh:
-                pickle.dump({"schema": SCHEMA_VERSION, "value": value}, fh,
-                            protocol=pickle.HIGHEST_PROTOCOL)
+                pickle.dump(
+                    {"schema": SCHEMA_VERSION, "key": key, "value": value},
+                    fh,
+                    protocol=pickle.HIGHEST_PROTOCOL,
+                )
             os.replace(tmp, path)  # atomic: readers never see partial files
             self.stats.stores += 1
         except OSError:

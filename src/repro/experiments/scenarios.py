@@ -109,6 +109,30 @@ def daemon_interference_workloads() -> List[Workload]:
     ]
 
 
+def chaos_workloads() -> List[Workload]:
+    """The chaos harness's mix: every fault surface in one server —
+    network I/O (NIC storms), storage I/O (NVMe stalls, DMA leak), a
+    cache-sensitive HPW (hit-rate baseline to corrupt), and a phased
+    daemon (forced phase flips)."""
+    from repro.workloads.sysdaemons import ksm
+
+    return [
+        DpdkWorkload(
+            name="dpdk", touch=True, cores=2, priority=PRIORITY_HIGH
+        ),
+        FioWorkload(
+            name="fio",
+            block_bytes=2 * MB,
+            cores=2,
+            io_depth=32,
+            priority=PRIORITY_LOW,
+        ),
+        spec_workload("parest", PRIORITY_HIGH),
+        spec_workload("mcf", PRIORITY_LOW),
+        ksm(phased=True, priority=PRIORITY_LOW),
+    ]
+
+
 def build_server(
     workloads: List[Workload],
     scheme: str = "default",
@@ -116,12 +140,22 @@ def build_server(
     seed: int = 0xA4,
     policy: Optional[A4Policy] = None,
     epoch_cycles: Optional[float] = None,
+    fault_plan=None,
 ) -> Server:
-    """Assemble a server, add ``workloads``, attach the scheme manager."""
+    """Assemble a server, add ``workloads``, attach the scheme manager.
+
+    ``fault_plan`` defaults to the environment selection
+    (``REPRO_FAULT_INTENSITY``; see :mod:`repro.faults.plan`) so chaos can
+    be switched on for any existing experiment without code changes.
+    """
     kwargs = {}
     if epoch_cycles is not None:
         kwargs["epoch_cycles"] = epoch_cycles
-    server = Server(cores=cores, seed=seed, **kwargs)
+    if fault_plan is None:
+        from repro.faults.plan import FaultPlan
+
+        fault_plan = FaultPlan.from_env()
+    server = Server(cores=cores, seed=seed, fault_plan=fault_plan, **kwargs)
     server.add_workloads(workloads)
     server.set_manager(make_manager(scheme, policy))
     return server

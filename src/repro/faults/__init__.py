@@ -1,0 +1,29 @@
+"""Deterministic, seed-driven fault injection for the simulated testbed.
+
+See :mod:`repro.faults.plan` for what can be injected and how plans are
+selected, :mod:`repro.faults.inject` for the injection machinery, and
+:mod:`repro.faults.chaos` for the sweep harness (``tools/chaos.py``).
+The controller-side hardening these faults exercise lives in
+:mod:`repro.core.guard`.
+"""
+
+from repro.faults.plan import ENV_FAULT_INTENSITY, FaultPlan
+from repro.faults.inject import (
+    FaultCounters,
+    FaultInjector,
+    FaultyCacheAllocation,
+    FaultyPcieView,
+    FaultyPortView,
+    check_masks,
+)
+
+__all__ = [
+    "ENV_FAULT_INTENSITY",
+    "FaultPlan",
+    "FaultCounters",
+    "FaultInjector",
+    "FaultyCacheAllocation",
+    "FaultyPcieView",
+    "FaultyPortView",
+    "check_masks",
+]

@@ -1,0 +1,330 @@
+"""Deterministic fault injection threaded through the simulated substrate.
+
+A :class:`FaultInjector` is built from a :class:`~repro.faults.plan.FaultPlan`
+and the server's :class:`~repro.sim.rng.DeterministicRng`; every injection
+point draws from its own named sub-stream (``faults:pcm``, ``faults:cat``,
+``faults:dca``, ``faults:devices``) so fault schedules are reproducible,
+independent of each other, and independent of the workload RNG streams —
+enabling a plan never perturbs the draws the workloads see.
+
+Injection points:
+
+* **Telemetry** — :meth:`FaultInjector.filter_sample` corrupts, stale-holds
+  or drops per-stream readings on the *controller's view* of an epoch
+  sample; the true sample (what figures aggregate) is untouched, exactly
+  like a real PCM glitch that garbles the daemon's read but not the
+  machine.
+* **CAT** — :class:`FaultyCacheAllocation` wraps the real
+  :class:`~repro.rdt.cat.CacheAllocation`: ``set_mask`` may raise a
+  :class:`~repro.rdt.cat.TransientClosError` or commit N epochs late.
+  Reads always reflect the *committed* state, so the cache hierarchy never
+  sees a half-applied mask.
+* **DCA** — :class:`FaultyPcieView` interposes on the manager's port
+  accessor; ``enable_dca``/``disable_dca`` may raise a
+  :class:`~repro.uncore.pcie.TransientPortError`.
+* **Devices / workloads** — :meth:`FaultInjector.epoch_chaos` starts NIC
+  burst storms (generator rate multiplied for a few epochs), NVMe service
+  stalls, and forced phase flips on phased workloads.
+
+A server built without a plan constructs none of these objects — the fault
+layer is zero-cost off and off-runs are bit-identical to a tree without it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Tuple
+
+from repro.faults.plan import FaultPlan
+from repro.rdt.cat import CacheAllocation, TransientClosError
+from repro.sim.rng import DeterministicRng
+from repro.telemetry.counters import StreamCounters
+from repro.telemetry.pcm import EpochSample, StreamSample
+from repro.uncore.pcie import PciePort, TransientPortError
+
+_GARBLE_COUNTERS = (
+    "mlc_hits",
+    "mlc_misses",
+    "llc_hits",
+    "llc_misses",
+    "io_reads",
+    "io_read_misses",
+    "dma_writes",
+    "mem_reads",
+    "mem_writes",
+    "instructions",
+    "io_bytes_completed",
+)
+"""Counters the corruption modes touch — the ones every detector reads."""
+
+
+@dataclass
+class FaultCounters:
+    """How many faults of each kind were actually injected (chaos report)."""
+
+    samples_dropped: int = 0
+    samples_stale: int = 0
+    samples_corrupted: int = 0
+    zero_cycle_epochs: int = 0
+    cat_failures: int = 0
+    cat_delays: int = 0
+    dca_failures: int = 0
+    nic_storms: int = 0
+    nvme_stalls: int = 0
+    phase_flips: int = 0
+
+    @property
+    def total(self) -> int:
+        return sum(getattr(self, f) for f in self.__dataclass_fields__)
+
+
+class FaultInjector:
+    """Draws and applies the faults a :class:`FaultPlan` describes."""
+
+    def __init__(self, plan: FaultPlan, rng: DeterministicRng):
+        self.plan = plan
+        self._pcm = rng.stream("faults:pcm")
+        self._cat = rng.stream("faults:cat")
+        self._dca = rng.stream("faults:dca")
+        self._dev = rng.stream("faults:devices")
+        self.counters = FaultCounters()
+        self._held: Dict[str, StreamSample] = {}
+        """Last *true* per-stream reading, redelivered on a stale fault."""
+        self._delayed: List[Tuple[int, int, Tuple[int, ...], CacheAllocation]] = []
+        """Pending delayed CAT commits: (epochs_left, clos, mask, target)."""
+        self._storms: Dict[str, int] = {}
+        """Active NIC storms: generator owner name -> epochs remaining."""
+
+    # -- telemetry ----------------------------------------------------------
+
+    def filter_sample(self, sample: EpochSample) -> EpochSample:
+        """The controller's (possibly corrupted) view of ``sample``."""
+        plan = self.plan
+        if not plan.telemetry_faults:
+            return sample
+        rng = self._pcm
+        if plan.zero_cycle_rate and rng.random() < plan.zero_cycle_rate:
+            # Fixed-counter glitch: the whole epoch reads as zero cycles.
+            self.counters.zero_cycle_epochs += 1
+            self._held.update(sample.streams)
+            return replace(sample, epoch_cycles=0.0)
+        streams: Dict[str, StreamSample] = {}
+        touched = False
+        for name, stream in sample.streams.items():
+            draw = rng.random()
+            if draw < plan.sample_drop_rate:
+                self.counters.samples_dropped += 1
+                touched = True
+            elif draw < plan.sample_drop_rate + plan.sample_stale_rate:
+                held = self._held.get(name)
+                if held is not None and held is not stream:
+                    self.counters.samples_stale += 1
+                    streams[name] = held
+                    touched = True
+                else:
+                    streams[name] = stream
+            elif draw < (
+                plan.sample_drop_rate
+                + plan.sample_stale_rate
+                + plan.sample_corrupt_rate
+            ):
+                self.counters.samples_corrupted += 1
+                streams[name] = replace(
+                    stream, counters=self._garble(stream.counters)
+                )
+                touched = True
+            else:
+                streams[name] = stream
+        self._held.update(sample.streams)
+        if not touched:
+            return sample
+        return replace(sample, streams=streams)
+
+    def _garble(self, counters: StreamCounters) -> StreamCounters:
+        """One corrupted copy of a stream's epoch counters."""
+        garbled = counters.snapshot()
+        mode = self._pcm.randrange(4)
+        if mode == 0:
+            # Counter reset mid-epoch: everything reads as zero.
+            for name in _GARBLE_COUNTERS:
+                setattr(garbled, name, 0)
+        elif mode == 1:
+            # Wraparound: a negative delta after a 48-bit counter wrap.
+            for name in _GARBLE_COUNTERS:
+                setattr(garbled, name, -abs(getattr(garbled, name)))
+        elif mode == 2:
+            # A multiplexing glitch scales counters independently, which
+            # garbles every derived rate while staying "plausible".
+            for name in _GARBLE_COUNTERS:
+                scale = self._pcm.uniform(0.0, self.plan.corrupt_magnitude)
+                setattr(garbled, name, int(getattr(garbled, name) * scale))
+        else:
+            # Event-select mixup: hits and misses come back swapped.
+            garbled.llc_hits, garbled.llc_misses = (
+                garbled.llc_misses,
+                garbled.llc_hits,
+            )
+            garbled.mlc_hits, garbled.mlc_misses = (
+                garbled.mlc_misses,
+                garbled.mlc_hits,
+            )
+        return garbled
+
+    # -- CAT / DCA control plane -------------------------------------------
+
+    def cat_apply(
+        self, target: CacheAllocation, clos: int, mask: Tuple[int, ...]
+    ) -> None:
+        """Commit, delay, or transiently fail one validated mask write."""
+        plan = self.plan
+        draw = self._cat.random()
+        if draw < plan.cat_fail_rate:
+            self.counters.cat_failures += 1
+            raise TransientClosError(
+                f"injected transient CLOS write failure (clos {clos})"
+            )
+        # The write is on its way: it supersedes any older delayed write
+        # for the same CLOS (hardware applies register writes in order).
+        self._delayed = [d for d in self._delayed if d[1] != clos]
+        if draw < plan.cat_fail_rate + plan.cat_delay_rate:
+            self.counters.cat_delays += 1
+            self._delayed.append((plan.cat_delay_epochs, clos, mask, target))
+            return
+        target.set_mask(clos, mask)
+
+    def dca_apply(self, port: PciePort, enabled: bool) -> None:
+        if self._dca.random() < self.plan.dca_fail_rate:
+            self.counters.dca_failures += 1
+            raise TransientPortError(
+                f"injected transient perfctrlsts write failure (port "
+                f"{port.port_id})"
+            )
+        if enabled:
+            port.enable_dca()
+        else:
+            port.disable_dca()
+
+    def advance_epoch(self) -> None:
+        """Mature delayed CAT commits at an epoch boundary."""
+        if not self._delayed:
+            return
+        remaining = []
+        for epochs_left, clos, mask, target in self._delayed:
+            if epochs_left <= 1:
+                target.set_mask(clos, mask)
+            else:
+                remaining.append((epochs_left - 1, clos, mask, target))
+        self._delayed = remaining
+
+    # -- device / workload chaos -------------------------------------------
+
+    def epoch_chaos(self, server) -> None:
+        """Start/stop device-level chaos for the next epoch.
+
+        ``server`` is duck-typed (``workloads`` with optional ``nic`` /
+        ``ssd`` / ``request_flip`` members) so this works against any
+        harness that exposes the workload list.
+        """
+        plan = self.plan
+        if not plan.device_faults:
+            return
+        for name in list(self._storms):
+            self._storms[name] -= 1
+            if self._storms[name] <= 0:
+                del self._storms[name]
+        for workload in server.workloads:
+            nic = getattr(workload, "nic", None)
+            if nic is not None and plan.nic_storm_rate:
+                generator = nic.generator
+                if workload.name in self._storms:
+                    generator.rate_scale = plan.nic_storm_factor
+                elif self._dev.random() < plan.nic_storm_rate:
+                    self.counters.nic_storms += 1
+                    self._storms[workload.name] = plan.nic_storm_epochs
+                    generator.rate_scale = plan.nic_storm_factor
+                else:
+                    generator.rate_scale = 1.0
+            ssd = getattr(workload, "ssd", None)
+            if ssd is not None and plan.nvme_stall_rate:
+                if self._dev.random() < plan.nvme_stall_rate:
+                    self.counters.nvme_stalls += 1
+                    ssd.inject_stall(plan.nvme_stall_cycles)
+            if hasattr(workload, "request_flip") and plan.phase_flip_rate:
+                if self._dev.random() < plan.phase_flip_rate:
+                    self.counters.phase_flips += 1
+                    workload.request_flip()
+
+
+class FaultyCacheAllocation:
+    """CAT wrapper: validated writes may transiently fail or commit late.
+
+    Reads (``mask``, ``ways_for_core``, associations) always delegate to
+    the inner allocation, i.e. reflect *committed* state only — the cache
+    models can never observe an in-flight write, so an injected delay can
+    stall the controller but never corrupt the hardware invariant.
+    """
+
+    def __init__(self, inner: CacheAllocation, injector: FaultInjector):
+        self.inner = inner
+        self.injector = injector
+
+    def set_mask(self, clos, ways) -> None:
+        # Invalid requests raise immediately (a caller bug, never chaos).
+        mask = self.inner.validate_mask(clos, ways)
+        self.injector.cat_apply(self.inner, clos, mask)
+
+    def __getattr__(self, name):
+        return getattr(self.inner, name)
+
+
+class FaultyPortView:
+    """One port as seen by the controller: DCA flips may transiently fail."""
+
+    def __init__(self, inner: PciePort, injector: FaultInjector):
+        self.inner = inner
+        self.injector = injector
+
+    def enable_dca(self) -> None:
+        self.injector.dca_apply(self.inner, True)
+
+    def disable_dca(self) -> None:
+        self.injector.dca_apply(self.inner, False)
+
+    def __getattr__(self, name):
+        return getattr(self.inner, name)
+
+
+class FaultyPcieView:
+    """The PCIe complex as seen by the controller.
+
+    ``port()`` hands out :class:`FaultyPortView` wrappers; everything else
+    (``add_port`` during workload setup, counters, totals) delegates, so
+    devices keep holding the real ports and the data path is unaffected.
+    """
+
+    def __init__(self, inner, injector: FaultInjector):
+        self.inner = inner
+        self.injector = injector
+
+    def port(self, port_id: int) -> FaultyPortView:
+        return FaultyPortView(self.inner.port(port_id), self.injector)
+
+    def __getattr__(self, name):
+        return getattr(self.inner, name)
+
+
+def check_masks(cat) -> Optional[str]:
+    """Invariant check: every committed CLOS mask is valid (non-empty,
+    in-bounds, contiguous).  Returns a diagnostic string on violation,
+    ``None`` when the invariant holds.  Accepts a wrapped or raw
+    :class:`CacheAllocation`."""
+    inner = getattr(cat, "inner", cat)
+    for clos in range(inner.num_clos):
+        mask = inner.mask(clos)
+        if not mask:
+            return f"CLOS {clos}: empty mask"
+        if mask[0] < 0 or mask[-1] >= inner.ways:
+            return f"CLOS {clos}: mask {mask} out of bounds"
+        if tuple(mask) != tuple(range(mask[0], mask[-1] + 1)):
+            return f"CLOS {clos}: non-contiguous mask {mask}"
+    return None

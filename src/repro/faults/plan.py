@@ -1,0 +1,155 @@
+"""Fault-plan configuration for the deterministic fault-injection layer.
+
+A :class:`FaultPlan` names every injection point the chaos layer can
+exercise and the per-epoch probability of each fault.  Plans are plain
+frozen dataclasses so they canonicalize into run-cache keys and pickle into
+pool workers; all randomness is drawn later, by the
+:class:`~repro.faults.inject.FaultInjector`, from named
+:class:`~repro.sim.rng.DeterministicRng` streams — two runs with the same
+seed and plan inject the *same* faults at the *same* epochs.
+
+A plan with every rate at zero is inert, and a server built without a plan
+carries no injection code at all (the fault layer is zero-cost off).
+
+Selection surfaces:
+
+* **config** — pass a plan to ``Server(fault_plan=...)`` or
+  :func:`repro.experiments.scenarios.build_server`;
+* **env** — ``REPRO_FAULT_INTENSITY=0.5`` (see :func:`FaultPlan.from_env`);
+* **CLI** — ``tools/chaos.py --intensity`` and
+  ``python -m repro.experiments --fault-intensity``.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, fields
+
+ENV_FAULT_INTENSITY = "REPRO_FAULT_INTENSITY"
+
+# Per-epoch base rates at intensity 1.0 (see FaultPlan.scaled).
+_BASE_RATES = {
+    "sample_drop_rate": 0.06,
+    "sample_stale_rate": 0.10,
+    "sample_corrupt_rate": 0.25,
+    "zero_cycle_rate": 0.03,
+    "cat_fail_rate": 0.25,
+    "cat_delay_rate": 0.20,
+    "dca_fail_rate": 0.15,
+    "nic_storm_rate": 0.08,
+    "nvme_stall_rate": 0.08,
+    "phase_flip_rate": 0.06,
+}
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Per-epoch fault probabilities and magnitudes for every injection
+    point.  All rates are probabilities in [0, 1]."""
+
+    # -- telemetry (PcmSampler readings, per stream per epoch) ----------
+    sample_drop_rate: float = 0.0
+    """The stream's reading vanishes from the epoch sample entirely."""
+    sample_stale_rate: float = 0.0
+    """The previous epoch's reading is delivered again (stale hold)."""
+    sample_corrupt_rate: float = 0.0
+    """The reading's counters are garbled (wrapped, zeroed, scaled or
+    hit/miss-swapped) before the controller sees them."""
+    corrupt_magnitude: float = 8.0
+    """Scale bound for the 'scaled' corruption mode."""
+    zero_cycle_rate: float = 0.0
+    """The whole epoch reads as zero cycles (a PCM fixed-counter glitch);
+    every per-cycle rate in it is poison."""
+
+    # -- control plane (CAT masks, PCIe port DCA registers) -------------
+    cat_fail_rate: float = 0.0
+    """``set_mask`` raises a transient :class:`TransientClosError` (a
+    failed/garbled ``pqos`` invocation); the previous mask stays active."""
+    cat_delay_rate: float = 0.0
+    """The mask write succeeds but commits ``cat_delay_epochs`` late."""
+    cat_delay_epochs: int = 2
+    dca_fail_rate: float = 0.0
+    """A port DCA flip raises a transient :class:`TransientPortError`."""
+
+    # -- device / workload chaos ----------------------------------------
+    nic_storm_rate: float = 0.0
+    """Per NIC per epoch: a burst storm starts (line rate multiplied by
+    ``nic_storm_factor`` for ``nic_storm_epochs`` epochs)."""
+    nic_storm_factor: float = 4.0
+    nic_storm_epochs: int = 2
+    nvme_stall_rate: float = 0.0
+    """Per SSD per epoch: the device firmware stalls its service loop for
+    ``nvme_stall_cycles`` (garbage-collection pause)."""
+    nvme_stall_cycles: float = 30000.0
+    phase_flip_rate: float = 0.0
+    """Per phased workload per epoch: force an early phase transition."""
+
+    def __post_init__(self) -> None:
+        for name in _BASE_RATES:
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        if self.cat_delay_epochs < 1 or self.nic_storm_epochs < 1:
+            raise ValueError("delay/storm durations must be >= 1 epoch")
+        if self.nic_storm_factor < 1.0:
+            raise ValueError("nic_storm_factor must be >= 1")
+        if self.nvme_stall_cycles < 0 or self.corrupt_magnitude <= 0:
+            raise ValueError("magnitudes must be positive")
+
+    @property
+    def enabled(self) -> bool:
+        """True when any injection point has a nonzero rate."""
+        return any(getattr(self, name) > 0.0 for name in _BASE_RATES)
+
+    @property
+    def telemetry_faults(self) -> bool:
+        return (
+            self.sample_drop_rate > 0.0
+            or self.sample_stale_rate > 0.0
+            or self.sample_corrupt_rate > 0.0
+            or self.zero_cycle_rate > 0.0
+        )
+
+    @property
+    def device_faults(self) -> bool:
+        return (
+            self.nic_storm_rate > 0.0
+            or self.nvme_stall_rate > 0.0
+            or self.phase_flip_rate > 0.0
+        )
+
+    @classmethod
+    def scaled(cls, intensity: float, **overrides) -> "FaultPlan":
+        """The standard chaos preset: every base rate multiplied by
+        ``intensity`` (clamped to 1), magnitudes at their defaults.
+        ``intensity=0`` yields an inert plan; ``intensity=1`` is the
+        highest sweep point of the chaos harness."""
+        if intensity < 0:
+            raise ValueError("intensity must be >= 0")
+        rates = {
+            name: min(1.0, base * intensity)
+            for name, base in _BASE_RATES.items()
+        }
+        rates.update(overrides)
+        return cls(**rates)
+
+    @classmethod
+    def from_env(cls) -> "FaultPlan | None":
+        """Build a scaled plan from ``$REPRO_FAULT_INTENSITY``; ``None``
+        when the variable is unset, empty, or zero (the common case)."""
+        raw = os.environ.get(ENV_FAULT_INTENSITY, "").strip()
+        if not raw:
+            return None
+        intensity = float(raw)
+        if intensity <= 0:
+            return None
+        return cls.scaled(intensity)
+
+    def describe(self) -> str:
+        """One-line summary of the nonzero rates (chaos report header)."""
+        active = [
+            f"{f.name}={getattr(self, f.name):g}"
+            for f in fields(self)
+            if f.name in _BASE_RATES and getattr(self, f.name) > 0.0
+        ]
+        return ", ".join(active) or "inert"

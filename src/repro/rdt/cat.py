@@ -24,6 +24,13 @@ class ClosConfigError(ValueError):
     """Raised for invalid CLOS masks or associations."""
 
 
+class TransientClosError(ClosConfigError):
+    """A CLOS write that failed in transit (a glitched ``pqos`` invocation,
+    an MSR write that did not stick).  Unlike its parent this does not mean
+    the request was invalid — the previous mask stays active and the write
+    is safe to retry.  Raised only by the fault-injection layer."""
+
+
 def contiguous_mask(first_way: int, last_way: int) -> Tuple[int, ...]:
     """Build the inclusive way range [first_way, last_way], like way[m:n]
     in the paper's notation."""
@@ -45,6 +52,16 @@ class CacheAllocation:
     # -- mask management -----------------------------------------------------
 
     def set_mask(self, clos: int, ways: Sequence[int]) -> None:
+        self._masks[clos] = self.validate_mask(clos, ways)
+
+    def validate_mask(self, clos: int, ways: Sequence[int]) -> Tuple[int, ...]:
+        """Check a prospective mask without committing it.
+
+        Returns the normalized mask tuple or raises :class:`ClosConfigError`.
+        Split out from :meth:`set_mask` so layers that defer or fail commits
+        (the fault injector) can still reject invalid requests immediately —
+        an invalid mask is a caller bug, never a transient condition.
+        """
         self._validate_clos(clos)
         mask = tuple(sorted(set(ways)))
         if not mask:
@@ -53,7 +70,7 @@ class CacheAllocation:
             raise ClosConfigError(f"mask {mask} outside 0..{self.ways - 1}")
         if mask != tuple(range(mask[0], mask[-1] + 1)):
             raise ClosConfigError(f"CAT requires contiguous masks, got {mask}")
-        self._masks[clos] = mask
+        return mask
 
     def mask(self, clos: int) -> Tuple[int, ...]:
         self._validate_clos(clos)

@@ -19,6 +19,16 @@ from typing import Dict
 from repro.telemetry.counters import CounterBank
 
 
+class PortConfigError(RuntimeError):
+    """Raised for invalid PCIe port register operations."""
+
+
+class TransientPortError(PortConfigError):
+    """A ``perfctrlsts_0`` write that did not stick (config-space access
+    glitch).  The previous register value stays active and the write is
+    safe to retry.  Raised only by the fault-injection layer."""
+
+
 @dataclass
 class PerfCtrlSts:
     """The two bits of ``perfctrlsts_0`` that matter for DCA routing."""

@@ -37,6 +37,12 @@ class PhasedWorkload(Workload):
         self.profile = profile
         self.active_cycles = active_cycles
         self.idle_cycles = idle_cycles
+        self.flip_count = 0
+
+    def request_flip(self) -> None:
+        """Cut the current active phase short at the next access (fault
+        injector chaos: a forced phase change §5.6 must chase)."""
+        self.flip_count += 1
 
     def setup(self, server) -> None:
         self.cores = server.alloc_cores(self.num_cores)
@@ -61,8 +67,11 @@ class PhasedWorkload(Workload):
         sequential = profile.pattern == "seq"
         index = 0
         while True:
+            flips_seen = self.flip_count
             phase_end = server.sim.now + self.active_cycles
             while server.sim.now < phase_end:
+                if self.flip_count != flips_seen:
+                    break
                 if sequential:
                     addr = base + index
                     index += 1

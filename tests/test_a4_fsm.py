@@ -205,3 +205,71 @@ def test_bypass_squeeze_progresses_per_epoch():
     state = manager.antagonists["bw"]
     assert state.span_left >= left_before
     assert state.span_left <= policy.trash_way
+
+
+# -- adversarial samples at the FSM's edges ---------------------------------
+
+
+def test_zero_cycle_epoch_is_skipped_without_state_change():
+    manager = attach([FakeWorkload("hp"), FakeWorkload("lp", priority="LPW")])
+    sample = make_sample(0, {"hp": 0.9, "lp": 0.5})
+    object.__setattr__(sample, "epoch_cycles", 0.0)
+    manager.on_epoch(sample)
+    assert manager.phase == PHASE_BASELINE
+    assert manager.baseline_hits == {}
+    assert manager.sanitizer.skipped_epochs == 1
+    # The next clean epoch proceeds as if the glitch never happened.
+    manager.on_epoch(make_sample(1, {"hp": 0.9, "lp": 0.5}))
+    assert manager.phase == PHASE_EXPANDING
+    assert manager.baseline_hits["hp"] == 0.9
+
+
+def test_all_streams_idle_records_no_baseline():
+    manager = attach([FakeWorkload("hp"), FakeWorkload("lp", priority="LPW")])
+    idle = {
+        "hp": dict(llc_hits=0, llc_misses=0),
+        "lp": dict(llc_hits=0, llc_misses=0),
+    }
+    for i in range(12):
+        manager.on_epoch(make_sample(i, {"hp": 0.0, "lp": 0.0}, idle))
+    # An idle reading is *valid* (not a fault): the sanitizer passes it
+    # through untouched and the FSM sees a flat 0.0 hit rate — no
+    # divide-by-zero, no spurious degradation, no reallocation churn.
+    assert manager.sanitizer.stats() == {
+        "held_over": 0, "zeroed": 0, "skipped_epochs": 0,
+    }
+    assert manager.baseline_hits.get("hp") == 0.0
+    # The expand/revert cycle may complete once, but a flat signal must
+    # not produce churn or trip the watchdog.
+    assert manager.reallocations <= 1
+    assert not manager.watchdog.degraded
+
+
+def test_missing_stream_held_over_from_last_good_reading():
+    manager = attach([FakeWorkload("hp"), FakeWorkload("lp", priority="LPW")])
+    manager.on_epoch(make_sample(0, {"hp": 0.9, "lp": 0.5}))
+    phase = manager.phase
+    manager.on_epoch(make_sample(1, {"lp": 0.5}))  # "hp" vanished
+    assert manager.sanitizer.held_over >= 1
+    assert manager.phase in (phase, PHASE_EXPANDING, PHASE_STABLE)
+    assert manager.baseline_hits["hp"] == 0.9  # baseline survives the gap
+
+
+def test_corrupted_stream_does_not_perturb_baseline():
+    manager = attach([FakeWorkload("hp"), FakeWorkload("lp", priority="LPW")])
+    manager.on_epoch(make_sample(0, {"hp": 0.9, "lp": 0.5}))
+    baseline = dict(manager.baseline_hits)
+    garbage = {"hp": dict(llc_hits=-500, llc_misses=-1)}
+    for i in range(1, 5):
+        manager.on_epoch(make_sample(i, {"hp": 0.9, "lp": 0.5}, garbage))
+    assert manager.baseline_hits["hp"] == baseline["hp"]
+    assert manager.sanitizer.held_over >= 4
+
+
+def test_missing_stream_with_no_history_is_tolerated():
+    manager = attach([FakeWorkload("hp"), FakeWorkload("lp", priority="LPW")])
+    # First-ever epoch is already missing a stream: nothing to hold over,
+    # the FSM must simply proceed on what it has.
+    manager.on_epoch(make_sample(0, {"lp": 0.5}))
+    assert manager.sanitizer.held_over == 1
+    assert "hp" not in manager.baseline_hits

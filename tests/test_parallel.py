@@ -205,3 +205,74 @@ def test_bench_quick_emits_valid_record(tmp_path):
     for name, entry in record["results"].items():
         assert entry["wall_s"] > 0, name
         assert entry["events_per_s"] > 0, name
+
+
+# -- dispatch hardening ----------------------------------------------------
+
+
+def _sleep_in_worker(task):
+    """Sleeps only inside a pool worker, so the in-parent retry is instant."""
+    import multiprocessing
+    import time
+
+    if multiprocessing.parent_process() is not None:
+        time.sleep(30)
+    return task * 10
+
+
+def test_timed_out_chunk_is_retried_serially_in_parent():
+    from repro.experiments import parallel as par
+
+    par.dispatch_stats.reset()
+    results = run_tasks(
+        _sleep_in_worker,
+        [1, 2],
+        parallel=True,
+        max_workers=2,
+        task_timeout=1.0,
+    )
+    assert results == [10, 20]  # every stranded task recovered, in order
+    assert par.dispatch_stats.timeouts >= 1
+    assert par.dispatch_stats.retried_tasks == 2
+    assert par._pool is None  # the wedged pool was abandoned
+    assert "retried" in par.dispatch_stats.summary()
+
+
+def test_zero_timeout_disables_dispatch_deadline(monkeypatch):
+    from repro.experiments import parallel as par
+
+    monkeypatch.setenv(par.ENV_TASK_TIMEOUT, "0")
+    assert par._resolve_timeout(None) is None
+    monkeypatch.setenv(par.ENV_TASK_TIMEOUT, "2.5")
+    assert par._resolve_timeout(None) == 2.5
+    assert par._resolve_timeout(7.0) == 7.0  # explicit arg wins
+    monkeypatch.delenv(par.ENV_TASK_TIMEOUT)
+    assert par._resolve_timeout(None) == par.DEFAULT_TASK_TIMEOUT
+
+
+def test_failures_carry_config_digest():
+    from repro.experiments.parallel import task_digest
+
+    with pytest.raises(ParallelExecutionError) as excinfo:
+        run_tasks(_fail_on_negative, [3, -7], parallel=False)
+    failure = excinfo.value.failures[0]
+    assert failure.digest == task_digest(-7)
+    assert len(failure.digest) == 12
+    assert f"(config {failure.digest})" in str(excinfo.value)
+
+
+def test_task_digest_matches_runcache_fingerprint():
+    from repro.experiments.parallel import task_digest
+    from repro.experiments.runcache import fingerprint
+
+    task = SeedTask(build=build, seed=7, epochs=4, warmup=1)
+    assert task_digest(task) == fingerprint(task)[:12]
+
+    class Undigestable:
+        __slots__ = ()
+
+        def __repr__(self):
+            raise RuntimeError("no canonical form")
+
+    # Unfingerprintable payloads degrade to a marker instead of raising.
+    assert task_digest(Undigestable()) == "unfingerprintable"

@@ -245,3 +245,78 @@ def test_cached_server_rejects_unknown_attributes():
     assert stub.epoch_cycles == 50_000
     with pytest.raises(AttributeError):
         stub.manager  # noqa: B018 - attribute access is the assertion
+
+
+# -- invalid entries degrade to a miss AND are evicted ----------------------
+
+
+def _mangle(cache: RunCache, key: str, payload: bytes) -> Path:
+    path = cache._path(key)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_bytes(payload)
+    return path
+
+
+def test_truncated_pickle_is_evicted(tmp_path):
+    cache = _cache(tmp_path)
+    key = fingerprint("payload")
+    cache.put(key, "good")
+    path = _mangle(cache, key, pickle.dumps({"schema": 1})[:-3])
+    assert cache.get(key) is runcache.MISS
+    assert cache.stats.errors == 1
+    assert not path.exists()  # the bad entry is gone, not just skipped
+
+
+def test_key_echo_mismatch_is_evicted(tmp_path):
+    cache = _cache(tmp_path)
+    key = fingerprint("payload")
+    wrapper = {
+        "schema": runcache.SCHEMA_VERSION,
+        "key": fingerprint("other payload"),  # entry landed in wrong slot
+        "value": "stale",
+    }
+    path = _mangle(cache, key, pickle.dumps(wrapper))
+    assert cache.get(key) is runcache.MISS
+    assert cache.stats.errors == 1
+    assert not path.exists()
+
+
+def test_wrapper_missing_value_is_evicted(tmp_path):
+    cache = _cache(tmp_path)
+    key = fingerprint("payload")
+    path = _mangle(
+        cache,
+        key,
+        pickle.dumps({"schema": runcache.SCHEMA_VERSION, "key": key}),
+    )
+    assert cache.get(key) is runcache.MISS
+    assert not path.exists()
+
+
+def test_non_dict_wrapper_is_evicted(tmp_path):
+    cache = _cache(tmp_path)
+    key = fingerprint("payload")
+    path = _mangle(cache, key, pickle.dumps(["bare", "value"]))
+    assert cache.get(key) is runcache.MISS
+    assert not path.exists()
+
+
+def test_evicted_entry_recomputes_and_reheals(tmp_path):
+    cache = _cache(tmp_path)
+    key = fingerprint("payload")
+    cache.put(key, "good")
+    _mangle(cache, key, pickle.dumps({"schema": runcache.SCHEMA_VERSION}))
+    assert cache.memo("payload", lambda: "recomputed") == "recomputed"
+    # The re-put entry is valid again: next call is a warm hit.
+    assert cache.memo("payload", lambda: "unused") == "recomputed"
+    assert cache.get(key) == "recomputed"
+
+
+def test_fault_intensity_env_changes_fingerprint(monkeypatch):
+    monkeypatch.delenv(runcache.ENV_FAULT_INTENSITY, raising=False)
+    clean = fingerprint("payload")
+    monkeypatch.setenv(runcache.ENV_FAULT_INTENSITY, "0.5")
+    faulted = fingerprint("payload")
+    assert faulted != clean  # faulted results never alias fault-free ones
+    monkeypatch.setenv(runcache.ENV_FAULT_INTENSITY, "1.0")
+    assert fingerprint("payload") not in (clean, faulted)

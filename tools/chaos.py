@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Chaos sweep CLI: fault-inject the hardened A4 controller and verify its
+safety properties (see :mod:`repro.faults.chaos`).
+
+Usage::
+
+    python tools/chaos.py                 # full sweep (0.25, 0.5, 1.0)
+    python tools/chaos.py --quick         # CI smoke: fewer epochs, 2 points
+    python tools/chaos.py --intensity 0.7 # one sweep point + probe
+    python tools/chaos.py --epochs 120 --seed 7
+
+Exit code 0 when every safety property holds, 1 with a diagnostic
+otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+if str(ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(ROOT / "src"))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke mode: 48 epochs, intensities 0.5 and 1.0",
+    )
+    parser.add_argument(
+        "--intensity",
+        type=float,
+        action="append",
+        help="sweep point(s) to run (repeatable; default 0.25 0.5 1.0)",
+    )
+    parser.add_argument("--epochs", type=int, default=None)
+    parser.add_argument("--seed", type=lambda v: int(v, 0), default=None)
+    parser.add_argument(
+        "--ipc-floor",
+        type=float,
+        default=None,
+        help="minimum tolerated mean-IPC fraction of the fault-free run",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.faults import chaos
+
+    kwargs = {}
+    if args.quick:
+        kwargs["epochs"] = 48
+        kwargs["intensities"] = (0.5, 1.0)
+    if args.intensity:
+        kwargs["intensities"] = tuple(args.intensity)
+    if args.epochs is not None:
+        kwargs["epochs"] = args.epochs
+    if args.seed is not None:
+        kwargs["seed"] = args.seed
+    if args.ipc_floor is not None:
+        kwargs["ipc_floor"] = args.ipc_floor
+
+    started = time.time()
+    try:
+        report = chaos.run_sweep(**kwargs)
+    except Exception as exc:  # the first safety property: no crash
+        print(f"FAIL: chaos run crashed: {type(exc).__name__}: {exc}")
+        raise
+    print(report.table())
+    try:
+        report.check()
+    except chaos.ChaosError as exc:
+        print(f"FAIL: {exc}")
+        return 1
+    print(f"OK: all safety properties hold ({time.time() - started:.1f}s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
