@@ -39,8 +39,9 @@ cooldown window before re-deriving a fresh allocation.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
+from repro import obsv
 from repro.core import detectors
 from repro.core.detectors import AntagonistState, RestoreChecker
 from repro.core.guard import OscillationWatchdog, SampleSanitizer
@@ -98,6 +99,34 @@ class A4Manager(LlcManager):
         mask points at the trash ways (affecting only their MLC evictions)."""
         self.events: List[str] = []
         """Human-readable decision log (for tests and examples)."""
+        self._epoch_index = -1
+        """Raw index of the sample being handled (audit-trail epoch tag)."""
+
+    # ------------------------------------------------------------------
+    # Observability plumbing
+    # ------------------------------------------------------------------
+
+    def _audit(
+        self, action: str, reason: str, inputs: Optional[Dict[str, Any]] = None
+    ) -> None:
+        """Record a decision with its evidence when the audit trail is on.
+
+        Inputs must stay JSON-round-trippable — they ride along into the
+        tracer's ``decision`` events and out through the JSONL export."""
+        if obsv.AUDIT is not None:
+            obsv.AUDIT.record(
+                action, reason, inputs=inputs, epoch=self._epoch_index
+            )
+
+    def _set_phase(self, phase: str) -> None:
+        """FSM transition; emits one ``phase`` trace event per change."""
+        if phase == self.phase:
+            return
+        if obsv.TRACER is not None:
+            obsv.TRACER.emit(
+                obsv.KIND_PHASE, phase, {"from": self.phase, "to": phase}
+            )
+        self.phase = phase
 
     # ------------------------------------------------------------------
     # Workload classification
@@ -124,7 +153,13 @@ class A4Manager(LlcManager):
 
     def on_attach(self) -> None:
         self.layout = ZoneLayout(self.policy, self._io_hpw_present())
-        self._begin_reallocation("attach")
+        self._begin_reallocation(
+            "attach",
+            inputs={
+                "workloads": sorted(w.name for w in self.server.workloads),
+                "io_hpw_present": self.layout.io_hpw_present,
+            },
+        )
 
     def on_workload_change(self) -> None:
         """§5.6 condition (1): new HPW combinations at launch/termination."""
@@ -141,25 +176,41 @@ class A4Manager(LlcManager):
             # A new workload combination voids the oscillation evidence.
             self.watchdog.reset()
             self.events.append("watchdog: degraded mode cleared (workload change)")
-        self._begin_reallocation("workload launched or terminated")
+            self._audit(
+                "degraded_exit",
+                "workload change voids oscillation evidence",
+                {"live_workloads": sorted(live)},
+            )
+        self._begin_reallocation(
+            "workload launched or terminated",
+            inputs={"live_workloads": sorted(live)},
+        )
 
-    def _begin_reallocation(self, reason: str, counted: bool = False) -> None:
+    def _begin_reallocation(
+        self,
+        reason: str,
+        counted: bool = False,
+        inputs: Optional[Dict[str, Any]] = None,
+    ) -> None:
         """Apply the initial partitions and restart the state machine.
 
         ``counted`` marks fluctuation-driven reallocations (the ones the
         oscillation watchdog guards against); structural ones — attach,
         launch/termination, antagonist detection — are exempt.
+        ``inputs`` is the evidence behind the decision (the telemetry
+        values and thresholds the caller compared), audited alongside.
         """
         if counted and self.watchdog.note_reallocation():
-            self._enter_degraded(reason)
+            self._enter_degraded(reason, inputs)
             return
         self.reallocations += 1
         self.events.append(f"reallocate: {reason}")
+        self._audit("reallocate", reason, inputs)
         self.layout.io_hpw_present = self._io_hpw_present()
         self.layout.reset_lp()
         self.baseline_hits = {}
         self.stable_hits = {}
-        self.phase = PHASE_BASELINE
+        self._set_phase(PHASE_BASELINE)
         self._epochs_in_phase = 0
         self._stable_epochs = 0
         for state in self.antagonists.values():
@@ -184,11 +235,29 @@ class A4Manager(LlcManager):
                 first, last = self.layout.io_hpw_span()
             self.set_ways(workload.name, first, last)
 
-    def _enter_degraded(self, reason: str) -> None:
+    def _enter_degraded(
+        self, reason: str, inputs: Optional[Dict[str, Any]] = None
+    ) -> None:
         """Oscillation watchdog tripped: pin the safe static layout (the
         initial partitions, Isolate-style) for the cooldown window."""
-        self.phase = PHASE_DEGRADED
+        self._set_phase(PHASE_DEGRADED)
         self.events.append(f"watchdog: oscillation ({reason}); pin static layout")
+        audit_inputs = {
+            "trigger": reason,
+            "reallocations_in_window": self.watchdog.reallocations_in_window,
+            "watchdog": {
+                "window": self.watchdog.window,
+                "threshold": self.watchdog.threshold,
+                "cooldown": self.watchdog.cooldown,
+            },
+        }
+        if inputs:
+            audit_inputs["trigger_inputs"] = inputs
+        self._audit(
+            "degraded_enter",
+            "oscillation watchdog tripped; pin static layout",
+            audit_inputs,
+        )
         self.layout.io_hpw_present = self._io_hpw_present()
         self.layout.reset_lp()
         self.baseline_hits = {}
@@ -202,6 +271,7 @@ class A4Manager(LlcManager):
     # ------------------------------------------------------------------
 
     def on_epoch(self, sample: EpochSample) -> None:
+        self._epoch_index = sample.index
         self.retry_pending()
         view = self.sanitizer.sanitize(
             sample, [w.name for w in self.server.workloads]
@@ -212,7 +282,18 @@ class A4Manager(LlcManager):
 
         if self.watchdog.note_epoch():
             self.events.append("watchdog: cooldown complete; reallocating")
-            self._begin_reallocation("watchdog cooldown complete")
+            self._audit(
+                "degraded_exit",
+                "watchdog cooldown complete",
+                {
+                    "degraded_epochs": self.watchdog.degraded_epochs,
+                    "cooldown": self.watchdog.cooldown,
+                },
+            )
+            self._begin_reallocation(
+                "watchdog cooldown complete",
+                inputs={"cooldown": self.watchdog.cooldown},
+            )
             return
         if self.watchdog.degraded:
             return
@@ -226,18 +307,23 @@ class A4Manager(LlcManager):
             if self._detect_cooldown[name] <= 0:
                 del self._detect_cooldown[name]
 
-        changed = self._check_restorations(sample)
-        changed = self._check_storage_antagonists(sample) or changed
-        if self.phase != PHASE_BASELINE:
-            changed = self._check_cpu_antagonists(sample) or changed
+        triggers = []
+        if self._check_restorations(sample):
+            triggers.append("restoration")
+        if self._check_storage_antagonists(sample):
+            triggers.append("storage_antagonist")
+        if self.phase != PHASE_BASELINE and self._check_cpu_antagonists(sample):
+            triggers.append("cpu_antagonist")
         self._check_network_bloat(sample)
-        if changed:
-            self._begin_reallocation("workload set changed")
+        if triggers:
+            self._begin_reallocation(
+                "workload set changed", inputs={"triggers": triggers}
+            )
             return
 
         if self.phase == PHASE_BASELINE:
             self._record_baseline(sample)
-            self.phase = PHASE_EXPANDING
+            self._set_phase(PHASE_EXPANDING)
             self._epochs_in_phase = 0
             return
 
@@ -287,7 +373,7 @@ class A4Manager(LlcManager):
             self._enter_stable()
 
     def _enter_stable(self) -> None:
-        self.phase = PHASE_STABLE
+        self._set_phase(PHASE_STABLE)
         self._stable_epochs = 0
         self.events.append(f"stable at LP zone way{self.layout.lp_span()}")
 
@@ -296,7 +382,7 @@ class A4Manager(LlcManager):
     # ------------------------------------------------------------------
 
     def _stable_step(self, sample: EpochSample) -> None:
-        phase_change = False
+        crossed: Dict[str, Dict[str, float]] = {}
         for workload in self._hpws():
             stream = sample.streams.get(workload.name)
             baseline = self.baseline_hits.get(workload.name, 0.0)
@@ -310,10 +396,19 @@ class A4Manager(LlcManager):
             )
             self.stable_hits[workload.name] = smoothed
             if detectors.hpw_hit_rate_degraded(self.policy, baseline, smoothed):
-                phase_change = True
-        if phase_change:
+                crossed[workload.name] = {
+                    "baseline_hit_rate": baseline,
+                    "smoothed_hit_rate": smoothed,
+                    "raw_hit_rate": stream.llc_hit_rate,
+                }
+        if crossed:
             self._begin_reallocation(
-                "HPW hit-rate fluctuation beyond T1", counted=True
+                "HPW hit-rate fluctuation beyond T1",
+                counted=True,
+                inputs={
+                    "crossed": crossed,
+                    "hpw_llc_hit_thr": self.policy.hpw_llc_hit_thr,
+                },
             )
             return
         self._stable_epochs += 1
@@ -325,9 +420,17 @@ class A4Manager(LlcManager):
         self._saved_lp_left = self.layout.lp_left
         self.layout.reset_lp()
         self._apply_layout()
-        self.phase = PHASE_REVERTING
+        self._set_phase(PHASE_REVERTING)
         self._epochs_in_phase = 0
         self.events.append("revert to initial partitions")
+        self._audit(
+            "revert",
+            "periodic revert to measure attainable hit rates",
+            {
+                "saved_lp_left": self._saved_lp_left,
+                "stable_interval": self.policy.stable_interval,
+            },
+        )
 
     def _finish_revert(self, sample: EpochSample) -> None:
         self._epochs_in_phase += 1
@@ -335,7 +438,7 @@ class A4Manager(LlcManager):
             return
         # ``sample`` was measured under the initial partitions: the highest
         # attainable hit rates at this moment.
-        reallocate = False
+        gaps: Dict[str, Dict[str, float]] = {}
         for workload in self._hpws():
             stream = sample.streams.get(workload.name)
             if stream is None:
@@ -345,15 +448,29 @@ class A4Manager(LlcManager):
             if attainable > 0 and (
                 (attainable - stable) / attainable > self.policy.hpw_llc_hit_thr
             ):
-                reallocate = True
-        if reallocate:
+                gaps[workload.name] = {
+                    "attainable_hit_rate": attainable,
+                    "stable_hit_rate": stable,
+                    "gap": (attainable - stable) / attainable,
+                }
+        if gaps:
             self._begin_reallocation(
-                "uncapturable phase change found by revert", counted=True
+                "uncapturable phase change found by revert",
+                counted=True,
+                inputs={
+                    "gaps": gaps,
+                    "hpw_llc_hit_thr": self.policy.hpw_llc_hit_thr,
+                },
             )
             return
+        self._audit(
+            "revert_verdict",
+            "attainable within T1 of stable; restoring stable allocation",
+            {"restored_lp_left": self._saved_lp_left},
+        )
         self.layout.lp_left = self._saved_lp_left
         self._apply_layout()
-        self.phase = PHASE_STABLE
+        self._set_phase(PHASE_STABLE)
         self._stable_epochs = 0
 
     # ------------------------------------------------------------------
@@ -388,6 +505,21 @@ class A4Manager(LlcManager):
                 if workload.port_id is not None:
                     self.set_port_dca(workload.port_id, enabled=False)
                 self.events.append(f"disable DCA for {workload.name} (DMA leak)")
+                self._audit(
+                    "detect_storage",
+                    f"{workload.name}: DMA leak (T2/T3/T4); DCA off, demote",
+                    {
+                        "workload": workload.name,
+                        "dca_miss_rate": stream.dca_miss_rate,
+                        "llc_miss_rate": stream.llc_miss_rate,
+                        "storage_io_share": sample.storage_io_share(),
+                        "thresholds": {
+                            "dmalk_dca_ms_thr": self.policy.dmalk_dca_ms_thr,
+                            "dmalk_llc_ms_thr": self.policy.dmalk_llc_ms_thr,
+                            "dmalk_io_tp_thr": self.policy.dmalk_io_tp_thr,
+                        },
+                    },
+                )
                 changed = True
         return changed
 
@@ -417,6 +549,16 @@ class A4Manager(LlcManager):
                 )
                 self.demoted.add(workload.name)
                 self.events.append(f"{workload.name} detected as non-I/O antagonist")
+                self._audit(
+                    "detect_cpu",
+                    f"{workload.name}: non-I/O antagonist (T5); pseudo bypass",
+                    {
+                        "workload": workload.name,
+                        "mlc_miss_rate": stream.mlc_miss_rate,
+                        "llc_miss_rate": stream.llc_miss_rate,
+                        "ant_cache_miss_thr": self.policy.ant_cache_miss_thr,
+                    },
+                )
                 changed = True
         return changed
 
@@ -452,6 +594,19 @@ class A4Manager(LlcManager):
                     self.events.append(
                         f"bypass of {state.name} halted (instability)"
                     )
+                    self._audit(
+                        "bypass_halt",
+                        f"{state.name}: >10% instability; undo last squeeze",
+                        {
+                            "workload": state.name,
+                            "metric": metric,
+                            "last_reduction_metric": state.last_reduction_metric,
+                            "mem_bw": membw,
+                            "last_reduction_membw": state.last_reduction_membw,
+                            "instability_thr": self.policy.instability_thr,
+                            "span_left": state.span_left,
+                        },
+                    )
                     continue
             if state.span_left < self.policy.trash_way:
                 state.span_left += 1
@@ -479,10 +634,28 @@ class A4Manager(LlcManager):
                     self.events.append(
                         f"{workload.name}: network DMA bloat -> trash ways"
                     )
+                    self._audit(
+                        "bloat_treat",
+                        f"{workload.name}: DMA bloat above threshold",
+                        {
+                            "workload": workload.name,
+                            "bloat_rate": rate,
+                            "net_bloat_thr": self.policy.net_bloat_thr,
+                        },
+                    )
                     self._apply_layout()
             elif rate < self.policy.net_bloat_thr / 2:
                 self.bloat_treated.discard(workload.name)
                 self.events.append(f"{workload.name}: bloat subsided, restored")
+                self._audit(
+                    "bloat_restore",
+                    f"{workload.name}: bloat subsided below half threshold",
+                    {
+                        "workload": workload.name,
+                        "bloat_rate": rate,
+                        "net_bloat_thr": self.policy.net_bloat_thr,
+                    },
+                )
                 self._apply_layout()
 
     def _check_restorations(self, sample: EpochSample) -> bool:
@@ -500,6 +673,20 @@ class A4Manager(LlcManager):
                 if state.kind == "storage" and workload.port_id is not None:
                     self.set_port_dca(workload.port_id, enabled=True)
                 self.events.append(f"restore {name} (phase change ended)")
+                self._audit(
+                    "restore",
+                    f"{name}: antagonistic phase ended; original treatment",
+                    {
+                        "workload": name,
+                        "kind": state.kind,
+                        "detection_metric": state.detection_metric,
+                        "current_metric": (
+                            stream.llc_miss_rate
+                            if state.kind == "cpu"
+                            else stream.io_throughput_lines_per_cycle
+                        ),
+                    },
+                )
                 changed = True
         return changed
 

@@ -206,6 +206,12 @@ class OscillationWatchdog:
         self._cooldown_left = 0
         self._history.clear()
 
+    @property
+    def reallocations_in_window(self) -> int:
+        """Fluctuation-driven reallocations currently inside the sliding
+        window (the evidence behind a degraded-mode entry)."""
+        return len(self._history)
+
     def stats(self) -> Dict[str, int]:
         return {
             "degraded": int(self.degraded),

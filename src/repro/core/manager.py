@@ -20,6 +20,7 @@ from __future__ import annotations
 import abc
 from typing import TYPE_CHECKING, Dict, List, Optional
 
+from repro import obsv
 from repro.rdt.cat import TransientClosError
 from repro.telemetry.pcm import EpochSample
 from repro.uncore.pcie import TransientPortError
@@ -55,6 +56,11 @@ class LlcManager(abc.ABC):
         """name -> [first, last, epochs_until_retry, current_interval]"""
         self._pending_dca: Dict[int, List[int]] = {}
         """port_id -> [enabled, epochs_until_retry, current_interval]"""
+
+    def _trace_control(self, name: str, **data) -> None:
+        """Control-plane incident (parked / recovered apply) trace event."""
+        if obsv.TRACER is not None:
+            obsv.TRACER.emit(obsv.KIND_CONTROL, name, data)
 
     def attach(self, server: "Server") -> None:
         """Bind to a server after all workloads are added; apply the initial
@@ -98,6 +104,9 @@ class LlcManager(abc.ABC):
         self.apply_deferred += 1
         interval = self.apply_backoff_epochs
         self._pending_ways[workload_name] = [first, last, interval, interval]
+        self._trace_control(
+            "ways_parked", workload=workload_name, first=first, last=last
+        )
         return False
 
     def ways_of(self, workload_name: str):
@@ -123,6 +132,7 @@ class LlcManager(abc.ABC):
         self.apply_deferred += 1
         interval = self.apply_backoff_epochs
         self._pending_dca[port_id] = [int(enabled), interval, interval]
+        self._trace_control("dca_parked", port=port_id, enabled=enabled)
         return False
 
     # -- deferred-apply bookkeeping ---------------------------------------
@@ -150,6 +160,9 @@ class LlcManager(abc.ABC):
                 continue
             del self._pending_ways[name]
             self.apply_recovered += 1
+            self._trace_control(
+                "ways_recovered", workload=name, first=first, last=last
+            )
         for port_id, entry in list(self._pending_dca.items()):
             enabled, wait, interval = entry
             if wait > 1:
@@ -166,6 +179,9 @@ class LlcManager(abc.ABC):
                 continue
             del self._pending_dca[port_id]
             self.apply_recovered += 1
+            self._trace_control(
+                "dca_recovered", port=port_id, enabled=bool(enabled)
+            )
 
     def discard_pending(self, workload_name: Optional[str] = None) -> None:
         """Drop parked way-applies (all, or one workload's) — used when a

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Tuple
 
+from repro import obsv
 from repro.core.policy import A4Policy
 
 Span = Tuple[int, int]
@@ -55,7 +56,9 @@ class ZoneLayout:
         return self.policy.min_lp_left
 
     def reset_lp(self) -> None:
-        self.lp_left = self.initial_lp_left
+        if self.lp_left != self.initial_lp_left:
+            self.lp_left = self.initial_lp_left
+            self._trace("reset")
 
     def can_expand(self) -> bool:
         return self.lp_left > self.min_lp_left
@@ -65,12 +68,23 @@ class ZoneLayout:
         if not self.can_expand():
             raise RuntimeError("LP Zone already at its leftmost extent")
         self.lp_left -= 1
+        self._trace("expand")
 
     def contract(self) -> None:
         """Undo one expansion step."""
         if self.lp_left >= self.initial_lp_left:
             raise RuntimeError("LP Zone already at its initial extent")
         self.lp_left += 1
+        self._trace("contract")
+
+    def _trace(self, change: str) -> None:
+        if obsv.TRACER is not None:
+            first, last = self.lp_span()
+            obsv.TRACER.emit(
+                obsv.KIND_ZONE,
+                change,
+                {"lp_first": first, "lp_last": last},
+            )
 
     # -- per-class spans ---------------------------------------------------
 

@@ -28,6 +28,7 @@ import time
 
 import os
 
+from repro import obsv
 from repro.experiments import runcache
 from repro.experiments.figures import REGISTRY
 from repro.experiments.parallel import (
@@ -97,6 +98,28 @@ def main(argv=None) -> int:
         "(exported as $REPRO_FAULT_INTENSITY so pool workers inherit it; "
         "results are cached under a separate key)",
     )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="enable the observability layer and write the event trace "
+        "as JSONL to PATH (inspect with tools/obsv.py)",
+    )
+    parser.add_argument(
+        "--chrome-trace",
+        metavar="PATH",
+        default=None,
+        help="also write the trace as Chrome trace-event JSON "
+        "(load in chrome://tracing or Perfetto)",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=None,
+        help="enable the observability layer and write the metrics "
+        "registry as Prometheus text to PATH (plus a JSON snapshot "
+        "at PATH.json)",
+    )
     args = parser.parse_args(argv)
 
     if args.fault_intensity is not None:
@@ -109,6 +132,47 @@ def main(argv=None) -> int:
         cache_dir=args.cache_dir,
         enabled=False if args.no_cache else None,
     )
+
+    obsv_on = bool(args.trace or args.chrome_trace or args.metrics_out)
+    if obsv_on:
+        obsv.enable()
+        obsv.set_registry(None)  # fresh registry per invocation
+
+    def export_obsv() -> None:
+        """Flush trace / metrics files (called before every return path).
+
+        Note: with ``--jobs > 1`` events from pool workers are not
+        captured — each worker process has its own (disabled) tracer;
+        traces cover the parent process only."""
+        if not obsv_on:
+            return
+        from repro.obsv import export as obsv_export
+        from repro.obsv.metrics import collect_process, get_registry
+
+        tracer = obsv.TRACER
+        if args.trace:
+            count = obsv_export.write_jsonl(tracer.events, args.trace)
+            print(f"[trace: {count} events -> {args.trace}"
+                  f"{f' ({tracer.dropped} dropped)' if tracer.dropped else ''}]")
+        if args.chrome_trace:
+            obsv_export.write_chrome_trace(tracer.events, args.chrome_trace)
+            print(f"[chrome trace -> {args.chrome_trace}]")
+        if args.metrics_out:
+            registry = collect_process(get_registry())
+            if obsv.PROFILER is not None:
+                obsv.PROFILER.into_registry(registry)
+            registry.gauge(
+                "repro_trace_events", help="events in the trace ring"
+            ).set(len(tracer))
+            registry.gauge(
+                "repro_trace_dropped_total", help="events evicted from the ring"
+            ).set(tracer.dropped)
+            obsv_export.write_prometheus(registry, args.metrics_out)
+            import json as _json
+
+            with open(args.metrics_out + ".json", "w") as fh:
+                _json.dump(registry.snapshot(), fh, indent=2, sort_keys=True)
+            print(f"[metrics -> {args.metrics_out} (+ .json snapshot)]")
 
     if args.list:
         for name in REGISTRY:
@@ -148,6 +212,7 @@ def main(argv=None) -> int:
         )
         print(f"[run cache: {cache.stats.summary()}]")
         print(f"[dispatch: {dispatch_stats.summary()}]")
+        export_obsv()
         return 0
 
     for name in targets:
@@ -158,6 +223,7 @@ def main(argv=None) -> int:
         print(result.render())
         print(f"[{name} done in {time.time() - started:.1f}s]\n")
     print(f"[run cache: {cache.stats.summary()}]")
+    export_obsv()
     return 0
 
 

@@ -11,9 +11,10 @@ mirroring the paper's 1-second monitoring loop, and returns a
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Dict, List, Optional, Tuple
 
-from repro import config
+from repro import config, obsv
 from repro.experiments.errors import CoreAllocationError, InsufficientEpochsError
 from repro.cache.hierarchy import CacheHierarchy, HierarchyConfig
 from repro.rdt.cat import CacheAllocation
@@ -170,16 +171,48 @@ class Server:
             )
         samples: List[EpochSample] = []
         faults = self.faults
-        for _ in range(epochs):
+        tracer = obsv.TRACER
+        profiler = obsv.PROFILER
+        if profiler is not None:
+            self.sim.profiler = profiler
+        epoch_hist = None
+        if tracer is not None:
+            epoch_hist = obsv.get_registry().histogram(
+                "repro_epoch_wall_seconds",
+                help="wall time simulating one monitoring epoch",
+            )
+        for i in range(epochs):
+            if tracer is not None:
+                tracer.epoch = i
+                tracer.now = self.sim.now
+            if profiler is not None:
+                profiler.label = (
+                    getattr(self.manager, "phase", None) or "epoch"
+                )
             if faults is not None:
                 # Device chaos is armed before the epoch simulates; delayed
                 # CAT commits mature at the boundary, before the manager
                 # acts on it; the manager sees the (possibly corrupted)
                 # fault view while ``samples`` keeps the true reading.
                 faults.epoch_chaos(self)
+            wall_started = perf_counter() if tracer is not None else 0.0
             self.sim.run_until(self.sim.now + self.epoch_cycles)
             sample = self.pcm.sample(self.sim.now)
             samples.append(sample)
+            if tracer is not None:
+                wall = perf_counter() - wall_started
+                tracer.now = self.sim.now
+                tracer.emit(
+                    obsv.KIND_EPOCH,
+                    "epoch",
+                    {
+                        "index": i,
+                        "events": self.sim.events_executed,
+                        "mem_bw": sample.mem_total_bw,
+                    },
+                    wall=wall,
+                )
+                epoch_hist.observe(wall)
             if self.manager is not None:
                 if faults is not None:
                     faults.advance_epoch()
@@ -188,6 +221,8 @@ class Server:
                     self.manager.on_epoch(sample)
             if epoch_hook is not None:
                 epoch_hook(self, sample)
+        if tracer is not None:
+            tracer.epoch = -1
         return RunResult(samples=samples, warmup=warmup, server=self)
 
 

@@ -45,6 +45,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.experiments import runcache
 from repro.experiments.errors import classify
+from repro.obsv.metrics import counts_of, diff_counts
 
 METRIC_FIELDS = (
     "ipc",
@@ -231,16 +232,9 @@ def _run_chunk(
     Also returns the worker's cache-stats delta for this chunk so the
     parent's hit/miss report covers pool-side lookups."""
     stats = runcache.get_cache().stats
-    before = runcache.CacheStats(
-        stats.hits, stats.misses, stats.stores, stats.errors
-    )
+    before = counts_of(stats)
     outcomes = [_run_one(fn, index, task) for index, task in chunk]
-    delta = runcache.CacheStats(
-        stats.hits - before.hits,
-        stats.misses - before.misses,
-        stats.stores - before.stores,
-        stats.errors - before.errors,
-    )
+    delta = runcache.CacheStats(**diff_counts(stats, before))
     return outcomes, delta
 
 

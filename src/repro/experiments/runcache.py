@@ -42,6 +42,8 @@ from dataclasses import dataclass, field, fields, is_dataclass
 from pathlib import Path
 from typing import Any, Callable, Optional
 
+from repro.obsv.metrics import merge_counts
+
 SCHEMA_VERSION = 2
 DEFAULT_CACHE_DIR = ".repro-cache"
 ENV_CACHE_DIR = "REPRO_CACHE_DIR"
@@ -169,11 +171,10 @@ class CacheStats:
     stores: int = 0
     errors: int = 0
 
-    def merge(self, other: "CacheStats") -> None:
-        self.hits += other.hits
-        self.misses += other.misses
-        self.stores += other.stores
-        self.errors += other.errors
+    def merge(self, other) -> None:
+        """Fold another stats carrier in (a worker's delta dict or another
+        ``CacheStats``); shared helper with the chaos sweep's aggregation."""
+        merge_counts(self, other)
 
     def summary(self) -> str:
         return (

@@ -33,6 +33,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.core.policy import A4Policy
 from repro.faults.inject import check_masks
 from repro.faults.plan import FaultPlan
+from repro.obsv.metrics import counts_of, merge_counts
 
 DEFAULT_INTENSITIES: Tuple[float, ...] = (0.25, 0.5, 1.0)
 DEFAULT_EPOCHS = 80
@@ -131,14 +132,7 @@ def run_chaos(
         epochs=epochs,
         seed=seed,
         mean_ipc=mean_ipc,
-        faults=(
-            {
-                name: getattr(faults, name)
-                for name in faults.__dataclass_fields__
-            }
-            if faults is not None
-            else {}
-        ),
+        faults=counts_of(faults) if faults is not None else {},
         robustness=result.robustness(),
         violations=violations,
         events=len(server.manager.events),
@@ -161,6 +155,14 @@ class SweepReport:
         if self.probe is not None:
             rows.append(self.probe)
         return rows
+
+    def fault_totals(self) -> Dict[str, int]:
+        """Injected-fault counts summed over the whole sweep (shared merge
+        helper with the run cache's worker-stats aggregation)."""
+        totals: Dict[str, int] = {}
+        for res in self.all_results():
+            merge_counts(totals, res.faults)
+        return totals
 
     def check(self) -> None:
         """Raise :class:`ChaosError` on any violated safety property."""
@@ -212,6 +214,11 @@ class SweepReport:
                 f"{rob.get('degraded_entries', 0):>9} "
                 f"{len(res.violations):>10}"
             )
+        totals = self.fault_totals()
+        injected = ", ".join(
+            f"{name}={count}" for name, count in sorted(totals.items()) if count
+        )
+        lines.append(f"faults injected: {injected or 'none'}")
         return "\n".join(lines)
 
 

@@ -35,6 +35,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Tuple
 
+from repro import obsv
 from repro.faults.plan import FaultPlan
 from repro.rdt.cat import CacheAllocation, TransientClosError
 from repro.sim.rng import DeterministicRng
@@ -95,6 +96,13 @@ class FaultInjector:
         self._storms: Dict[str, int] = {}
         """Active NIC storms: generator owner name -> epochs remaining."""
 
+    @staticmethod
+    def _trace(name: str, **data) -> None:
+        """One ``fault`` trace event per injected fault, named after the
+        :class:`FaultCounters` field it bumped."""
+        if obsv.TRACER is not None:
+            obsv.TRACER.emit(obsv.KIND_FAULT, name, data)
+
     # -- telemetry ----------------------------------------------------------
 
     def filter_sample(self, sample: EpochSample) -> EpochSample:
@@ -106,6 +114,7 @@ class FaultInjector:
         if plan.zero_cycle_rate and rng.random() < plan.zero_cycle_rate:
             # Fixed-counter glitch: the whole epoch reads as zero cycles.
             self.counters.zero_cycle_epochs += 1
+            self._trace("zero_cycle_epochs")
             self._held.update(sample.streams)
             return replace(sample, epoch_cycles=0.0)
         streams: Dict[str, StreamSample] = {}
@@ -114,11 +123,13 @@ class FaultInjector:
             draw = rng.random()
             if draw < plan.sample_drop_rate:
                 self.counters.samples_dropped += 1
+                self._trace("samples_dropped", stream=name)
                 touched = True
             elif draw < plan.sample_drop_rate + plan.sample_stale_rate:
                 held = self._held.get(name)
                 if held is not None and held is not stream:
                     self.counters.samples_stale += 1
+                    self._trace("samples_stale", stream=name)
                     streams[name] = held
                     touched = True
                 else:
@@ -129,6 +140,7 @@ class FaultInjector:
                 + plan.sample_corrupt_rate
             ):
                 self.counters.samples_corrupted += 1
+                self._trace("samples_corrupted", stream=name)
                 streams[name] = replace(
                     stream, counters=self._garble(stream.counters)
                 )
@@ -180,6 +192,7 @@ class FaultInjector:
         draw = self._cat.random()
         if draw < plan.cat_fail_rate:
             self.counters.cat_failures += 1
+            self._trace("cat_failures", clos=clos)
             raise TransientClosError(
                 f"injected transient CLOS write failure (clos {clos})"
             )
@@ -188,6 +201,7 @@ class FaultInjector:
         self._delayed = [d for d in self._delayed if d[1] != clos]
         if draw < plan.cat_fail_rate + plan.cat_delay_rate:
             self.counters.cat_delays += 1
+            self._trace("cat_delays", clos=clos, epochs=plan.cat_delay_epochs)
             self._delayed.append((plan.cat_delay_epochs, clos, mask, target))
             return
         target.set_mask(clos, mask)
@@ -195,6 +209,7 @@ class FaultInjector:
     def dca_apply(self, port: PciePort, enabled: bool) -> None:
         if self._dca.random() < self.plan.dca_fail_rate:
             self.counters.dca_failures += 1
+            self._trace("dca_failures", port=port.port_id)
             raise TransientPortError(
                 f"injected transient perfctrlsts write failure (port "
                 f"{port.port_id})"
@@ -240,6 +255,7 @@ class FaultInjector:
                     generator.rate_scale = plan.nic_storm_factor
                 elif self._dev.random() < plan.nic_storm_rate:
                     self.counters.nic_storms += 1
+                    self._trace("nic_storms", workload=workload.name)
                     self._storms[workload.name] = plan.nic_storm_epochs
                     generator.rate_scale = plan.nic_storm_factor
                 else:
@@ -248,10 +264,12 @@ class FaultInjector:
             if ssd is not None and plan.nvme_stall_rate:
                 if self._dev.random() < plan.nvme_stall_rate:
                     self.counters.nvme_stalls += 1
+                    self._trace("nvme_stalls", workload=workload.name)
                     ssd.inject_stall(plan.nvme_stall_cycles)
             if hasattr(workload, "request_flip") and plan.phase_flip_rate:
                 if self._dev.random() < plan.phase_flip_rate:
                     self.counters.phase_flips += 1
+                    self._trace("phase_flips", workload=workload.name)
                     workload.request_flip()
 
 

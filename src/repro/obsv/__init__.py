@@ -1,0 +1,121 @@
+"""Zero-cost-when-off observability: tracing, metrics, audit, profiling.
+
+The layer is three cooperating pieces plus a profiler, all process-global
+and **off by default**:
+
+* :data:`TRACER` — a bounded ring buffer of typed :class:`TraceEvent`\\ s
+  (epoch boundaries, CLOS mask writes, DCA toggles, controller phase
+  transitions, fault injections, cache-zone resizes), exported to JSONL
+  and Chrome ``chrome://tracing`` trace-event JSON
+  (:mod:`repro.obsv.export`).
+* :data:`AUDIT` — the controller decision audit trail: every A4
+  reallocation / degrade / detection / restoration records its inputs
+  (the sanitized telemetry values and the thresholds crossed) and the
+  chosen action.  Decisions mirror into the tracer as ``decision``
+  events, so one JSONL file carries the whole story and
+  ``tools/obsv.py explain-epoch`` can replay it post-run.
+* the **metrics registry** (:mod:`repro.obsv.metrics`) — process-wide
+  counters/gauges/histograms with labels, exported as Prometheus text
+  and a JSON snapshot.  Unlike the tracer it always exists (it is
+  passive until someone observes into it) and also hosts the shared
+  stats-dict merge helpers used by the run cache and the chaos sweep.
+* :data:`PROFILER` — per-phase wall/cycle/event attribution recorded by
+  :meth:`repro.sim.engine.Simulator.run_until` (see
+  :mod:`repro.obsv.profile`).
+
+Every emit site in the simulator, controller, and fault layer is guarded
+by a single ``obsv.TRACER is not None`` (or ``obsv.AUDIT``/``profiler``)
+check: with the layer disabled no event objects are built, no dicts are
+allocated, and runs are bit-identical to a tree without the layer.
+Enable with :func:`enable` (or ``--trace`` / ``--metrics-out`` on the
+figures CLI), tear down with :func:`disable`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.obsv.audit import AuditTrail, Decision
+from repro.obsv.metrics import (
+    MetricsRegistry,
+    get_registry,
+    merge_counts,
+    set_registry,
+)
+from repro.obsv.profile import PhaseProfiler
+from repro.obsv.tracer import (
+    KIND_CONTROL,
+    KIND_DCA,
+    KIND_DECISION,
+    KIND_EPOCH,
+    KIND_FAULT,
+    KIND_MASK,
+    KIND_PHASE,
+    KIND_SPAN,
+    KIND_ZONE,
+    TraceEvent,
+    Tracer,
+)
+
+TRACER: Optional[Tracer] = None
+"""The process-wide event tracer; ``None`` while observability is off."""
+
+AUDIT: Optional[AuditTrail] = None
+"""The process-wide decision audit trail; ``None`` while off."""
+
+PROFILER: Optional[PhaseProfiler] = None
+"""The process-wide engine profiler; ``None`` while off."""
+
+
+def enable(
+    capacity: int = Tracer.DEFAULT_CAPACITY,
+    audit_capacity: int = AuditTrail.DEFAULT_CAPACITY,
+    profile: bool = True,
+) -> Tracer:
+    """Turn the observability layer on (idempotent: replaces any previous
+    tracer/trail/profiler with fresh, empty ones) and return the tracer."""
+    global TRACER, AUDIT, PROFILER
+    TRACER = Tracer(capacity)
+    AUDIT = AuditTrail(audit_capacity, tracer=TRACER)
+    PROFILER = PhaseProfiler() if profile else None
+    return TRACER
+
+
+def disable() -> None:
+    """Turn the layer off; emit sites go back to their no-op fast path."""
+    global TRACER, AUDIT, PROFILER
+    TRACER = None
+    AUDIT = None
+    PROFILER = None
+
+
+def enabled() -> bool:
+    return TRACER is not None
+
+
+__all__ = [
+    "AUDIT",
+    "AuditTrail",
+    "Decision",
+    "KIND_CONTROL",
+    "KIND_DCA",
+    "KIND_DECISION",
+    "KIND_EPOCH",
+    "KIND_FAULT",
+    "KIND_MASK",
+    "KIND_PHASE",
+    "KIND_SPAN",
+    "KIND_ZONE",
+    "MetricsRegistry",
+    "PROFILER",
+    "PhaseProfiler",
+    "TRACER",
+    "TraceEvent",
+    "Tracer",
+    "disable",
+    "enable",
+    "enabled",
+    "get_registry",
+    "merge_counts",
+    "set_registry",
+]

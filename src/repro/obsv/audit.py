@@ -1,0 +1,134 @@
+"""The controller decision audit trail.
+
+Every consequential A4 action — reallocation, degraded-mode entry/exit,
+antagonist detection, restoration, bypass halt, revert verdict — records a
+:class:`Decision`: *when* (epoch), *what* (action), *why* (reason), and
+*on what evidence* (``inputs``: the sanitized telemetry values the
+controller actually compared, plus the thresholds they crossed).  The
+trail is the answer to "why did the controller do that at epoch N" that
+``repro.core.a4``'s human-readable ``events`` list only gestures at.
+
+Decisions mirror into the tracer as ``decision`` events (same action /
+reason / inputs in ``data``), so a JSONL trace export is self-contained
+and ``tools/obsv.py explain-epoch N`` works from the file alone.
+
+Action vocabulary (``Decision.action``):
+
+``reallocate``, ``degraded_enter``, ``degraded_exit``, ``detect_storage``,
+``detect_cpu``, ``restore``, ``bypass_halt``, ``revert``,
+``revert_verdict``, ``bloat_treat``, ``bloat_restore``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, List, Optional
+
+from repro.obsv.tracer import KIND_DECISION, Tracer
+
+ACTION_REALLOCATE = "reallocate"
+ACTION_DEGRADED_ENTER = "degraded_enter"
+ACTION_DEGRADED_EXIT = "degraded_exit"
+
+
+@dataclass
+class Decision:
+    """One controller decision with the evidence behind it."""
+
+    epoch: int
+    action: str
+    reason: str
+    inputs: Dict[str, Any] = field(default_factory=dict)
+
+    def describe(self) -> str:
+        """Multi-line human rendering (the ``explain-epoch`` CLI body)."""
+        lines = [f"[{self.action}] {self.reason} (epoch {self.epoch})"]
+        lines.extend(_format_inputs(self.inputs, indent="    "))
+        return "\n".join(lines)
+
+
+def _format_inputs(inputs: Dict[str, Any], indent: str) -> List[str]:
+    lines: List[str] = []
+    for key in sorted(inputs):
+        value = inputs[key]
+        if isinstance(value, dict) and value:
+            lines.append(f"{indent}{key}:")
+            for sub in sorted(value):
+                lines.append(f"{indent}    {sub}: {_fmt(value[sub])}")
+        else:
+            lines.append(f"{indent}{key}: {_fmt(value)}")
+    return lines
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    if isinstance(value, dict):
+        parts = ", ".join(f"{k}={_fmt(v)}" for k, v in sorted(value.items()))
+        return "{" + parts + "}"
+    return str(value)
+
+
+class AuditTrail:
+    """Bounded store of :class:`Decision` records, optionally mirrored
+    into a :class:`~repro.obsv.tracer.Tracer`."""
+
+    DEFAULT_CAPACITY = 8192
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_CAPACITY,
+        tracer: Optional[Tracer] = None,
+    ):
+        if capacity < 1:
+            raise ValueError("audit capacity must be positive")
+        self.capacity = capacity
+        self.tracer = tracer
+        self.records: Deque[Decision] = deque(maxlen=capacity)
+        self.dropped = 0
+
+    def record(
+        self,
+        action: str,
+        reason: str,
+        inputs: Optional[Dict[str, Any]] = None,
+        epoch: Optional[int] = None,
+    ) -> Decision:
+        if epoch is None:
+            epoch = self.tracer.epoch if self.tracer is not None else -1
+        if len(self.records) == self.capacity:
+            self.dropped += 1
+        decision = Decision(
+            epoch=epoch, action=action, reason=reason, inputs=inputs or {}
+        )
+        self.records.append(decision)
+        if self.tracer is not None:
+            self.tracer.emit(
+                KIND_DECISION,
+                action,
+                {"reason": reason, "inputs": decision.inputs},
+            )
+        return decision
+
+    # -- queries ------------------------------------------------------------
+
+    def decisions(self, action: Optional[str] = None) -> List[Decision]:
+        if action is None:
+            return list(self.records)
+        return [d for d in self.records if d.action == action]
+
+    def for_epoch(self, epoch: int) -> List[Decision]:
+        return [d for d in self.records if d.epoch == epoch]
+
+    def explain(self, epoch: int) -> str:
+        """Render every decision taken at ``epoch`` (or note the absence)."""
+        decisions = self.for_epoch(epoch)
+        if not decisions:
+            return f"epoch {epoch}: no controller decisions recorded"
+        lines = [f"epoch {epoch}: {len(decisions)} decision(s)"]
+        lines.extend(d.describe() for d in decisions)
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self.records)

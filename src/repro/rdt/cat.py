@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from typing import Dict, Sequence, Tuple
 
-from repro import config
+from repro import config, obsv
 
 
 class ClosConfigError(ValueError):
@@ -52,7 +52,14 @@ class CacheAllocation:
     # -- mask management -----------------------------------------------------
 
     def set_mask(self, clos: int, ways: Sequence[int]) -> None:
-        self._masks[clos] = self.validate_mask(clos, ways)
+        mask = self.validate_mask(clos, ways)
+        self._masks[clos] = mask
+        if obsv.TRACER is not None:
+            obsv.TRACER.emit(
+                obsv.KIND_MASK,
+                f"clos{clos}",
+                {"clos": clos, "first": mask[0], "last": mask[-1]},
+            )
 
     def validate_mask(self, clos: int, ways: Sequence[int]) -> Tuple[int, ...]:
         """Check a prospective mask without committing it.

@@ -32,7 +32,12 @@ METRICS: Dict[str, Callable[[StreamSample], float]] = {
 def series(
     samples: Sequence[EpochSample], stream: str, metric: str
 ) -> List[float]:
-    """One metric's value per epoch for one stream."""
+    """One metric's value per epoch for one stream.
+
+    Epochs where the stream is absent (not yet launched, terminated)
+    yield ``nan``, not ``0.0`` — plotting tools gap the line and
+    aggregations skip it, where a zero would silently drag averages
+    down and fake an idle reading."""
     try:
         extract = METRICS[metric]
     except KeyError:
@@ -42,7 +47,11 @@ def series(
     out: List[float] = []
     for sample in samples:
         stream_sample = sample.streams.get(stream)
-        out.append(extract(stream_sample) if stream_sample is not None else 0.0)
+        out.append(
+            extract(stream_sample)
+            if stream_sample is not None
+            else float("nan")
+        )
     return out
 
 

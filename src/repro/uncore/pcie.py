@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict
 
+from repro import obsv
 from repro.telemetry.counters import CounterBank
 
 
@@ -59,10 +60,20 @@ class PciePort:
         """A4's F2 knob: reroute this port's writes to the memory flow."""
         self.perfctrlsts.no_snoop_op_wr_en = True
         self.perfctrlsts.use_allocating_flow_wr = False
+        self._trace_dca(False)
 
     def enable_dca(self) -> None:
         self.perfctrlsts.no_snoop_op_wr_en = False
         self.perfctrlsts.use_allocating_flow_wr = True
+        self._trace_dca(True)
+
+    def _trace_dca(self, enabled: bool) -> None:
+        if obsv.TRACER is not None:
+            obsv.TRACER.emit(
+                obsv.KIND_DCA,
+                self.name or f"port{self.port_id}",
+                {"port": self.port_id, "enabled": enabled},
+            )
 
 
 class PcieComplex:

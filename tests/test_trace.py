@@ -1,5 +1,7 @@
 """Tests for time-series extraction and CSV export."""
 
+import math
+
 import pytest
 
 from repro.experiments.harness import Server
@@ -27,8 +29,27 @@ def test_series_unknown_metric(samples):
         trace.series(samples, "a", "clock_speed")
 
 
-def test_series_unknown_stream_is_zero(samples):
-    assert trace.series(samples, "ghost", "ipc") == [0.0] * 5
+def test_series_absent_stream_is_nan(samples):
+    # Absent != idle: a missing stream must not read as a true 0.0.
+    values = trace.series(samples, "ghost", "ipc")
+    assert len(values) == 5
+    assert all(math.isnan(v) for v in values)
+
+
+def test_series_mixed_presence_gaps_only_absent_epochs(samples):
+    # A stream present in every epoch has no NaN gaps…
+    present = trace.series(samples, "a", "ipc")
+    assert not any(math.isnan(v) for v in present)
+    # …and absence is per-epoch: drop the stream from one sample and only
+    # that epoch gaps.
+    from dataclasses import replace
+
+    patched = list(samples)
+    streams = {k: v for k, v in patched[2].streams.items() if k != "a"}
+    patched[2] = replace(patched[2], streams=streams)
+    values = trace.series(patched, "a", "ipc")
+    assert math.isnan(values[2])
+    assert not any(math.isnan(v) for i, v in enumerate(values) if i != 2)
 
 
 def test_all_registered_metrics_extract(samples):

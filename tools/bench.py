@@ -162,7 +162,19 @@ def main(argv=None) -> int:
         default=None,
         help="explicit record to compare against (default: latest BENCH_*.json)",
     )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="run with the observability profiler attached and print the "
+        "per-phase wall/cycle attribution after the benchmarks (measures "
+        "tracing-on overhead; do not gate on these numbers)",
+    )
     args = parser.parse_args(argv)
+
+    if args.profile:
+        from repro import obsv
+
+        obsv.enable()
 
     names = list(ALL_BENCHMARKS)
     if args.only:
@@ -219,6 +231,20 @@ def main(argv=None) -> int:
                 f"{name:<12} {entry['wall_s']:>9.3f}s wall  "
                 f"{entry['events_per_s']:>12,.0f} events/s"
             )
+
+    if args.profile:
+        from repro import obsv
+
+        if obsv.PROFILER is not None and obsv.PROFILER.phases:
+            print("\nengine attribution by controller phase:")
+            print(obsv.PROFILER.table())
+        record["profile"] = (
+            obsv.PROFILER.snapshot() if obsv.PROFILER is not None else {}
+        )
+        if args.out is None:
+            # A tracing-on record must not become a future run's baseline.
+            print("(profile run: record not written; pass --out to keep it)")
+            return status
 
     with open(out_path, "w") as handle:
         json.dump(record, handle, indent=2, sort_keys=True)

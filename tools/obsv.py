@@ -1,0 +1,170 @@
+#!/usr/bin/env python3
+"""Inspect a JSONL trace written by ``--trace`` (or ``write_jsonl``).
+
+Usage::
+
+    python tools/obsv.py summary runs/trace.jsonl
+    python tools/obsv.py timeline runs/trace.jsonl --kind decision --limit 40
+    python tools/obsv.py timeline runs/trace.jsonl --epoch 12
+    python tools/obsv.py explain-epoch runs/trace.jsonl 12
+    python tools/obsv.py explain-epoch runs/trace.jsonl --find reallocate
+
+``summary`` prints event counts per kind and the controller-decision
+tally.  ``timeline`` lists events (filter by kind and/or epoch).
+``explain-epoch`` reconstructs the audit trail for one epoch — the
+decisions the controller took and the sanitized telemetry inputs and
+thresholds behind each; with ``--find ACTION`` it locates the first epoch
+containing that action and explains it (exit 1 when nothing matches).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+)
+
+from repro.obsv.audit import Decision  # noqa: E402
+from repro.obsv.export import read_jsonl  # noqa: E402
+from repro.obsv.tracer import KIND_DECISION, TraceEvent  # noqa: E402
+
+
+def _decisions(events: List[TraceEvent]) -> List[Decision]:
+    """Reconstruct audit decisions from their mirrored trace events."""
+    return [
+        Decision(
+            epoch=e.epoch,
+            action=e.name,
+            reason=e.data.get("reason", ""),
+            inputs=e.data.get("inputs", {}) or {},
+        )
+        for e in events
+        if e.kind == KIND_DECISION
+    ]
+
+
+def cmd_summary(events: List[TraceEvent], args) -> int:
+    counts = {}
+    for event in events:
+        counts[event.kind] = counts.get(event.kind, 0) + 1
+    epochs = sorted({e.epoch for e in events if e.epoch >= 0})
+    print(f"{len(events)} events"
+          + (f", epochs {epochs[0]}..{epochs[-1]}" if epochs else ""))
+    for kind in sorted(counts):
+        print(f"  {kind:<12} {counts[kind]:>7}")
+    decisions = _decisions(events)
+    if decisions:
+        actions = {}
+        for d in decisions:
+            actions[d.action] = actions.get(d.action, 0) + 1
+        print("controller decisions:")
+        for action in sorted(actions):
+            print(f"  {action:<16} {actions[action]:>5}")
+    return 0
+
+
+def _fmt_event(event: TraceEvent) -> str:
+    data = " ".join(f"{k}={v}" for k, v in sorted(event.data.items()))
+    wall = f" wall={event.wall * 1e3:.2f}ms" if event.wall else ""
+    return (
+        f"[{event.epoch:>4}] t={event.ts:>12.0f} {event.kind:<10} "
+        f"{event.name:<20} {data}{wall}"
+    )
+
+
+def cmd_timeline(events: List[TraceEvent], args) -> int:
+    selected = [
+        e
+        for e in events
+        if (args.kind is None or e.kind == args.kind)
+        and (args.epoch is None or e.epoch == args.epoch)
+    ]
+    shown = selected[-args.limit:] if args.limit else selected
+    if len(shown) < len(selected):
+        print(f"... ({len(selected) - len(shown)} earlier events elided)")
+    for event in shown:
+        print(_fmt_event(event))
+    return 0
+
+
+def cmd_explain_epoch(events: List[TraceEvent], args) -> int:
+    decisions = _decisions(events)
+    epoch = args.epoch
+    if args.find is not None:
+        matches = [d for d in decisions if d.action == args.find]
+        if not matches:
+            print(f"no {args.find!r} decision in this trace", file=sys.stderr)
+            return 1
+        epoch = matches[0].epoch
+    if epoch is None:
+        print("explain-epoch needs an epoch number or --find ACTION",
+              file=sys.stderr)
+        return 2
+    at_epoch = [d for d in decisions if d.epoch == epoch]
+    if not at_epoch:
+        print(f"epoch {epoch}: no controller decisions recorded")
+        return 1
+    print(f"epoch {epoch}: {len(at_epoch)} decision(s)")
+    for decision in at_epoch:
+        print(decision.describe())
+    # Context: the non-decision events of the same epoch.
+    context = [
+        e for e in events if e.epoch == epoch and e.kind != KIND_DECISION
+    ]
+    if context:
+        print(f"-- other epoch-{epoch} events --")
+        for event in context:
+            print(_fmt_event(event))
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="tools/obsv.py", description=__doc__.splitlines()[0]
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("summary", help="event counts and decision tally")
+    p.add_argument("trace", help="JSONL trace file")
+    p.set_defaults(func=cmd_summary)
+
+    p = sub.add_parser("timeline", help="list events")
+    p.add_argument("trace", help="JSONL trace file")
+    p.add_argument("--kind", default=None, help="only this event kind")
+    p.add_argument("--epoch", type=int, default=None, help="only this epoch")
+    p.add_argument(
+        "--limit", type=int, default=100,
+        help="show at most the last N events (0 = all)",
+    )
+    p.set_defaults(func=cmd_timeline)
+
+    p = sub.add_parser(
+        "explain-epoch",
+        help="the controller decisions of one epoch, with their inputs",
+    )
+    p.add_argument("trace", help="JSONL trace file")
+    p.add_argument("epoch", nargs="?", type=int, default=None)
+    p.add_argument(
+        "--find",
+        metavar="ACTION",
+        default=None,
+        help="locate the first epoch with this decision action "
+        "(e.g. reallocate, degraded_enter) and explain it",
+    )
+    p.set_defaults(func=cmd_explain_epoch)
+
+    args = parser.parse_args(argv)
+    try:
+        events = read_jsonl(args.trace)
+    except (OSError, ValueError) as exc:
+        print(f"cannot read trace: {exc}", file=sys.stderr)
+        return 2
+    return args.func(events, args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,170 @@
+#!/usr/bin/env python3
+"""CI smoke test for the observability layer.
+
+Two stages, both in-process:
+
+1. A short faulted ``fig11`` run with ``--trace`` / ``--chrome-trace`` /
+   ``--metrics-out``: the trace must be non-empty and round-trip through
+   the JSONL reader, the audit trail must explain at least one A4
+   reallocation (with the telemetry inputs behind it), the Chrome trace
+   must validate, and the Prometheus text must parse.
+2. The chaos watchdog probe at intensity 1.0: the controller must enter
+   degraded mode, and ``tools/obsv.py explain-epoch --find degraded_enter``
+   against the exported trace must reproduce the decision's inputs.
+
+Exit 0 on success; raises (non-zero exit) on the first failed check.
+
+Usage::
+
+    python tools/obsv_smoke.py
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import tempfile
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(ROOT, "src"))
+
+from repro import obsv  # noqa: E402
+from repro.obsv import export  # noqa: E402
+
+
+def check(condition: bool, message: str) -> None:
+    if not condition:
+        raise AssertionError(message)
+    print(f"  ok: {message}")
+
+
+def explain(trace_path: str, action: str) -> str:
+    """Run the obsv CLI as a subprocess; return its stdout."""
+    proc = subprocess.run(
+        [
+            sys.executable,
+            os.path.join(ROOT, "tools", "obsv.py"),
+            "explain-epoch",
+            trace_path,
+            "--find",
+            action,
+        ],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    check(
+        proc.returncode == 0,
+        f"tools/obsv.py explain-epoch --find {action} exits 0",
+    )
+    return proc.stdout
+
+
+def stage_figure(tmp: str) -> None:
+    """Faulted fig11 with every export flag on."""
+    print("stage 1: faulted fig11 with --trace / --chrome-trace / --metrics-out")
+    from repro.experiments.__main__ import main as experiments_main
+
+    trace_path = os.path.join(tmp, "trace.jsonl")
+    chrome_path = os.path.join(tmp, "trace.chrome.json")
+    metrics_path = os.path.join(tmp, "metrics.prom")
+    status = experiments_main(
+        [
+            "fig11",
+            "--quick",
+            "--no-cache",
+            "--fault-intensity",
+            "1.0",
+            "--trace",
+            trace_path,
+            "--chrome-trace",
+            chrome_path,
+            "--metrics-out",
+            metrics_path,
+        ]
+    )
+    check(status == 0, "fig11 run exits 0")
+
+    events = export.read_jsonl(trace_path)
+    check(len(events) > 0, f"trace is non-empty ({len(events)} events)")
+    kinds = {e.kind for e in events}
+    for kind in (obsv.KIND_EPOCH, obsv.KIND_MASK, obsv.KIND_DECISION,
+                 obsv.KIND_FAULT):
+        check(kind in kinds, f"trace contains {kind!r} events")
+
+    reallocs = [
+        e
+        for e in events
+        if e.kind == obsv.KIND_DECISION
+        and e.name == "reallocate"
+        and e.data.get("inputs")
+    ]
+    check(
+        len(reallocs) >= 1,
+        f"audit records >=1 reallocation with inputs ({len(reallocs)} found)",
+    )
+
+    out = explain(trace_path, "reallocate")
+    check("[reallocate]" in out, "explain-epoch output names the reallocation")
+    check(
+        any(key in out for key in ("workloads:", "triggers:", "crossed:")),
+        "explain-epoch output reproduces the reallocation inputs",
+    )
+
+    import json
+
+    with open(chrome_path) as handle:
+        export.validate_chrome_trace(json.load(handle))
+    print("  ok: chrome trace validates")
+
+    with open(metrics_path) as handle:
+        series = export.parse_prometheus(handle.read())
+    check(len(series) > 0, f"prometheus text parses ({len(series)} series)")
+    check(
+        any(name.startswith("repro_trace_events") for name in series),
+        "prometheus export includes repro_trace_events",
+    )
+
+
+def stage_degraded(tmp: str) -> None:
+    """Chaos watchdog probe: degraded-mode entry must be auditable."""
+    print("stage 2: watchdog probe at intensity 1.0 (degraded-mode audit)")
+    from repro.faults.chaos import fsm_policy, run_chaos
+
+    obsv.enable()  # fresh tracer + audit trail for this stage
+    try:
+        result = run_chaos(1.0, epochs=80, policy=fsm_policy(), label="probe")
+        check(
+            result.robustness.get("degraded_entries", 0) >= 1,
+            "probe run trips the oscillation watchdog",
+        )
+        entries = [
+            d for d in obsv.AUDIT.decisions("degraded_enter") if d.inputs
+        ]
+        check(
+            len(entries) >= 1,
+            f"audit records >=1 degraded_enter with inputs ({len(entries)})",
+        )
+        trace_path = os.path.join(tmp, "probe.jsonl")
+        export.write_jsonl(obsv.TRACER.events, trace_path)
+        out = explain(trace_path, "degraded_enter")
+        check("[degraded_enter]" in out, "explain-epoch names the degraded entry")
+        check(
+            "watchdog:" in out,
+            "explain-epoch reproduces the degraded-mode inputs",
+        )
+    finally:
+        obsv.disable()
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="obsv-smoke-") as tmp:
+        stage_figure(tmp)
+        stage_degraded(tmp)
+    print("obsv smoke: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
