@@ -16,7 +16,10 @@ Registered benchmarks:
   process pool, so the pool path is benchmarked too;
 * ``cached_figure``         — a figure runner cold (simulating, populating
   a temp cache) then warm (pure cache replay); ``wall_s`` is the warm
-  replay and ``cold_s``/``speedup`` record the win.
+  replay and ``cold_s``/``speedup`` record the win;
+* ``platform_sweep``        — one small figure across every platform
+  preset via :func:`repro.experiments.sweep.sweep_platforms` (cache
+  disabled, so it measures real per-platform simulation).
 """
 
 from __future__ import annotations
@@ -149,9 +152,36 @@ def bench_cached_figure(quick: bool) -> Dict[str, float]:
     }
 
 
+def bench_platform_sweep(quick: bool) -> Dict[str, float]:
+    """One small figure across every platform preset, serially.
+
+    Tracks the cost of the platform-sensitivity sweep path itself
+    (`sweep_platforms` dispatch + per-preset simulation); ``events`` is
+    the number of sweep cells so ``events_per_s`` reads as cells/s."""
+    from repro.experiments.sweep import (
+        DEFAULT_SWEEP_PLATFORMS,
+        sweep_platforms,
+    )
+
+    epochs = 3 if quick else 6
+    started = time.perf_counter()
+    results = sweep_platforms(["fig3a"], epochs=epochs, seed=0xA4)
+    wall = time.perf_counter() - started
+    cells = len(results)
+    assert cells == len(DEFAULT_SWEEP_PLATFORMS), "sweep dropped a preset"
+    return {
+        "wall_s": wall,
+        "events": cells,
+        "events_per_s": cells / wall if wall else 0.0,
+        "platforms": cells,
+        "epochs": epochs,
+    }
+
+
 MACRO_BENCHMARKS = {
     "canonical": bench_canonical,
     "multi_seed": bench_multi_seed,
     "multi_seed_parallel": bench_multi_seed_parallel,
     "cached_figure": bench_cached_figure,
+    "platform_sweep": bench_platform_sweep,
 }

@@ -11,7 +11,6 @@ Run:  python examples/llc_occupancy_map.py [default|isolate|a4]
 
 import sys
 
-from repro import config
 from repro.experiments.scenarios import build_server, microbenchmark_workloads
 
 EPOCHS = 20
@@ -24,14 +23,15 @@ def dominant_stream_per_way(server):
     for (stream, way), count in server.monitor.per_stream_and_way().items():
         bucket = per_way.setdefault(way, {})
         bucket[stream] = bucket.get(stream, 0) + count
+    platform = server.platform
     result = {}
-    for way in range(config.LLC_WAYS):
+    for way in range(platform.llc_ways):
         bucket = per_way.get(way, {})
         if not bucket:
             result[way] = ("-", 0.0)
         else:
             stream = max(bucket, key=bucket.get)
-            result[way] = (stream, bucket[stream] / config.LLC_WAY_LINES)
+            result[way] = (stream, bucket[stream] / platform.llc_way_lines)
     return result
 
 
@@ -43,7 +43,7 @@ def main() -> None:
 
     print(f"scheme: {scheme}")
     print("legend: " + "  ".join(f"{g}={n}" for n, g in glyph.items()))
-    print("ways:   " + " ".join(f"{w:>3}" for w in range(config.LLC_WAYS)))
+    print("ways:   " + " ".join(f"{w:>3}" for w in range(server.platform.llc_ways)))
     for epoch in range(EPOCHS):
         server.sim.run_until(server.sim.now + server.epoch_cycles)
         sample = server.pcm.sample(server.sim.now)
@@ -51,7 +51,7 @@ def main() -> None:
             server.manager.on_epoch(sample)
         owners = dominant_stream_per_way(server)
         cells = []
-        for way in range(config.LLC_WAYS):
+        for way in range(server.platform.llc_ways):
             stream, share = owners[way]
             mark = glyph.get(stream, "?") if share > 0.05 else "."
             cells.append(f"{mark}{int(share * 9)!s:>2}")

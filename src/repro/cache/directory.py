@@ -19,7 +19,7 @@ from __future__ import annotations
 import itertools
 from typing import Optional, Set
 
-from repro import config
+from repro.platform import DEFAULT_PLATFORM
 
 
 class DirectoryEntry:
@@ -51,10 +51,11 @@ class SnoopFilter:
 
     def __init__(
         self,
-        sets: int = config.LLC_SETS,
-        ways: int = config.EXTENDED_DIR_WAYS,
+        sets: int = DEFAULT_PLATFORM.llc_sets,
+        ways: int = DEFAULT_PLATFORM.extended_dir_ways,
+        min_inclusive: int = len(DEFAULT_PLATFORM.inclusive_ways),
     ):
-        if ways < len(config.INCLUSIVE_WAYS):
+        if ways < min_inclusive:
             raise ValueError("extended directory smaller than shared ways")
         self.sets = sets
         self.ways = ways

@@ -29,11 +29,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
-from repro import config
 from repro.cache.directory import DirectoryEntry, SnoopFilter
 from repro.cache.line import LlcLine, MlcLine
 from repro.cache.llc import LastLevelCache, LlcConfig
 from repro.cache.mlc import MidLevelCache
+from repro.platform import DEFAULT_PLATFORM, PlatformSpec
 from repro.rdt.cat import CacheAllocation
 from repro.telemetry.counters import CounterBank
 from repro.uncore.memory import MemoryController
@@ -45,11 +45,12 @@ class HierarchyConfig:
 
     cores: int = 18
     llc: LlcConfig = field(default_factory=LlcConfig)
-    mlc_sets: int = config.MLC_SETS
-    mlc_ways: int = config.MLC_WAYS
-    mlc_hit_cycles: float = config.MLC_HIT_CYCLES
-    llc_hit_cycles: float = config.LLC_HIT_CYCLES
-    snoop_hit_cycles: float = config.LLC_HIT_CYCLES + 16
+    mlc_sets: int = DEFAULT_PLATFORM.mlc_sets
+    mlc_ways: int = DEFAULT_PLATFORM.mlc_ways
+    ext_dir_ways: int = DEFAULT_PLATFORM.extended_dir_ways
+    mlc_hit_cycles: float = DEFAULT_PLATFORM.mlc_hit_cycles
+    llc_hit_cycles: float = DEFAULT_PLATFORM.llc_hit_cycles
+    snoop_hit_cycles: float = DEFAULT_PLATFORM.llc_hit_cycles + 16
     """Cache-to-cache transfer from a peer MLC via the extended directory."""
     ddio_write_update: bool = True
     """Real DDIO write-updates LLC-resident lines in place wherever they
@@ -68,6 +69,24 @@ class HierarchyConfig:
     lines are discarded instead of bloating the LLC.  Eliminates both the
     directory contention and DMA bloat at the cost of hardware changes the
     paper's software-only approach avoids."""
+
+    @classmethod
+    def for_platform(
+        cls, platform: PlatformSpec, cores: int = 18, **overrides
+    ) -> "HierarchyConfig":
+        """Hierarchy geometry/timing of ``platform`` (switches overridable)."""
+        llc = overrides.pop("llc", None) or LlcConfig.for_platform(platform)
+        return cls(
+            cores=cores,
+            llc=llc,
+            mlc_sets=platform.mlc_sets,
+            mlc_ways=platform.mlc_ways,
+            ext_dir_ways=platform.extended_dir_ways,
+            mlc_hit_cycles=platform.mlc_hit_cycles,
+            llc_hit_cycles=platform.llc_hit_cycles,
+            snoop_hit_cycles=platform.llc_hit_cycles + 16,
+            **overrides,
+        )
 
 
 class CacheHierarchy:
@@ -89,7 +108,11 @@ class CacheHierarchy:
         """Optional :class:`repro.rdt.mba.MemoryBandwidthAllocation`:
         throttles memory latency per the accessing core's CLOS."""
         self.llc = LastLevelCache(cfg.llc)
-        self.sf = SnoopFilter(sets=cfg.llc.sets)
+        self.sf = SnoopFilter(
+            sets=cfg.llc.sets,
+            ways=cfg.ext_dir_ways,
+            min_inclusive=len(cfg.llc.inclusive_ways),
+        )
         self.mlcs = [
             MidLevelCache(core, cfg.mlc_sets, cfg.mlc_ways)
             for core in range(cfg.cores)

@@ -13,20 +13,20 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, Optional, Sequence, Tuple
 
-from repro import config
 from repro.cache.line import LlcLine
 from repro.cache.replacement import LruPolicy, make_policy
 from repro.cache.sets import WaySet
+from repro.platform import DEFAULT_PLATFORM, PlatformSpec
 
 
 @dataclass(frozen=True)
 class LlcConfig:
     """Geometry and behavioural switches of the LLC model."""
 
-    sets: int = config.LLC_SETS
-    ways: int = config.LLC_WAYS
-    dca_ways: Tuple[int, ...] = config.DCA_WAYS
-    inclusive_ways: Tuple[int, ...] = config.INCLUSIVE_WAYS
+    sets: int = DEFAULT_PLATFORM.llc_sets
+    ways: int = DEFAULT_PLATFORM.llc_ways
+    dca_ways: Tuple[int, ...] = DEFAULT_PLATFORM.dca_ways
+    inclusive_ways: Tuple[int, ...] = DEFAULT_PLATFORM.inclusive_ways
     inclusive_migration: bool = True
     """When True (real hardware), a line that becomes resident in both an MLC
     and the LLC migrates into the inclusive ways.  Exposed for the ablation
@@ -46,6 +46,17 @@ class LlcConfig:
     def standard_ways(self) -> Tuple[int, ...]:
         special = set(self.dca_ways) | set(self.inclusive_ways)
         return tuple(w for w in range(self.ways) if w not in special)
+
+    @classmethod
+    def for_platform(cls, platform: PlatformSpec, **overrides) -> "LlcConfig":
+        """LLC geometry of ``platform`` (behavioural switches overridable)."""
+        return cls(
+            sets=platform.llc_sets,
+            ways=platform.llc_ways,
+            dca_ways=platform.dca_ways,
+            inclusive_ways=platform.inclusive_ways,
+            **overrides,
+        )
 
 
 class LastLevelCache:

@@ -10,8 +10,8 @@ from __future__ import annotations
 import itertools
 from typing import Iterable, Optional
 
-from repro import config
 from repro.cache.line import MlcLine
+from repro.platform import DEFAULT_PLATFORM
 
 
 class MidLevelCache:
@@ -20,8 +20,8 @@ class MidLevelCache:
     def __init__(
         self,
         core_id: int,
-        sets: int = config.MLC_SETS,
-        ways: int = config.MLC_WAYS,
+        sets: int = DEFAULT_PLATFORM.mlc_sets,
+        ways: int = DEFAULT_PLATFORM.mlc_ways,
     ):
         if sets <= 0 or ways <= 0:
             raise ValueError("MLC geometry must be positive")

@@ -1,120 +1,63 @@
-"""Global geometry, scaling, and timing constants for the simulated testbed.
+"""Deprecated: module-level constants for the default (Skylake-SP) platform.
 
-The paper's server is an Intel Xeon Gold 6140 (Skylake-SP): a 25 MiB,
-11-way, non-inclusive LLC shared by 18 cores, each with a 1 MiB private MLC
-(L2).  Two LLC ways are reserved for DDIO (the *DCA ways*, the left-most
-ways), and two LLC ways double as the shared traditional/extended directory
-ways (the *inclusive ways*, the right-most ways) per Yan et al. (S&P'19).
+This module used to *define* the simulated testbed's geometry, scaling, and
+timing as process-global constants.  The platform is now an explicit,
+swappable value — :class:`repro.platform.PlatformSpec` — threaded through
+every layer as an instance parameter; see ``docs/platforms.md``.
 
-Everything in this repository is expressed in 64-byte cache lines.  We scale
-capacities so that one simulated LLC way holds ``LLC_WAY_LINES`` lines while
-*ratios* between structures match the paper (see DESIGN.md §1).  Simulated
-time is measured in abstract cycles; one A4 control interval ("1 second" in
-the paper) is ``EPOCH_CYCLES`` cycles.
+Importing this shim emits a single :class:`DeprecationWarning` and
+re-exports the ``skylake-sp`` preset's values under the historic names, so
+legacy code and notebooks keep working with values identical to
+``PlatformSpec.presets()["skylake-sp"]``.  New code should accept a
+``PlatformSpec`` (or use :data:`repro.platform.DEFAULT_PLATFORM`) instead.
 """
 
 from __future__ import annotations
 
-import math
+import warnings
 
-LINE_BYTES = 64
-"""Size of one cache line in bytes (real, unscaled)."""
+from repro.platform import SKYLAKE_SP as _SKYLAKE_SP
 
-LLC_WAYS = 11
-"""Number of LLC data ways (Skylake-SP: 11)."""
+warnings.warn(
+    "repro.config is deprecated: thread a repro.platform.PlatformSpec "
+    "explicitly (the skylake-sp preset carries these exact values)",
+    DeprecationWarning,
+    stacklevel=2,
+)
 
-LLC_SETS = 256
-"""Simulated LLC sets.  One way therefore holds ``LLC_SETS`` lines."""
+LINE_BYTES = _SKYLAKE_SP.line_bytes
+LLC_WAYS = _SKYLAKE_SP.llc_ways
+LLC_SETS = _SKYLAKE_SP.llc_sets
+LLC_WAY_LINES = _SKYLAKE_SP.llc_way_lines
+DCA_WAYS = _SKYLAKE_SP.dca_ways
+INCLUSIVE_WAYS = _SKYLAKE_SP.inclusive_ways
+STANDARD_WAYS = _SKYLAKE_SP.standard_ways
+EXTENDED_DIR_WAYS = _SKYLAKE_SP.extended_dir_ways
+MLC_SETS = _SKYLAKE_SP.mlc_sets
+MLC_WAYS = _SKYLAKE_SP.mlc_ways
+MLC_LINES = _SKYLAKE_SP.mlc_lines
+PAPER_LLC_WAY_BYTES = _SKYLAKE_SP.paper_llc_way_bytes
+CAPACITY_SCALE = _SKYLAKE_SP.capacity_scale
 
-LLC_WAY_LINES = LLC_SETS
-"""Lines per LLC way (direct consequence of one line per set per way)."""
+MLC_HIT_CYCLES = _SKYLAKE_SP.mlc_hit_cycles
+LLC_HIT_CYCLES = _SKYLAKE_SP.llc_hit_cycles
+MEMORY_CYCLES = _SKYLAKE_SP.memory_cycles
+EPOCH_CYCLES = _SKYLAKE_SP.epoch_cycles
+WARMUP_EPOCHS = _SKYLAKE_SP.warmup_epochs
 
-DCA_WAYS = (0, 1)
-"""The left-most two ways are the DDIO / DCA ways."""
-
-INCLUSIVE_WAYS = (9, 10)
-"""The right-most two ways are the hidden inclusive (shared-directory) ways."""
-
-STANDARD_WAYS = tuple(range(2, 9))
-"""Ways that are neither DCA nor inclusive ways."""
-
-EXTENDED_DIR_WAYS = 12
-"""Extended-directory (snoop filter) associativity per set."""
-
-MLC_SETS = 32
-MLC_WAYS = 4
-"""Private MLC geometry: 128 lines, ~0.5x of one LLC way.
-
-The paper's MLC (1 MiB) is ~0.43x of one LLC way (2.327 MiB); keeping this
-ratio <1 preserves the DMA-bloat and migration dynamics.
-"""
-
-MLC_LINES = MLC_SETS * MLC_WAYS
-
-PAPER_LLC_WAY_BYTES = 25 * 1024 * 1024 // 11
-"""Capacity of one LLC way on the paper's Xeon Gold 6140."""
-
-CAPACITY_SCALE = LLC_WAY_LINES * LINE_BYTES / PAPER_LLC_WAY_BYTES
-"""Simulated bytes per paper byte (~1/145)."""
+MEMORY_BANDWIDTH_LINES_PER_CYCLE = _SKYLAKE_SP.memory_bandwidth_lines_per_cycle
+NIC_LINE_RATE_LINES_PER_CYCLE = _SKYLAKE_SP.nic_line_rate_lines_per_cycle
+SSD_BANDWIDTH_LINES_PER_CYCLE = _SKYLAKE_SP.ssd_bandwidth_lines_per_cycle
+SSD_COMMAND_OVERHEAD_CYCLES = _SKYLAKE_SP.ssd_command_overhead_cycles
 
 
 def lines_for_paper_bytes(paper_bytes: int, minimum: int = 1) -> int:
-    """Convert a capacity quoted in the paper into simulated cache lines.
-
-    E.g. the 4 MB X-Mem working set maps to ~460 lines, which preserves the
-    paper's constraint of being larger than two MLCs (256 lines) but smaller
-    than two LLC ways (512 lines).
-    """
-    lines = int(round(paper_bytes * CAPACITY_SCALE / LINE_BYTES))
-    return max(minimum, lines)
+    """Deprecated alias for ``PlatformSpec.lines_for_paper_bytes`` on the
+    ``skylake-sp`` preset."""
+    return _SKYLAKE_SP.lines_for_paper_bytes(paper_bytes, minimum)
 
 
 def packet_lines(packet_bytes: int) -> int:
-    """Lines occupied by one network packet.
-
-    Packet payloads are *not* capacity-scaled (a 64 B packet is one line,
-    a 1514 B packet 24 lines); instead ring-entry counts are scaled, so the
-    ring-footprint : DCA-capacity ratio matches the paper.
-    """
-    return max(1, math.ceil(packet_bytes / LINE_BYTES))
-
-
-# --- Timing (abstract cycles) -------------------------------------------
-
-MLC_HIT_CYCLES = 12
-LLC_HIT_CYCLES = 44
-MEMORY_CYCLES = 200
-"""Load-to-use latencies; absolute values are generic Skylake-class numbers,
-only their ordering and ratios matter for the reproduced trends."""
-
-EPOCH_CYCLES = 50_000
-"""One A4 monitoring interval ("1 second" of wall time in the paper)."""
-
-WARMUP_EPOCHS = 2
-"""Epochs discarded by the harness before collecting results (paper: 10 s of
-a 70 s run; we keep the same ~15% proportion of a shorter run)."""
-
-# --- Memory-controller model --------------------------------------------
-
-MEMORY_BANDWIDTH_LINES_PER_CYCLE = 1.2
-"""Aggregate DRAM bandwidth in lines/cycle.  With a 100 Gbps-equivalent NIC
-injecting ~0.2 lines/cycle, memory is comfortably provisioned unless several
-antagonists stream at once, mirroring the paper's 6-channel DDR4 testbed."""
-
-# --- Default I/O rates ----------------------------------------------------
-
-NIC_LINE_RATE_LINES_PER_CYCLE = 0.16
-"""100 Gbps-equivalent ingress rate in lines/cycle of simulated time.
-
-Calibrated to ~80% of the four consumer cores' aggregate service capacity
-when packet lines hit in the DCA ways, mirroring the paper's near-line-rate
-Pktgen load: with DCA working the consumers keep up with moderate queueing;
-when packet lines leak to memory the service rate halves and the rings
-saturate — exactly the latency sensitivity the paper's figures rely on."""
-
-SSD_BANDWIDTH_LINES_PER_CYCLE = 0.11
-"""RAID-0 of 4 NVMe SSDs, ~55 Gbps-equivalent peak."""
-
-SSD_COMMAND_OVERHEAD_CYCLES = 120.0
-"""Fixed per-command service overhead; sets the block size (~128 KB paper
-equivalent) at which storage throughput saturates (Fig. 5a)."""
+    """Deprecated alias for ``PlatformSpec.packet_lines`` on the
+    ``skylake-sp`` preset."""
+    return _SKYLAKE_SP.packet_lines(packet_bytes)

@@ -11,8 +11,8 @@
 
 from __future__ import annotations
 
-from repro import config
 from repro.core.manager import LlcManager
+from repro.platform import DEFAULT_PLATFORM
 from repro.telemetry.pcm import EpochSample
 
 
@@ -30,7 +30,7 @@ class IsolateManager(LlcManager):
 
     name = "isolate"
 
-    def __init__(self, ways: int = config.LLC_WAYS):
+    def __init__(self, ways: int = DEFAULT_PLATFORM.llc_ways):
         super().__init__()
         self.total_ways = ways
 

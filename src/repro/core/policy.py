@@ -22,9 +22,9 @@ disabling) → A4-d (+ pseudo LLC bypassing) = full A4.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
-from repro import config
+from repro.platform import DEFAULT_PLATFORM, PlatformSpec
 
 
 @dataclass
@@ -51,9 +51,9 @@ class A4Policy:
     restores the workload's original QoS + DCA (§5.6)."""
 
     # -- way-layout constants --------------------------------------------
-    total_ways: int = config.LLC_WAYS
-    dca_last_way: int = config.DCA_WAYS[-1]
-    inclusive_first_way: int = config.INCLUSIVE_WAYS[0]
+    total_ways: int = DEFAULT_PLATFORM.llc_ways
+    dca_last_way: int = DEFAULT_PLATFORM.dca_ways[-1]
+    inclusive_first_way: int = DEFAULT_PLATFORM.inclusive_ways[0]
 
     # -- feature flags (variants A4-a..d) ---------------------------------
     safeguard_io_buffers: bool = True
@@ -109,6 +109,26 @@ class A4Policy:
             or self.watchdog_cooldown < 1
         ):
             raise ValueError("watchdog parameters out of range")
+
+    @classmethod
+    def for_platform(cls, platform: PlatformSpec, **overrides) -> "A4Policy":
+        """A policy whose way-layout constants match ``platform``; every
+        threshold/flag remains overridable."""
+        return cls(
+            total_ways=platform.llc_ways,
+            dca_last_way=platform.dca_ways[-1],
+            inclusive_first_way=platform.inclusive_ways[0],
+            **overrides,
+        )
+
+    def on_platform(self, platform: PlatformSpec) -> "A4Policy":
+        """This policy's thresholds re-anchored to ``platform``'s layout."""
+        return replace(
+            self,
+            total_ways=platform.llc_ways,
+            dca_last_way=platform.dca_ways[-1],
+            inclusive_first_way=platform.inclusive_ways[0],
+        )
 
     @property
     def trash_way(self) -> int:

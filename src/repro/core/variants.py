@@ -21,6 +21,7 @@ from repro.core.a4 import A4Manager
 from repro.core.baselines import DefaultManager, IsolateManager
 from repro.core.manager import LlcManager
 from repro.core.policy import A4Policy
+from repro.platform import DEFAULT_PLATFORM, PlatformSpec
 
 
 def a4_variant(stage: str, policy: Optional[A4Policy] = None) -> A4Manager:
@@ -60,14 +61,23 @@ A4_VARIANTS = ("a4-a", "a4-b", "a4-c", "a4-d")
 SCHEMES = ("default", "isolate") + A4_VARIANTS + ("a4",)
 
 
-def make_manager(scheme: str, policy: Optional[A4Policy] = None) -> LlcManager:
-    """Factory used throughout the experiment harness and benches."""
+def make_manager(
+    scheme: str,
+    policy: Optional[A4Policy] = None,
+    platform: PlatformSpec = DEFAULT_PLATFORM,
+) -> LlcManager:
+    """Factory used throughout the experiment harness and benches.
+
+    An explicit ``policy`` is used verbatim (its way layout is the caller's
+    responsibility); otherwise the default thresholds are anchored to
+    ``platform``'s way layout.
+    """
     if scheme == "default":
         return DefaultManager()
     if scheme == "isolate":
-        return IsolateManager()
+        return IsolateManager(ways=platform.llc_ways)
     if scheme == "a4":
-        return A4Manager(policy or A4Policy())
+        return A4Manager(policy or A4Policy.for_platform(platform))
     if scheme.startswith("a4-"):
-        return a4_variant(scheme[3:], policy)
+        return a4_variant(scheme[3:], policy or A4Policy.for_platform(platform))
     raise ValueError(f"unknown scheme {scheme!r}; expected one of {SCHEMES}")

@@ -24,7 +24,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Deque, List, Optional
 from collections import deque
 
-from repro import config
+from repro.platform import DEFAULT_PLATFORM, PlatformSpec
 from repro.sim.engine import Simulator
 from repro.telemetry.counters import CounterBank
 from repro.uncore.iio import IIOAgent
@@ -33,7 +33,7 @@ from repro.uncore.pcie import PciePort
 
 @dataclass
 class NvmeConfig:
-    bandwidth_lines_per_cycle: float = config.SSD_BANDWIDTH_LINES_PER_CYCLE
+    bandwidth_lines_per_cycle: float = DEFAULT_PLATFORM.ssd_bandwidth_lines_per_cycle
     command_overhead_cycles: float = 60.0
     """Serialised per-command issue cost; sets the block size at which
     throughput saturates."""
@@ -55,6 +55,14 @@ class NvmeConfig:
         bandwidth-bound, whichever binds)."""
         admission = lines / self.command_overhead_cycles
         return min(self.bandwidth_lines_per_cycle, admission)
+
+    @classmethod
+    def for_platform(cls, platform: PlatformSpec, **overrides) -> "NvmeConfig":
+        """An SSD config drawing its bandwidth from ``platform``."""
+        overrides.setdefault(
+            "bandwidth_lines_per_cycle", platform.ssd_bandwidth_lines_per_cycle
+        )
+        return cls(**overrides)
 
 
 @dataclass

@@ -2,16 +2,18 @@
 
 Produces a deterministic-with-jitter arrival process at a configured line
 rate.  The paper's client saturates a 100 Gbps link; the simulated default
-rate is the capacity-scaled equivalent (``config.NIC_LINE_RATE...``).
+rate is the capacity-scaled equivalent
+(``PlatformSpec.nic_line_rate_lines_per_cycle``).
 """
 
 from __future__ import annotations
 
 import random
+import math
 from dataclasses import dataclass
 from typing import Optional, Sequence, Tuple
 
-from repro import config
+from repro.platform import DEFAULT_PLATFORM
 
 IMIX_SIMPLE: Tuple[Tuple[int, float], ...] = (
     (64, 7 / 12),
@@ -24,7 +26,8 @@ IMIX_SIMPLE: Tuple[Tuple[int, float], ...] = (
 @dataclass
 class PacketGenConfig:
     packet_bytes: int = 1024
-    line_rate_lines_per_cycle: float = config.NIC_LINE_RATE_LINES_PER_CYCLE
+    line_rate_lines_per_cycle: float = DEFAULT_PLATFORM.nic_line_rate_lines_per_cycle
+    line_bytes: int = DEFAULT_PLATFORM.line_bytes
     jitter: float = 0.2
     """Fractional uniform jitter on inter-arrival gaps (0 = periodic)."""
     size_mix: Optional[Sequence[Tuple[int, float]]] = None
@@ -35,6 +38,8 @@ class PacketGenConfig:
     def __post_init__(self) -> None:
         if self.packet_bytes <= 0:
             raise ValueError("packet_bytes must be positive")
+        if self.line_bytes <= 0:
+            raise ValueError("line_bytes must be positive")
         if self.line_rate_lines_per_cycle <= 0:
             raise ValueError("line rate must be positive")
         if not 0.0 <= self.jitter < 1.0:
@@ -46,23 +51,27 @@ class PacketGenConfig:
             if any(size <= 0 for size, _ in self.size_mix):
                 raise ValueError("size_mix sizes must be positive")
 
+    def lines_for(self, size_bytes: int) -> int:
+        """Cache lines one ``size_bytes`` packet occupies."""
+        return max(1, math.ceil(size_bytes / self.line_bytes))
+
     @property
     def packet_lines(self) -> int:
-        return config.packet_lines(self.packet_bytes)
+        return self.lines_for(self.packet_bytes)
 
     @property
     def max_packet_lines(self) -> int:
         """Slot sizing: the largest packet the generator can emit."""
         if self.size_mix is None:
             return self.packet_lines
-        return max(config.packet_lines(size) for size, _ in self.size_mix)
+        return max(self.lines_for(size) for size, _ in self.size_mix)
 
     @property
     def mean_packet_lines(self) -> float:
         if self.size_mix is None:
             return float(self.packet_lines)
         return sum(
-            config.packet_lines(size) * weight for size, weight in self.size_mix
+            self.lines_for(size) * weight for size, weight in self.size_mix
         )
 
     @property
@@ -91,8 +100,8 @@ class PacketGenerator:
         for size, weight in self._mix:
             cumulative += weight
             if draw <= cumulative:
-                return config.packet_lines(size)
-        return config.packet_lines(self._mix[-1][0])
+                return self.cfg.lines_for(size)
+        return self.cfg.lines_for(self._mix[-1][0])
 
     def next_gap(self) -> float:
         gap = self.cfg.mean_gap_cycles

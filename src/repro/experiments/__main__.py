@@ -13,6 +13,14 @@ EXPERIMENTS.md numbers.  ``--jobs N`` (N > 1) fans the selected figures out
 over a process pool via :mod:`repro.experiments.parallel`; output order is
 unchanged.
 
+``--platform NAME`` runs the selected figures on a
+:mod:`repro.platform` preset (``skylake-sp`` — the default, bit-identical
+to the historical constants — ``cascadelake-sp``, ``icelake-sp``, or a
+``base+dcaN`` DCA-width variant).  ``--sweep-ways N [N ...]`` instead runs
+each selected figure across *every* preset plus ``skylake-sp+dcaN``
+variants — the platform-sensitivity sweep — and closes with a summary
+table.
+
 Completed figures are memoized in the content-addressed run cache
 (``.repro-cache/`` by default): rerunning the same figure with unchanged
 code and parameters replays the stored result instead of simulating.
@@ -30,6 +38,7 @@ import os
 
 from repro import obsv
 from repro.experiments import runcache
+from repro.experiments.errors import SweepConfigError
 from repro.experiments.figures import REGISTRY
 from repro.experiments.parallel import (
     FigureTask,
@@ -37,6 +46,7 @@ from repro.experiments.parallel import (
     run_figure,
     run_tasks,
 )
+from repro.platform import get_platform
 
 QUICK_KWARGS = {
     "fig3a": dict(epochs=6),
@@ -56,6 +66,7 @@ QUICK_KWARGS = {
     "fig15b": dict(epochs=16, warmup=5),
     "fig15c": dict(epochs=24, warmup=5),
     "ablation-migration": dict(epochs=5),
+    "ablation-platforms": dict(epochs=5),
     "ablation-write-update": dict(epochs=5),
     "ablation-replacement": dict(epochs=5),
     "ablation-trash-floor": dict(epochs=5),
@@ -89,6 +100,24 @@ def main(argv=None) -> int:
         "--cache-dir",
         default=None,
         help=f"run-cache directory (default: {runcache.DEFAULT_CACHE_DIR})",
+    )
+    parser.add_argument(
+        "--platform",
+        default=None,
+        help="run on this microarchitecture preset (skylake-sp, "
+        "cascadelake-sp, icelake-sp, or base+dcaN for a DCA-width "
+        "variant); passed to every selected figure that takes a "
+        "platform parameter",
+    )
+    parser.add_argument(
+        "--sweep-ways",
+        nargs="+",
+        type=int,
+        default=None,
+        metavar="N",
+        help="platform-sensitivity sweep: run the selected figures across "
+        "every preset plus skylake-sp+dcaN variants for each N, then "
+        "print a summary table (honours --jobs)",
     )
     parser.add_argument(
         "--fault-intensity",
@@ -188,16 +217,74 @@ def main(argv=None) -> int:
         print(f"unknown figures: {unknown}; use --list", file=sys.stderr)
         return 2
 
+    if args.platform is not None:
+        try:
+            get_platform(args.platform)
+        except KeyError as exc:
+            print(exc.args[0], file=sys.stderr)
+            return 2
+
     def kwargs_for(name: str) -> dict:
         kwargs = {}
         if args.quick:
             kwargs.update(QUICK_KWARGS.get(name, {}))
         return kwargs
 
+    if args.sweep_ways is not None:
+        from repro.experiments.sweep import (
+            platform_sweep_summary,
+            sweep_platforms,
+        )
+
+        started = time.time()
+        results = {}
+        try:
+            for name in targets:
+                results.update(
+                    sweep_platforms(
+                        [name],
+                        dca_ways=tuple(args.sweep_ways),
+                        seed=args.seed,
+                        parallel=args.jobs > 1,
+                        max_workers=args.jobs if args.jobs > 1 else None,
+                        **kwargs_for(name),
+                    )
+                )
+        except SweepConfigError as exc:
+            print(exc, file=sys.stderr)
+            return 2
+        for (name, platform_name), result in results.items():
+            print(result.render())
+            print(f"[{name} @ {platform_name}]\n")
+        print(platform_sweep_summary(results).render())
+        print(
+            f"[{len(results)} sweep cells done in "
+            f"{time.time() - started:.1f}s]"
+        )
+        print(f"[run cache: {cache.stats.summary()}]")
+        export_obsv()
+        return 0
+
+    def platform_kwargs(name: str) -> dict:
+        """``--platform`` for runners that accept it (warn on the rest)."""
+        if args.platform is None:
+            return {}
+        from repro.experiments.sweep import _accepts_platform
+
+        if not _accepts_platform(REGISTRY[name]):
+            print(
+                f"[{name}: no platform parameter; running on the default]",
+                file=sys.stderr,
+            )
+            return {}
+        return {"platform": args.platform}
+
     if args.jobs > 1 and len(targets) > 1:
         tasks = [
             FigureTask(
-                REGISTRY[name], args.seed, tuple(kwargs_for(name).items())
+                REGISTRY[name],
+                args.seed,
+                tuple({**kwargs_for(name), **platform_kwargs(name)}.items()),
             )
             for name in targets
         ]
@@ -217,7 +304,9 @@ def main(argv=None) -> int:
 
     for name in targets:
         runner = REGISTRY[name]
-        kwargs = dict(seed=args.seed, **kwargs_for(name))
+        kwargs = dict(
+            seed=args.seed, **kwargs_for(name), **platform_kwargs(name)
+        )
         started = time.time()
         result = runner(**kwargs)
         print(result.render())

@@ -13,6 +13,7 @@ from typing import Dict, Iterable, Optional, Tuple
 from repro.experiments import runcache
 from repro.experiments.errors import WorkloadConfigError
 from repro.experiments.harness import RunResult, Server
+from repro.platform import PlatformSpec, get_platform
 from repro.workloads.base import Workload
 
 DEFAULT_EPOCHS = 8
@@ -27,12 +28,15 @@ def run_setup(
     warmup: int = DEFAULT_WARMUP,
     seed: int = 0xA4,
     spare_cores: int = 2,
+    platform: Optional[PlatformSpec] = None,
 ) -> RunResult:
     """Run a manager-less setup with explicit CAT masks.
 
     ``masks`` maps workload name to an inclusive way range (the paper's
     way[m:n]); ``dca_off`` names workloads whose device port runs the
-    non-allocating flow.
+    non-allocating flow.  ``platform`` (a spec or preset name) selects the
+    microarchitecture; its fingerprint is part of the cache key, so runs
+    on different specs never alias.
 
     Completed runs are memoized in the content-addressed run cache keyed
     on the full canonical configuration; a warm hit rebuilds the
@@ -43,6 +47,7 @@ def run_setup(
     """
     workloads = list(workloads)
     dca_off = tuple(dca_off)
+    platform = get_platform(platform)
     cache = runcache.get_cache()
     key = runcache.fingerprint(
         (
@@ -54,6 +59,7 @@ def run_setup(
             warmup,
             seed,
             spare_cores,
+            platform.fingerprint(),
         )
     )
     cached = cache.get(key)
@@ -64,7 +70,7 @@ def run_setup(
             server=runcache.CachedServer(epoch_cycles=cached["epoch_cycles"]),
         )
     cores = sum(w.num_cores for w in workloads) + spare_cores
-    server = Server(cores=cores, seed=seed)
+    server = Server(cores=cores, seed=seed, platform=platform)
     for workload in workloads:
         server.add_workload(workload)
     for name, (first, last) in (masks or {}).items():

@@ -9,10 +9,11 @@ LPWs stay within acceptable ranges and X-Mem 3 is bypass-treated.
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Tuple
 
 from repro.experiments.report import FigureResult
 from repro.experiments.scenarios import build_server, microbenchmark_workloads
+from repro.platform import PlatformSpec, get_platform
 
 MB = 1024 * 1024
 
@@ -26,7 +27,9 @@ def run(
     seed: int = 0xA4,
     packet_sizes=PACKET_SIZES,
     schemes=SCHEMES,
+    platform: Optional[PlatformSpec] = None,
 ) -> FigureResult:
+    platform = get_platform(platform)
     result = FigureResult(
         figure="Fig. 11",
         title="X-Mem IPC / LLC hit rate vs packet size (storage blocks 2MB)",
@@ -44,9 +47,12 @@ def run(
     for scheme in schemes:
         for packet_bytes in packet_sizes:
             server = build_server(
-                microbenchmark_workloads(packet_bytes=packet_bytes),
+                microbenchmark_workloads(
+                    packet_bytes=packet_bytes, platform=platform
+                ),
                 scheme=scheme,
                 seed=seed,
+                platform=platform,
             )
             run_result = server.run(epochs=epochs, warmup=warmup)
             row = {"scheme": scheme, "pkt": f"{packet_bytes}B"}

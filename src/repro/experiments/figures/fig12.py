@@ -9,10 +9,11 @@ holds network latency near the stand-alone level.
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Tuple
 
 from repro.experiments.report import FigureResult
 from repro.experiments.scenarios import build_server, microbenchmark_workloads
+from repro.platform import PlatformSpec, get_platform
 
 KB = 1024
 MB = 1024 * KB
@@ -27,7 +28,9 @@ def run(
     seed: int = 0xA4,
     block_sizes=BLOCK_SIZES,
     schemes=SCHEMES,
+    platform: Optional[PlatformSpec] = None,
 ) -> FigureResult:
+    platform = get_platform(platform)
     result = FigureResult(
         figure="Fig. 12",
         title="DPDK-T latency/throughput vs storage block size (packets 1514B)",
@@ -37,10 +40,13 @@ def run(
         for block_bytes in block_sizes:
             server = build_server(
                 microbenchmark_workloads(
-                    packet_bytes=1514, block_bytes=block_bytes
+                    packet_bytes=1514,
+                    block_bytes=block_bytes,
+                    platform=platform,
                 ),
                 scheme=scheme,
                 seed=seed,
+                platform=platform,
             )
             run_result = server.run(epochs=epochs, warmup=warmup)
             dpdk = run_result.aggregate("dpdk-t")

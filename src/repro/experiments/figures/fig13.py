@@ -14,7 +14,7 @@ loss.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.experiments.harness import RunResult
 from repro.experiments.report import FigureResult, geometric_mean
@@ -23,6 +23,7 @@ from repro.experiments.scenarios import (
     hpw_heavy_workloads,
     lpw_heavy_workloads,
 )
+from repro.platform import PlatformSpec, get_platform
 from repro.telemetry.pcm import PRIORITY_HIGH
 from repro.workloads.base import METRIC_IPC, METRIC_THROUGHPUT, Workload
 
@@ -49,7 +50,9 @@ def _run_scenario(
     warmup: int,
     seed: int,
     schemes,
+    platform: Optional[PlatformSpec] = None,
 ) -> FigureResult:
+    platform = get_platform(platform)
     result = FigureResult(
         figure=scenario_name,
         title="relative performance (vs Default) and LLC hit rate per workload",
@@ -58,8 +61,10 @@ def _run_scenario(
     baselines: Dict[str, float] = {}
     hpw_means: Dict[str, float] = {}
     for scheme in schemes:
-        workloads = workload_factory()
-        server = build_server(workloads, scheme=scheme, seed=seed)
+        workloads = workload_factory(platform)
+        server = build_server(
+            workloads, scheme=scheme, seed=seed, platform=platform
+        )
         run = server.run(epochs=epochs, warmup=warmup)
         antagonists = getattr(server.manager, "antagonists", {})
         rel_hpw: List[float] = []
@@ -86,21 +91,31 @@ def _run_scenario(
 
 
 def run_hpw_heavy(
-    epochs: int = 26, warmup: int = 6, seed: int = 0xA4, schemes=SCHEMES
+    epochs: int = 26,
+    warmup: int = 6,
+    seed: int = 0xA4,
+    schemes=SCHEMES,
+    platform: Optional[PlatformSpec] = None,
 ) -> FigureResult:
     """Fig. 13a (seven HPWs, four LPWs)."""
     result = _run_scenario(
-        "Fig. 13a (HPW-heavy)", hpw_heavy_workloads, epochs, warmup, seed, schemes
+        "Fig. 13a (HPW-heavy)", hpw_heavy_workloads, epochs, warmup, seed,
+        schemes, platform=platform,
     )
     return result
 
 
 def run_lpw_heavy(
-    epochs: int = 26, warmup: int = 6, seed: int = 0xA4, schemes=SCHEMES
+    epochs: int = 26,
+    warmup: int = 6,
+    seed: int = 0xA4,
+    schemes=SCHEMES,
+    platform: Optional[PlatformSpec] = None,
 ) -> FigureResult:
     """Fig. 13b (four HPWs, seven LPWs)."""
     return _run_scenario(
-        "Fig. 13b (LPW-heavy)", lpw_heavy_workloads, epochs, warmup, seed, schemes
+        "Fig. 13b (LPW-heavy)", lpw_heavy_workloads, epochs, warmup, seed,
+        schemes, platform=platform,
     )
 
 

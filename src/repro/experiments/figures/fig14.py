@@ -13,15 +13,23 @@ HPW-heavy scenario.
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Tuple
 
 from repro.experiments.report import FigureResult
 from repro.experiments.scenarios import build_server, hpw_heavy_workloads
+from repro.platform import PlatformSpec, get_platform
 
 SCHEMES: Tuple[str, ...] = ("default", "isolate", "a4-d")
 
 
-def run(epochs: int = 26, warmup: int = 6, seed: int = 0xA4, schemes=SCHEMES) -> FigureResult:
+def run(
+    epochs: int = 26,
+    warmup: int = 6,
+    seed: int = 0xA4,
+    schemes=SCHEMES,
+    platform: Optional[PlatformSpec] = None,
+) -> FigureResult:
+    platform = get_platform(platform)
     result = FigureResult(
         figure="Fig. 14",
         title="latency breakdown + I/O throughput + memory bandwidth (HPW-heavy)",
@@ -38,7 +46,12 @@ def run(epochs: int = 26, warmup: int = 6, seed: int = 0xA4, schemes=SCHEMES) ->
         ],
     )
     for scheme in schemes:
-        server = build_server(hpw_heavy_workloads(), scheme=scheme, seed=seed)
+        server = build_server(
+            hpw_heavy_workloads(platform),
+            scheme=scheme,
+            seed=seed,
+            platform=platform,
+        )
         run_result = server.run(epochs=epochs, warmup=warmup)
         fastclick = run_result.aggregate("fastclick")
         ffsbh = run_result.aggregate("ffsb-h")

@@ -20,6 +20,7 @@ from repro.experiments import runcache
 from repro.experiments.figures.fig13 import performance_of
 from repro.experiments.report import FigureResult, geometric_mean
 from repro.experiments.scenarios import build_server, hpw_heavy_workloads
+from repro.platform import PlatformSpec, get_platform
 from repro.telemetry.pcm import PRIORITY_HIGH
 
 
@@ -30,6 +31,7 @@ def _hpw_relative_perf(
     warmup: int,
     seed: int,
     baselines: Dict[str, float],
+    platform: PlatformSpec,
 ) -> Dict[str, float]:
     """Run one configuration; return per-workload performance.
 
@@ -37,9 +39,9 @@ def _hpw_relative_perf(
     (policy, scheme, seed) corner across sub-figures."""
     return runcache.get_cache().memo(
         ("fig15_hpw_relative_perf", policy, scheme, epochs, warmup, seed,
-         baselines),
+         baselines, platform.fingerprint()),
         lambda: _hpw_relative_perf_compute(
-            policy, scheme, epochs, warmup, seed, baselines
+            policy, scheme, epochs, warmup, seed, baselines, platform
         ),
     )
 
@@ -51,9 +53,12 @@ def _hpw_relative_perf_compute(
     warmup: int,
     seed: int,
     baselines: Dict[str, float],
+    platform: PlatformSpec,
 ) -> Dict[str, float]:
-    workloads = hpw_heavy_workloads()
-    server = build_server(workloads, scheme=scheme, seed=seed, policy=policy)
+    workloads = hpw_heavy_workloads(platform)
+    server = build_server(
+        workloads, scheme=scheme, seed=seed, policy=policy, platform=platform
+    )
     run = server.run(epochs=epochs, warmup=warmup)
     perfs = {w.name: performance_of(run, w) for w in workloads}
     perfs["__hpw_geomean__"] = geometric_mean(
@@ -69,18 +74,21 @@ def _hpw_relative_perf_compute(
     return perfs
 
 
-def _default_baseline(epochs, warmup, seed) -> Dict[str, float]:
+def _default_baseline(epochs, warmup, seed, platform) -> Dict[str, float]:
     """Default-model per-workload performance (shared across all three
     sensitivity panels — memoized so the suite computes it once)."""
     return runcache.get_cache().memo(
-        ("fig15_default_baseline", epochs, warmup, seed),
-        lambda: _default_baseline_compute(epochs, warmup, seed),
+        ("fig15_default_baseline", epochs, warmup, seed,
+         platform.fingerprint()),
+        lambda: _default_baseline_compute(epochs, warmup, seed, platform),
     )
 
 
-def _default_baseline_compute(epochs, warmup, seed) -> Dict[str, float]:
-    workloads = hpw_heavy_workloads()
-    server = build_server(workloads, scheme="default", seed=seed)
+def _default_baseline_compute(epochs, warmup, seed, platform) -> Dict[str, float]:
+    workloads = hpw_heavy_workloads(platform)
+    server = build_server(
+        workloads, scheme="default", seed=seed, platform=platform
+    )
     run = server.run(epochs=epochs, warmup=warmup)
     return {w.name: performance_of(run, w) for w in workloads}
 
@@ -91,17 +99,20 @@ def run_partitioning(
     seed: int = 0xA4,
     t1_values=(0.10, 0.20, 0.40),
     t5_values=(0.80, 0.90, 0.95),
+    platform: Optional[PlatformSpec] = None,
 ) -> FigureResult:
     """Fig. 15a: T1 and T5 sweeps."""
+    platform = get_platform(platform)
     result = FigureResult(
         figure="Fig. 15a",
         title="A4 sensitivity to T1 (HPW_LLC_HIT) and T5 (ANT_CACHE_MISS)",
         columns=["param", "value", "hpw_rel_perf", "n_antagonists"],
     )
-    baselines = _default_baseline(epochs, warmup, seed)
+    baselines = _default_baseline(epochs, warmup, seed, platform)
     for t1 in t1_values:
         perfs = _hpw_relative_perf(
-            A4Policy(hpw_llc_hit_thr=t1), "a4", epochs, warmup, seed, baselines
+            A4Policy.for_platform(platform, hpw_llc_hit_thr=t1),
+            "a4", epochs, warmup, seed, baselines, platform,
         )
         result.add_row(
             param="T1",
@@ -111,7 +122,8 @@ def run_partitioning(
         )
     for t5 in t5_values:
         perfs = _hpw_relative_perf(
-            A4Policy(ant_cache_miss_thr=t5), "a4", epochs, warmup, seed, baselines
+            A4Policy.for_platform(platform, ant_cache_miss_thr=t5),
+            "a4", epochs, warmup, seed, baselines, platform,
         )
         result.add_row(
             param="T5",
@@ -128,14 +140,16 @@ def run_leak_thresholds(
     warmup: int = 6,
     seed: int = 0xA4,
     sweeps=None,
+    platform: Optional[PlatformSpec] = None,
 ) -> FigureResult:
     """Fig. 15b: T2/T3/T4 sweeps — find where FFSB-H stops being detected."""
+    platform = get_platform(platform)
     result = FigureResult(
         figure="Fig. 15b",
         title="A4 sensitivity to DMA-leak thresholds (T2/T3/T4)",
         columns=["param", "value", "hpw_rel_perf", "ffsbh_detected"],
     )
-    baselines = _default_baseline(epochs, warmup, seed)
+    baselines = _default_baseline(epochs, warmup, seed, platform)
     sweeps = sweeps or {
         "T2_dca_ms": ("dmalk_dca_ms_thr", (0.40, 0.70, 0.95)),
         "T3_io_tp": ("dmalk_io_tp_thr", (0.35, 0.60, 0.90)),
@@ -143,9 +157,14 @@ def run_leak_thresholds(
     }
     for label, (field_name, values) in sweeps.items():
         for value in values:
-            policy = replace(A4Policy(), **{field_name: value})
-            workloads = hpw_heavy_workloads()
-            server = build_server(workloads, scheme="a4", seed=seed, policy=policy)
+            policy = replace(
+                A4Policy.for_platform(platform), **{field_name: value}
+            )
+            workloads = hpw_heavy_workloads(platform)
+            server = build_server(
+                workloads, scheme="a4", seed=seed, policy=policy,
+                platform=platform,
+            )
             run = server.run(epochs=epochs, warmup=warmup)
             perfs = {w.name: performance_of(run, w) for w in workloads}
             hpw_rel = geometric_mean(
@@ -173,18 +192,23 @@ def run_timing(
     warmup: int = 6,
     seed: int = 0xA4,
     stable_intervals=(2, 5, 10, 20),
+    platform: Optional[PlatformSpec] = None,
 ) -> FigureResult:
     """Fig. 15c: stable-interval sweep vs the oracle (never revert)."""
+    platform = get_platform(platform)
     result = FigureResult(
         figure="Fig. 15c",
         title="A4 periodic-revert overhead vs stable interval (oracle = never revert)",
         columns=["stable_interval", "hpw_rel_perf", "reverts"],
     )
-    baselines = _default_baseline(epochs, warmup, seed)
+    baselines = _default_baseline(epochs, warmup, seed, platform)
 
     def one(policy) -> Dict[str, float]:
-        workloads = hpw_heavy_workloads()
-        server = build_server(workloads, scheme="a4", seed=seed, policy=policy)
+        workloads = hpw_heavy_workloads(platform)
+        server = build_server(
+            workloads, scheme="a4", seed=seed, policy=policy,
+            platform=platform,
+        )
         run = server.run(epochs=epochs, warmup=warmup)
         perfs = {w.name: performance_of(run, w) for w in workloads}
         rel = geometric_mean(
@@ -196,12 +220,12 @@ def run_timing(
         )
         return {"rel": rel, "reverts": server.manager.reverts}
 
-    oracle = one(A4Policy(stable_interval=10 ** 9))
+    oracle = one(A4Policy.for_platform(platform, stable_interval=10 ** 9))
     result.add_row(
         stable_interval="oracle", hpw_rel_perf=oracle["rel"], reverts=0
     )
     for interval in stable_intervals:
-        out = one(A4Policy(stable_interval=interval))
+        out = one(A4Policy.for_platform(platform, stable_interval=interval))
         result.add_row(
             stable_interval=interval,
             hpw_rel_perf=out["rel"],

@@ -20,6 +20,7 @@ from typing import List, Optional, Tuple
 
 from repro.experiments.figures.base import run_setup, way_label
 from repro.experiments.report import FigureResult
+from repro.platform import PlatformSpec, get_platform
 from repro.telemetry.pcm import PRIORITY_HIGH, PRIORITY_LOW
 from repro.workloads.dpdk import DpdkWorkload
 from repro.workloads.xmem import xmem
@@ -30,7 +31,10 @@ SWEEP: Tuple[Tuple[int, int], ...] = tuple((m, m + 1) for m in range(10))
 DPDK_WAYS = (5, 6)
 
 
-def _run(touch: bool, positions, epochs: int, seed: int) -> FigureResult:
+def _run(
+    touch: bool, positions, epochs: int, seed: int, platform=None
+) -> FigureResult:
+    platform = get_platform(platform)
     flavour = "DPDK-T" if touch else "DPDK-NT"
     result = FigureResult(
         figure="Fig. 3b" if touch else "Fig. 3a",
@@ -47,11 +51,13 @@ def _run(touch: bool, positions, epochs: int, seed: int) -> FigureResult:
                     packet_bytes=1024,
                     priority=PRIORITY_HIGH,
                 ),
-                xmem("xmem", 4.0, cores=2, priority=PRIORITY_LOW),
+                xmem("xmem", 4.0, cores=2, priority=PRIORITY_LOW,
+                     platform=platform),
             ],
             masks={"dpdk": DPDK_WAYS, "xmem": (first, last)},
             epochs=epochs,
             seed=seed,
+            platform=platform,
         )
         xm = run.aggregate("xmem")
         window = run.window
@@ -78,17 +84,23 @@ def _run(touch: bool, positions, epochs: int, seed: int) -> FigureResult:
 
 
 def run_fig3a(
-    epochs: int = 8, seed: int = 0xA4, positions: Optional[List[Tuple[int, int]]] = None
+    epochs: int = 8,
+    seed: int = 0xA4,
+    positions: Optional[List[Tuple[int, int]]] = None,
+    platform: Optional[PlatformSpec] = None,
 ) -> FigureResult:
     """DPDK-NT (no touch) vs X-Mem."""
-    return _run(False, positions or SWEEP, epochs, seed)
+    return _run(False, positions or SWEEP, epochs, seed, platform)
 
 
 def run_fig3b(
-    epochs: int = 8, seed: int = 0xA4, positions: Optional[List[Tuple[int, int]]] = None
+    epochs: int = 8,
+    seed: int = 0xA4,
+    positions: Optional[List[Tuple[int, int]]] = None,
+    platform: Optional[PlatformSpec] = None,
 ) -> FigureResult:
     """DPDK-T (touch) vs X-Mem."""
-    return _run(True, positions or SWEEP, epochs, seed)
+    return _run(True, positions or SWEEP, epochs, seed, platform)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -10,10 +10,11 @@ Fig. 6's context).
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Tuple
 
 from repro.experiments.figures.base import run_setup, way_label
 from repro.experiments.report import FigureResult
+from repro.platform import PlatformSpec, get_platform
 from repro.telemetry.pcm import PRIORITY_HIGH, PRIORITY_LOW
 from repro.workloads.dpdk import DpdkWorkload
 from repro.workloads.xmem import xmem
@@ -21,7 +22,12 @@ from repro.workloads.xmem import xmem
 POSITIONS: Tuple[Tuple[int, int], ...] = ((0, 1), (3, 4), (5, 6), (9, 10))
 
 
-def run(epochs: int = 8, seed: int = 0xA4) -> FigureResult:
+def run(
+    epochs: int = 8,
+    seed: int = 0xA4,
+    platform: Optional[PlatformSpec] = None,
+) -> FigureResult:
+    platform = get_platform(platform)
     result = FigureResult(
         figure="Fig. 4",
         title="X-Mem LLC miss rate with NIC DCA enabled vs disabled (DPDK-T at way[5:6])",
@@ -39,12 +45,14 @@ def run(epochs: int = 8, seed: int = 0xA4) -> FigureResult:
                         packet_bytes=1024,
                         priority=PRIORITY_HIGH,
                     ),
-                    xmem("xmem", 4.0, cores=2, priority=PRIORITY_LOW),
+                    xmem("xmem", 4.0, cores=2, priority=PRIORITY_LOW,
+                         platform=platform),
                 ],
                 masks={"dpdk": (5, 6), "xmem": (first, last)},
                 dca_off=() if dca_on else ("dpdk",),
                 epochs=epochs,
                 seed=seed,
+                platform=platform,
             )
             suffix = "on" if dca_on else "off"
             row[f"miss_dca_{suffix}"] = run_result.aggregate("xmem").llc_miss_rate

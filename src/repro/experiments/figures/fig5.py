@@ -10,10 +10,11 @@ simply twice the throughput (write + read back).
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Tuple
 
 from repro.experiments.figures.base import run_setup
 from repro.experiments.report import FigureResult
+from repro.platform import PlatformSpec
 from repro.telemetry.pcm import PRIORITY_LOW
 from repro.workloads.fio import FioWorkload
 
@@ -30,7 +31,12 @@ BLOCK_SIZES: Tuple[int, ...] = (
 )
 
 
-def run(epochs: int = 6, seed: int = 0xA4, block_sizes=BLOCK_SIZES) -> FigureResult:
+def run(
+    epochs: int = 6,
+    seed: int = 0xA4,
+    block_sizes=BLOCK_SIZES,
+    platform: Optional[PlatformSpec] = None,
+) -> FigureResult:
     result = FigureResult(
         figure="Fig. 5",
         title="Storage throughput, memory bandwidth, and DMA leak vs block size",
@@ -60,6 +66,7 @@ def run(epochs: int = 6, seed: int = 0xA4, block_sizes=BLOCK_SIZES) -> FigureRes
                 dca_off=() if dca_on else ("fio",),
                 epochs=epochs,
                 seed=seed,
+                platform=platform,
             )
             fio = run_result.aggregate("fio")
             suffix = "on" if dca_on else "off"

@@ -10,10 +10,11 @@ storage interference but raises DPDK-T latency to unacceptable levels.
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Tuple
 
 from repro.experiments.figures.base import run_setup
 from repro.experiments.report import FigureResult
+from repro.platform import PlatformSpec
 from repro.telemetry.pcm import PRIORITY_HIGH, PRIORITY_LOW
 from repro.workloads.dpdk import DpdkWorkload
 from repro.workloads.fio import FioWorkload
@@ -31,7 +32,7 @@ BLOCK_SIZES: Tuple[int, ...] = (
 )
 
 
-def _one(block_bytes, dca_off, epochs, seed):
+def _one(block_bytes, dca_off, epochs, seed, platform=None):
     workloads = [
         DpdkWorkload(
             name="dpdk", touch=True, cores=4, packet_bytes=1514, priority=PRIORITY_HIGH
@@ -49,10 +50,18 @@ def _one(block_bytes, dca_off, epochs, seed):
             )
         )
         masks["fio"] = (2, 3)
-    return run_setup(workloads, masks=masks, dca_off=dca_off, epochs=epochs, seed=seed)
+    return run_setup(
+        workloads, masks=masks, dca_off=dca_off, epochs=epochs, seed=seed,
+        platform=platform,
+    )
 
 
-def run(epochs: int = 8, seed: int = 0xA4, block_sizes=BLOCK_SIZES) -> FigureResult:
+def run(
+    epochs: int = 8,
+    seed: int = 0xA4,
+    block_sizes=BLOCK_SIZES,
+    platform: Optional[PlatformSpec] = None,
+) -> FigureResult:
     result = FigureResult(
         figure="Fig. 6",
         title="DPDK-T latency and throughput under FIO, DCA on vs all-DCA-off",
@@ -66,14 +75,14 @@ def run(epochs: int = 8, seed: int = 0xA4, block_sizes=BLOCK_SIZES) -> FigureRes
             "fio_tput",
         ],
     )
-    alone = _one(None, (), epochs, seed).aggregate("dpdk")
+    alone = _one(None, (), epochs, seed, platform).aggregate("dpdk")
     result.notes.append(
         f"DPDK-T alone: AL={alone.avg_latency:.0f} TL={alone.p99_latency:.0f} "
         f"TP={alone.throughput:.4f}"
     )
     for block_bytes in block_sizes:
-        on = _one(block_bytes, (), epochs, seed)
-        off = _one(block_bytes, ("dpdk", "fio"), epochs, seed)
+        on = _one(block_bytes, (), epochs, seed, platform)
+        off = _one(block_bytes, ("dpdk", "fio"), epochs, seed, platform)
         d_on = on.aggregate("dpdk")
         d_off = off.aggregate("dpdk")
         result.add_row(

@@ -13,10 +13,11 @@ traffic would suffer from misplaced I/O lines.
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Tuple
 
 from repro.experiments.figures.base import run_setup, way_label
 from repro.experiments.report import FigureResult
+from repro.platform import PlatformSpec, get_platform
 from repro.telemetry.pcm import PRIORITY_HIGH, PRIORITY_LOW
 from repro.workloads.dpdk import DpdkWorkload
 from repro.workloads.xmem import xmem
@@ -32,7 +33,13 @@ def _strategy_masks(n: int, overlap: bool) -> Tuple[int, int]:
     return (last_standard - n + 1, last_standard)
 
 
-def run(epochs: int = 8, seed: int = 0xA4, n_values=N_VALUES) -> FigureResult:
+def run(
+    epochs: int = 8,
+    seed: int = 0xA4,
+    n_values=N_VALUES,
+    platform: Optional[PlatformSpec] = None,
+) -> FigureResult:
+    platform = get_platform(platform)
     result = FigureResult(
         figure="Fig. 7",
         title="n-Exclude vs (n+2)-Overlap allocation of DPDK-T",
@@ -51,11 +58,13 @@ def run(epochs: int = 8, seed: int = 0xA4, n_values=N_VALUES) -> FigureResult:
                         packet_bytes=1024,
                         priority=PRIORITY_HIGH,
                     ),
-                    xmem("xmem", 4.0, cores=2, priority=PRIORITY_LOW),
+                    xmem("xmem", 4.0, cores=2, priority=PRIORITY_LOW,
+                         platform=platform),
                 ],
                 masks={"dpdk": (first, last), "xmem": (2, 3)},
                 epochs=epochs,
                 seed=seed,
+                platform=platform,
             )
             dpdk = run_result.aggregate("dpdk")
             result.add_row(

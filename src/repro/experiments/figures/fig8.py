@@ -10,10 +10,11 @@
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Tuple
 
 from repro.experiments.figures.base import run_setup, way_label
 from repro.experiments.report import FigureResult
+from repro.platform import PlatformSpec, get_platform
 from repro.telemetry.pcm import PRIORITY_HIGH, PRIORITY_LOW
 from repro.workloads.dpdk import DpdkWorkload
 from repro.workloads.fio import FioWorkload
@@ -25,7 +26,12 @@ MB = 1024 * KB
 BLOCK_SIZES: Tuple[int, ...] = (32 * KB, 128 * KB, 512 * KB, 2 * MB)
 
 
-def run_fig8a(epochs: int = 8, seed: int = 0xA4, block_sizes=BLOCK_SIZES) -> FigureResult:
+def run_fig8a(
+    epochs: int = 8,
+    seed: int = 0xA4,
+    block_sizes=BLOCK_SIZES,
+    platform: Optional[PlatformSpec] = None,
+) -> FigureResult:
     result = FigureResult(
         figure="Fig. 8a",
         title="[SSD-DCA off] vs [DCA on]: DPDK-T latency and FIO throughput",
@@ -63,6 +69,7 @@ def run_fig8a(epochs: int = 8, seed: int = 0xA4, block_sizes=BLOCK_SIZES) -> Fig
                 dca_off=("fio",) if ssd_off else (),
                 epochs=epochs,
                 seed=seed,
+                platform=platform,
             )
             suffix = "ssdoff" if ssd_off else "on"
             dpdk = run_result.aggregate("dpdk")
@@ -76,7 +83,12 @@ def run_fig8a(epochs: int = 8, seed: int = 0xA4, block_sizes=BLOCK_SIZES) -> Fig
     return result
 
 
-def run_fig8b(epochs: int = 8, seed: int = 0xA4) -> FigureResult:
+def run_fig8b(
+    epochs: int = 8,
+    seed: int = 0xA4,
+    platform: Optional[PlatformSpec] = None,
+) -> FigureResult:
+    platform = get_platform(platform)
     result = FigureResult(
         figure="Fig. 8b",
         title="X-Mem (way[2:5]) LLC miss rate as FIO shrinks from way[2:5] to way[2:2]",
@@ -92,12 +104,14 @@ def run_fig8b(epochs: int = 8, seed: int = 0xA4) -> FigureResult:
                     io_depth=32,
                     priority=PRIORITY_LOW,
                 ),
-                xmem("xmem", 4.0, cores=2, priority=PRIORITY_HIGH),
+                xmem("xmem", 4.0, cores=2, priority=PRIORITY_HIGH,
+                     platform=platform),
             ],
             masks={"fio": (2, n), "xmem": (2, 5)},
             dca_off=("fio",),
             epochs=epochs,
             seed=seed,
+            platform=platform,
         )
         result.add_row(
             fio_ways=way_label(2, n),

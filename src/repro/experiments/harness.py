@@ -14,9 +14,10 @@ from dataclasses import dataclass, field
 from time import perf_counter
 from typing import Dict, List, Optional, Tuple
 
-from repro import config, obsv
+from repro import obsv
 from repro.experiments.errors import CoreAllocationError, InsufficientEpochsError
 from repro.cache.hierarchy import CacheHierarchy, HierarchyConfig
+from repro.platform import DEFAULT_PLATFORM, PlatformSpec, get_platform
 from repro.rdt.cat import CacheAllocation
 from repro.rdt.mba import MemoryBandwidthAllocation
 from repro.rdt.monitor import OccupancyMonitor
@@ -40,18 +41,28 @@ class Server:
     def __init__(
         self,
         cores: int = 18,
-        epoch_cycles: float = config.EPOCH_CYCLES,
+        epoch_cycles: Optional[float] = None,
         seed: int = 0xA4,
         hierarchy_cfg: Optional[HierarchyConfig] = None,
         fault_plan=None,
+        platform: Optional[PlatformSpec] = None,
     ):
+        self.platform = get_platform(platform)
+        """The microarchitecture this socket simulates; every geometry- or
+        timing-dependent component below derives its defaults from it."""
+        if epoch_cycles is None:
+            epoch_cycles = self.platform.epoch_cycles
         self.sim = Simulator()
         self.rng = DeterministicRng(seed)
         self.counters = CounterBank()
-        self.cat = CacheAllocation()
+        self.cat = CacheAllocation(ways=self.platform.llc_ways)
         self.mba = MemoryBandwidthAllocation()
-        self.memory = MemoryController(self.counters)
-        hierarchy_cfg = hierarchy_cfg or HierarchyConfig(cores=cores)
+        self.memory = MemoryController.for_platform(
+            self.counters, self.platform
+        )
+        hierarchy_cfg = hierarchy_cfg or HierarchyConfig.for_platform(
+            self.platform, cores=cores
+        )
         hierarchy_cfg.cores = cores
         self.hierarchy = CacheHierarchy(
             hierarchy_cfg, self.cat, self.memory, self.counters, mba=self.mba
@@ -59,7 +70,9 @@ class Server:
         self.iio = IIOAgent(self.hierarchy)
         self.msr = MsrFile(self.hierarchy.llc)
         self.pcie = PcieComplex(self.counters)
-        self.pcm = PcmSampler(self.counters, epoch_cycles)
+        self.pcm = PcmSampler(
+            self.counters, epoch_cycles, line_bytes=self.platform.line_bytes
+        )
         self.monitor = OccupancyMonitor(self.hierarchy.llc)
         self.faults = None
         if fault_plan is not None and fault_plan.enabled:
@@ -162,9 +175,11 @@ class Server:
     def run(
         self,
         epochs: int,
-        warmup: int = config.WARMUP_EPOCHS,
+        warmup: Optional[int] = None,
         epoch_hook=None,
     ) -> "RunResult":
+        if warmup is None:
+            warmup = self.platform.warmup_epochs
         if epochs <= warmup:
             raise InsufficientEpochsError(
                 "need more epochs than warm-up intervals"
@@ -181,6 +196,15 @@ class Server:
                 "repro_epoch_wall_seconds",
                 help="wall time simulating one monitoring epoch",
             )
+            # Header event: which microarchitecture produced this trace.
+            tracer.platform = self.platform.token
+            tracer.emit(
+                obsv.KIND_PLATFORM,
+                self.platform.name,
+                self.platform.fingerprint(),
+            )
+            if obsv.AUDIT is not None:
+                obsv.AUDIT.platform = self.platform.token
         for i in range(epochs):
             if tracer is not None:
                 tracer.epoch = i

@@ -44,7 +44,10 @@ from typing import Any, Callable, Optional
 
 from repro.obsv.metrics import merge_counts
 
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
+"""Bumped to 3 when the platform fingerprint entered the key payloads
+(``run_setup``, the fig15 memos) — entries written by a pre-platform tree
+can never alias platform-aware ones."""
 DEFAULT_CACHE_DIR = ".repro-cache"
 ENV_CACHE_DIR = "REPRO_CACHE_DIR"
 ENV_CACHE_DISABLE = "REPRO_CACHE_DISABLE"
@@ -329,6 +332,25 @@ class CachedServer:
     epoch_cycles: int
 
 
+def _normalize_platform(kwargs: dict) -> dict:
+    """Key-canonical view of a runner's kwargs.
+
+    A ``platform`` given as ``None``, as a preset name, or as the resolved
+    :class:`~repro.platform.PlatformSpec` object must address the same
+    cache entry, so the kwarg is replaced by the resolved spec's
+    fingerprint — and dropped entirely when it resolves to the default
+    platform, keeping keys identical to a call that never passed it."""
+    if "platform" not in kwargs:
+        return kwargs
+    from repro.platform import DEFAULT_PLATFORM, get_platform
+
+    normalized = dict(kwargs)
+    spec = get_platform(normalized.pop("platform"))
+    if spec != DEFAULT_PLATFORM:
+        normalized["platform"] = spec.fingerprint()
+    return normalized
+
+
 class CachedFigure:
     """Picklable cache-through wrapper for a registry figure runner.
 
@@ -363,7 +385,7 @@ class CachedFigure:
             "figure",
             self.figure_id,
             callable_token(runner),
-            sorted(kwargs.items()),
+            sorted(_normalize_platform(kwargs).items()),
         )
         return get_cache().memo(payload, lambda: runner(**kwargs))
 

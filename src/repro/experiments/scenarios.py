@@ -14,6 +14,7 @@ from typing import List, Optional
 from repro.core.policy import A4Policy
 from repro.core.variants import make_manager
 from repro.experiments.harness import Server
+from repro.platform import DEFAULT_PLATFORM, PlatformSpec, get_platform
 from repro.telemetry.pcm import PRIORITY_HIGH, PRIORITY_LOW
 from repro.workloads.base import Workload
 from repro.workloads.dpdk import DpdkWorkload
@@ -34,6 +35,7 @@ SERVER_CORES = 18
 def microbenchmark_workloads(
     packet_bytes: int = 1024,
     block_bytes: int = 2 * MB,
+    platform: PlatformSpec = DEFAULT_PLATFORM,
 ) -> List[Workload]:
     """§7.1 setup: DPDK-T (HPW, 4 cores) + FIO (LPW, 4 cores) + Table 3."""
     workloads: List[Workload] = [
@@ -52,11 +54,13 @@ def microbenchmark_workloads(
             priority=PRIORITY_LOW,
         ),
     ]
-    workloads.extend(xmem_table3())
+    workloads.extend(xmem_table3(platform))
     return workloads
 
 
-def hpw_heavy_workloads() -> List[Workload]:
+def hpw_heavy_workloads(
+    platform: PlatformSpec = DEFAULT_PLATFORM,
+) -> List[Workload]:
     """Fig. 13a: HPWs in bold — Fastclick, FFSB-L, Redis-S/C, x264, parest,
     xalancbmk; LPWs — FFSB-H, bwaves, lbm, mcf."""
     redis_s, redis_c = redis_pair(PRIORITY_HIGH, PRIORITY_HIGH)
@@ -66,16 +70,18 @@ def hpw_heavy_workloads() -> List[Workload]:
         ffsb_light(priority=PRIORITY_HIGH),
         redis_s,
         redis_c,
-        spec_workload("x264", PRIORITY_HIGH),
-        spec_workload("parest", PRIORITY_HIGH),
-        spec_workload("xalancbmk", PRIORITY_HIGH),
-        spec_workload("bwaves", PRIORITY_LOW),
-        spec_workload("lbm", PRIORITY_LOW),
-        spec_workload("mcf", PRIORITY_LOW),
+        spec_workload("x264", PRIORITY_HIGH, platform=platform),
+        spec_workload("parest", PRIORITY_HIGH, platform=platform),
+        spec_workload("xalancbmk", PRIORITY_HIGH, platform=platform),
+        spec_workload("bwaves", PRIORITY_LOW, platform=platform),
+        spec_workload("lbm", PRIORITY_LOW, platform=platform),
+        spec_workload("mcf", PRIORITY_LOW, platform=platform),
     ]
 
 
-def lpw_heavy_workloads() -> List[Workload]:
+def lpw_heavy_workloads(
+    platform: PlatformSpec = DEFAULT_PLATFORM,
+) -> List[Workload]:
     """Fig. 13b: the LPW-focused combination — x264 and parest move to the
     LP side, FFSB-L joins them, leaving four HPWs."""
     redis_s, redis_c = redis_pair(PRIORITY_HIGH, PRIORITY_HIGH)
@@ -85,16 +91,18 @@ def lpw_heavy_workloads() -> List[Workload]:
         ffsb_light(priority=PRIORITY_LOW),
         redis_s,
         redis_c,
-        spec_workload("xalancbmk", PRIORITY_HIGH),
-        spec_workload("x264", PRIORITY_LOW),
-        spec_workload("parest", PRIORITY_LOW),
-        spec_workload("bwaves", PRIORITY_LOW),
-        spec_workload("lbm", PRIORITY_LOW),
-        spec_workload("mcf", PRIORITY_LOW),
+        spec_workload("xalancbmk", PRIORITY_HIGH, platform=platform),
+        spec_workload("x264", PRIORITY_LOW, platform=platform),
+        spec_workload("parest", PRIORITY_LOW, platform=platform),
+        spec_workload("bwaves", PRIORITY_LOW, platform=platform),
+        spec_workload("lbm", PRIORITY_LOW, platform=platform),
+        spec_workload("mcf", PRIORITY_LOW, platform=platform),
     ]
 
 
-def daemon_interference_workloads() -> List[Workload]:
+def daemon_interference_workloads(
+    platform: PlatformSpec = DEFAULT_PLATFORM,
+) -> List[Workload]:
     """A §5.5-flavoured mix: latency-critical network + cache-sensitive
     service + bursty system daemons (KSM, zswap) that phase in and out —
     the scenario that exercises A4's detection *and* restoration loop."""
@@ -102,10 +110,10 @@ def daemon_interference_workloads() -> List[Workload]:
 
     return [
         fastclick(priority=PRIORITY_HIGH),
-        spec_workload("parest", PRIORITY_HIGH),
-        spec_workload("x264", PRIORITY_HIGH),
-        ksm(phased=True, priority=PRIORITY_LOW),
-        zswap(phased=True, priority=PRIORITY_LOW),
+        spec_workload("parest", PRIORITY_HIGH, platform=platform),
+        spec_workload("x264", PRIORITY_HIGH, platform=platform),
+        ksm(phased=True, priority=PRIORITY_LOW, platform=platform),
+        zswap(phased=True, priority=PRIORITY_LOW, platform=platform),
     ]
 
 
@@ -141,13 +149,17 @@ def build_server(
     policy: Optional[A4Policy] = None,
     epoch_cycles: Optional[float] = None,
     fault_plan=None,
+    platform: Optional[PlatformSpec] = None,
 ) -> Server:
     """Assemble a server, add ``workloads``, attach the scheme manager.
 
     ``fault_plan`` defaults to the environment selection
     (``REPRO_FAULT_INTENSITY``; see :mod:`repro.faults.plan`) so chaos can
     be switched on for any existing experiment without code changes.
+    ``platform`` (a spec or preset name) selects the microarchitecture;
+    default-policy managers are anchored to it automatically.
     """
+    platform = get_platform(platform)
     kwargs = {}
     if epoch_cycles is not None:
         kwargs["epoch_cycles"] = epoch_cycles
@@ -155,7 +167,10 @@ def build_server(
         from repro.faults.plan import FaultPlan
 
         fault_plan = FaultPlan.from_env()
-    server = Server(cores=cores, seed=seed, fault_plan=fault_plan, **kwargs)
+    server = Server(
+        cores=cores, seed=seed, fault_plan=fault_plan, platform=platform,
+        **kwargs,
+    )
     server.add_workloads(workloads)
-    server.set_manager(make_manager(scheme, policy))
+    server.set_manager(make_manager(scheme, policy, platform=platform))
     return server

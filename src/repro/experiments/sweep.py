@@ -9,9 +9,10 @@ variance in its artifact appendix).
 
 from __future__ import annotations
 
+import inspect
 import math
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.experiments.errors import FigureShapeError, SweepConfigError
 from repro.experiments.harness import Server
@@ -24,9 +25,13 @@ from repro.experiments.parallel import (
     seed_metrics,
 )
 from repro.experiments.report import FigureResult
+from repro.platform import get_platform
 
 DEFAULT_SEEDS = (0xA4, 0xA5, 0xA6, 0xA7, 0xA8)
 """Five iterations, like the paper."""
+
+DEFAULT_SWEEP_PLATFORMS = ("skylake-sp", "cascadelake-sp", "icelake-sp")
+"""The preset registry, in the order the sensitivity sweep visits it."""
 
 _NUMERIC_FIELDS = METRIC_FIELDS
 """Back-compat alias; the canonical tuple lives in
@@ -163,3 +168,114 @@ def average_figure(
                 out[column] = value
         averaged.add_row(**out)
     return averaged
+
+
+# -- platform sensitivity --------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PlatformTask:
+    """One (figure, platform) cell of a platform-sensitivity sweep.
+
+    ``platform`` is a preset name (possibly with a ``+dcaN`` suffix) rather
+    than a spec object so the descriptor stays tiny and trivially picklable;
+    the worker resolves it through the preset registry."""
+
+    figure_id: str
+    platform: str
+    seed: int
+    kwargs: Tuple[Tuple[str, Any], ...] = ()
+
+
+def run_platform_figure(task: PlatformTask) -> FigureResult:
+    """Worker entry point: run one registry figure on one platform.
+
+    Goes through the registry's cache-through wrapper, so the platform name
+    lands in the run-cache key alongside the figure id and kwargs."""
+    from repro.experiments.figures import REGISTRY
+
+    runner = REGISTRY[task.figure_id]
+    return runner(
+        seed=task.seed, platform=task.platform, **dict(task.kwargs)
+    )
+
+
+def _accepts_platform(runner) -> bool:
+    """True if a registry runner's underlying function takes ``platform``."""
+    fn = runner._resolve() if hasattr(runner, "_resolve") else runner
+    return "platform" in inspect.signature(fn).parameters
+
+
+def sweep_platforms(
+    figures: Sequence[str],
+    platforms: Sequence[str] = DEFAULT_SWEEP_PLATFORMS,
+    dca_ways: Sequence[int] = (),
+    dca_base: str = "skylake-sp",
+    seed: int = 0xA4,
+    parallel: bool = False,
+    max_workers: Optional[int] = None,
+    **kwargs,
+) -> Dict[Tuple[str, str], FigureResult]:
+    """Run each figure on each platform (presets × DCA-way variants).
+
+    ``dca_ways`` appends ``dca_base+dcaN`` variants — the paper's "what if
+    DDIO had N ways" question — to the platform list.  Results come back as
+    an insertion-ordered ``{(figure_id, platform_name): FigureResult}``;
+    with ``parallel=True`` the cells fan out over the shared process pool
+    (identical results either way, same guarantee as ``run_repeated``).
+    """
+    from repro.experiments.figures import REGISTRY
+
+    names = list(platforms) + [f"{dca_base}+dca{n}" for n in dca_ways]
+    if not figures or not names:
+        raise SweepConfigError("need at least one figure and one platform")
+    for name in names:
+        get_platform(name)  # fail fast on unknown presets / bad variants
+    for figure_id in figures:
+        if figure_id not in REGISTRY:
+            raise SweepConfigError(f"unknown figure {figure_id!r}")
+        if not _accepts_platform(REGISTRY[figure_id]):
+            raise SweepConfigError(
+                f"figure {figure_id!r} does not take a platform parameter"
+            )
+    tasks = [
+        PlatformTask(figure_id, name, seed, tuple(sorted(kwargs.items())))
+        for figure_id in figures
+        for name in names
+    ]
+    results = run_tasks(
+        run_platform_figure, tasks, parallel=parallel, max_workers=max_workers
+    )
+    return {
+        (task.figure_id, task.platform): result
+        for task, result in zip(tasks, results)
+    }
+
+
+def platform_sweep_summary(
+    results: Dict[Tuple[str, str], FigureResult],
+) -> FigureResult:
+    """Condense a :func:`sweep_platforms` result into one table: the mean
+    of each figure's numeric columns per platform (a coarse sensitivity
+    read-out; the per-cell tables carry the detail)."""
+    summary = FigureResult(
+        figure="Platform sweep",
+        title="per-platform mean of each figure's numeric columns",
+        columns=["figure", "platform", "column", "mean"],
+    )
+    for (figure_id, platform_name), result in results.items():
+        for column in result.columns:
+            values = [
+                float(row[column])
+                for row in result.rows
+                if isinstance(row[column], (int, float))
+                and not isinstance(row[column], bool)
+            ]
+            if values:
+                summary.add_row(
+                    figure=figure_id,
+                    platform=platform_name,
+                    column=column,
+                    mean=mean(values),
+                )
+    return summary

@@ -51,6 +51,7 @@ from repro.obsv.tracer import (
     KIND_FAULT,
     KIND_MASK,
     KIND_PHASE,
+    KIND_PLATFORM,
     KIND_SPAN,
     KIND_ZONE,
     TraceEvent,
@@ -104,6 +105,7 @@ __all__ = [
     "KIND_FAULT",
     "KIND_MASK",
     "KIND_PHASE",
+    "KIND_PLATFORM",
     "KIND_SPAN",
     "KIND_ZONE",
     "MetricsRegistry",

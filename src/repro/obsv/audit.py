@@ -87,6 +87,9 @@ class AuditTrail:
         self.tracer = tracer
         self.records: Deque[Decision] = deque(maxlen=capacity)
         self.dropped = 0
+        self.platform: Optional[str] = None
+        """``name@sha`` token of the platform whose decisions this trail
+        audits (set by the harness at run start)."""
 
     def record(
         self,

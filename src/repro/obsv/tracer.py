@@ -21,6 +21,8 @@ Event taxonomy (``kind``):
 ``control``    control-plane incidents (parked / recovered applies)
 ``decision``   a mirrored audit-trail decision (action, reason, inputs)
 ``span``       a timed section (wall-seconds duration in ``wall``)
+``platform``   run header: the microarchitecture spec fingerprint of the
+               server producing the trace (one per ``Server.run``)
 =============  =========================================================
 
 ``data`` values must stay JSON-round-trippable (numbers, strings, bools,
@@ -45,6 +47,7 @@ KIND_FAULT = "fault"
 KIND_CONTROL = "control"
 KIND_DECISION = "decision"
 KIND_SPAN = "span"
+KIND_PLATFORM = "platform"
 
 ALL_KINDS = (
     KIND_EPOCH,
@@ -56,6 +59,7 @@ ALL_KINDS = (
     KIND_CONTROL,
     KIND_DECISION,
     KIND_SPAN,
+    KIND_PLATFORM,
 )
 
 
@@ -94,6 +98,9 @@ class Tracer:
         """Current epoch index (-1 outside a run)."""
         self.now = 0.0
         """Current simulated time, mirrored by the harness."""
+        self.platform: Optional[str] = None
+        """``name@sha`` token of the platform that last ran (trace header;
+        also emitted as a ``platform`` event carrying the full spec)."""
 
     def emit(
         self,

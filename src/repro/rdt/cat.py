@@ -17,7 +17,8 @@ from __future__ import annotations
 
 from typing import Dict, Sequence, Tuple
 
-from repro import config, obsv
+from repro import obsv
+from repro.platform import DEFAULT_PLATFORM, MAX_CBM_BITS
 
 
 class ClosConfigError(ValueError):
@@ -42,7 +43,11 @@ def contiguous_mask(first_way: int, last_way: int) -> Tuple[int, ...]:
 class CacheAllocation:
     """Per-socket CAT state: CLOS masks plus core associations."""
 
-    def __init__(self, ways: int = config.LLC_WAYS, num_clos: int = 16):
+    def __init__(self, ways: int = DEFAULT_PLATFORM.llc_ways, num_clos: int = 16):
+        if ways > MAX_CBM_BITS:
+            raise ClosConfigError(
+                f"CBM width {ways} exceeds the {MAX_CBM_BITS}-bit register"
+            )
         self.ways = ways
         self.num_clos = num_clos
         full = tuple(range(ways))

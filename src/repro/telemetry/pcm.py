@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from repro import config
+from repro.platform import DEFAULT_PLATFORM
 from repro.telemetry.counters import CounterBank, StreamCounters
 from repro.telemetry.latency import LatencyStats, LatencyTracker
 
@@ -56,6 +56,7 @@ class StreamSample:
     counters: StreamCounters
     latency: LatencyStats
     epoch_cycles: float
+    line_bytes: int = DEFAULT_PLATFORM.line_bytes
 
     @property
     def ipc(self) -> float:
@@ -83,7 +84,7 @@ class StreamSample:
     def io_throughput_lines_per_cycle(self) -> float:
         return (
             self.counters.io_bytes_completed
-            / config.LINE_BYTES
+            / self.line_bytes
             / self.epoch_cycles
         )
 
@@ -139,10 +140,12 @@ class PcmSampler:
     def __init__(
         self,
         counters: CounterBank,
-        epoch_cycles: float = config.EPOCH_CYCLES,
+        epoch_cycles: float = DEFAULT_PLATFORM.epoch_cycles,
+        line_bytes: int = DEFAULT_PLATFORM.line_bytes,
     ):
         self.counters = counters
         self.epoch_cycles = epoch_cycles
+        self.line_bytes = line_bytes
         self.infos: Dict[str, StreamInfo] = {}
         self.trackers: Dict[str, LatencyTracker] = {}
         self.history: List[EpochSample] = []
@@ -185,6 +188,7 @@ class PcmSampler:
                 counters=delta,
                 latency=latency,
                 epoch_cycles=self.epoch_cycles,
+                line_bytes=self.line_bytes,
             )
         sample = EpochSample(
             index=self._index,

@@ -4,22 +4,22 @@ The original tool (Farshin et al., ATC'20) measures how well DDIO serves a
 NIC at different ring sizes/rates by reading the IIO counters.  This
 analogue sweeps a device's in-flight footprint (ring size or block size)
 and reports the consumer's DCA hit rate, the DMA-leak fraction, and where
-the footprint crosses the two-way DCA capacity.
+the footprint crosses the platform's DCA capacity.
 
 Usage::
 
     python -m repro.tools.ddiobench --device nic
-    python -m repro.tools.ddiobench --device ssd
+    python -m repro.tools.ddiobench --device ssd --platform icelake-sp
 """
 
 from __future__ import annotations
 
 import argparse
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
-from repro import config
 from repro.experiments.harness import Server
+from repro.platform import PlatformSpec, get_platform
 from repro.workloads.dpdk import DpdkWorkload
 from repro.workloads.fio import FioWorkload
 
@@ -29,17 +29,22 @@ MB = 1024 * KB
 
 @dataclass
 class ProbeResult:
-    """One sweep point of the DDIO probe."""
+    """One sweep point of the DDIO probe.
+
+    Carries the probed platform's DCA capacity so the crossing verdict is
+    self-contained (two probes on different specs can coexist in one
+    process without consulting any global geometry)."""
 
     label: str
     footprint_lines: int
     dca_hit_rate: float
     leak_fraction: float
     consumer_latency: float
+    dca_capacity_lines: int
 
     @property
     def exceeds_dca(self) -> bool:
-        return self.footprint_lines > len(config.DCA_WAYS) * config.LLC_WAY_LINES
+        return self.footprint_lines > self.dca_capacity_lines
 
 
 def probe_nic(
@@ -47,12 +52,14 @@ def probe_nic(
     packet_bytes: int = 1024,
     epochs: int = 5,
     seed: int = 0xA4,
+    platform: Optional[PlatformSpec] = None,
 ) -> List[ProbeResult]:
     """Sweep the Rx-ring footprint, as ddio-bench does with ring sizes."""
+    platform = get_platform(platform)
     results = []
-    lines_per_packet = config.packet_lines(packet_bytes)
+    lines_per_packet = platform.packet_lines(packet_bytes)
     for entries in ring_entries_sweep:
-        server = Server(cores=6, seed=seed)
+        server = Server(cores=6, seed=seed, platform=platform)
         workload = DpdkWorkload(
             name="probe", touch=True, cores=4, packet_bytes=packet_bytes,
             ring_entries=entries,
@@ -69,6 +76,7 @@ def probe_nic(
                 dca_hit_rate=1.0 - agg.dca_miss_rate,
                 leak_fraction=agg.dma_leaks / dma if dma else 0.0,
                 consumer_latency=agg.avg_latency,
+                dca_capacity_lines=platform.dca_capacity_lines,
             )
         )
     return results
@@ -78,12 +86,14 @@ def probe_ssd(
     block_sweep=(32 * KB, 128 * KB, 512 * KB, 2 * MB),
     epochs: int = 5,
     seed: int = 0xA4,
+    platform: Optional[PlatformSpec] = None,
 ) -> List[ProbeResult]:
     """Sweep the storage block size (in-flight footprint = parallelism x
     block)."""
+    platform = get_platform(platform)
     results = []
     for block_bytes in block_sweep:
-        server = Server(cores=6, seed=seed)
+        server = Server(cores=6, seed=seed, platform=platform)
         workload = FioWorkload(
             name="probe", block_bytes=block_bytes, cores=4, io_depth=32
         )
@@ -100,16 +110,20 @@ def probe_ssd(
                 dca_hit_rate=1.0 - agg.dca_miss_rate,
                 leak_fraction=agg.dma_leaks / dma if dma else 0.0,
                 consumer_latency=agg.avg_latency,
+                dca_capacity_lines=platform.dca_capacity_lines,
             )
         )
     return results
 
 
-def render(results: List[ProbeResult]) -> str:
-    dca_capacity = len(config.DCA_WAYS) * config.LLC_WAY_LINES
+def render(
+    results: List[ProbeResult], platform: Optional[PlatformSpec] = None
+) -> str:
+    platform = get_platform(platform)
     lines = [
-        f"DCA capacity: {dca_capacity} lines "
-        f"({len(config.DCA_WAYS)} ways x {config.LLC_WAY_LINES})",
+        f"DCA capacity: {platform.dca_capacity_lines} lines "
+        f"({len(platform.dca_ways)} ways x {platform.llc_way_lines}) "
+        f"on {platform.name}",
         f"{'config':<18} {'footprint':>10} {'DCAhit%':>8} {'leak%':>7} "
         f"{'latency':>9} {'>DCA?':>6}",
     ]
@@ -130,9 +144,20 @@ def main(argv=None) -> int:
     parser.add_argument("--device", choices=("nic", "ssd"), default="nic")
     parser.add_argument("--epochs", type=int, default=5)
     parser.add_argument("--seed", type=int, default=0xA4)
+    parser.add_argument(
+        "--platform",
+        default=None,
+        help="microarchitecture preset (default: skylake-sp)",
+    )
     args = parser.parse_args(argv)
+    platform = get_platform(args.platform)
     probe = probe_nic if args.device == "nic" else probe_ssd
-    print(render(probe(epochs=args.epochs, seed=args.seed)))
+    print(
+        render(
+            probe(epochs=args.epochs, seed=args.seed, platform=platform),
+            platform,
+        )
+    )
     return 0
 
 

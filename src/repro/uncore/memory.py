@@ -9,7 +9,7 @@ the paper's "memory bandwidth abuse" guardrail in §5.5 relies on this signal.
 
 from __future__ import annotations
 
-from repro import config
+from repro.platform import DEFAULT_PLATFORM, PlatformSpec
 from repro.telemetry.counters import CounterBank
 
 
@@ -19,8 +19,8 @@ class MemoryController:
     def __init__(
         self,
         counters: CounterBank,
-        bandwidth_lines_per_cycle: float = config.MEMORY_BANDWIDTH_LINES_PER_CYCLE,
-        base_latency: float = config.MEMORY_CYCLES,
+        bandwidth_lines_per_cycle: float = DEFAULT_PLATFORM.memory_bandwidth_lines_per_cycle,
+        base_latency: float = DEFAULT_PLATFORM.memory_cycles,
         window_cycles: float = 2_000.0,
     ):
         if bandwidth_lines_per_cycle <= 0:
@@ -35,6 +35,18 @@ class MemoryController:
         self._utilization = 0.0
         self.total_reads = 0
         self.total_writes = 0
+
+    @classmethod
+    def for_platform(
+        cls, counters: CounterBank, platform: PlatformSpec, **overrides
+    ) -> "MemoryController":
+        """A controller with ``platform``'s DRAM bandwidth and latency."""
+        return cls(
+            counters,
+            bandwidth_lines_per_cycle=platform.memory_bandwidth_lines_per_cycle,
+            base_latency=platform.memory_cycles,
+            **overrides,
+        )
 
     # -- traffic -------------------------------------------------------------
 

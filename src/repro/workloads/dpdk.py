@@ -20,7 +20,6 @@ from __future__ import annotations
 
 from typing import List, Optional
 
-from repro import config
 from repro.devices.nic import Nic, NicConfig
 from repro.devices.packetgen import PacketGenConfig, PacketGenerator
 from repro.devices.ring import RxRing
@@ -45,7 +44,7 @@ class DpdkWorkload(Workload):
         cores: int = 4,
         packet_bytes: int = 1024,
         ring_entries: int = 16,
-        line_rate: float = config.NIC_LINE_RATE_LINES_PER_CYCLE,
+        line_rate: Optional[float] = None,
         processing_cycles_per_line: float = 4.0,
         instructions_per_line: int = 10,
         payload_parallelism: float = 3.0,
@@ -68,6 +67,8 @@ class DpdkWorkload(Workload):
         :data:`repro.devices.packetgen.IMIX_SIMPLE`."""
         self.ring_entries = ring_entries
         self.line_rate = line_rate
+        """Ingress rate in lines/cycle; ``None`` defers to the server
+        platform's NIC rate at :meth:`setup` time."""
         self.processing_cycles_per_line = processing_cycles_per_line
         self.instructions_per_line = instructions_per_line
         if payload_parallelism < 1.0:
@@ -93,10 +94,17 @@ class DpdkWorkload(Workload):
                 RxRing(base, self.ring_entries, self.nic_cfg.slot_lines)
             )
 
+        platform = server.platform
+        line_rate = (
+            self.line_rate
+            if self.line_rate is not None
+            else platform.nic_line_rate_lines_per_cycle
+        )
         generator = PacketGenerator(
             PacketGenConfig(
                 packet_bytes=self.packet_bytes,
-                line_rate_lines_per_cycle=self.line_rate,
+                line_rate_lines_per_cycle=line_rate,
+                line_bytes=platform.line_bytes,
                 size_mix=self.size_mix,
             ),
             server.rng.stream(f"{self.name}-pktgen"),
@@ -125,6 +133,7 @@ class DpdkWorkload(Workload):
         # Loop-invariant bindings for the per-line payload scan below.
         cpu_access = hierarchy.cpu_access
         name = self.name
+        line_bytes = server.platform.line_bytes
         instructions_per_line = self.instructions_per_line
         processing_per_line = self.processing_cycles_per_line
         parallelism = self.payload_parallelism
@@ -170,7 +179,7 @@ class DpdkWorkload(Workload):
                         sim.now, port, entry.buffer_addr + offset, self.name
                     )
             ring.pop()
-            counters.io_bytes_completed += entry.packet_lines * config.LINE_BYTES
+            counters.io_bytes_completed += entry.packet_lines * line_bytes
             counters.io_requests_completed += 1
             tracker.record(
                 queueing + access + processing,

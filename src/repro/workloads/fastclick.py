@@ -8,7 +8,8 @@ queueing / pointer access / processing) is what Fig. 14a plots.
 
 from __future__ import annotations
 
-from repro import config
+from typing import Optional
+
 from repro.telemetry.pcm import PRIORITY_HIGH
 from repro.workloads.dpdk import DpdkWorkload
 
@@ -18,7 +19,7 @@ def fastclick(
     priority: str = PRIORITY_HIGH,
     cores: int = 4,
     packet_bytes: int = 1024,
-    line_rate: float = config.NIC_LINE_RATE_LINES_PER_CYCLE,
+    line_rate: Optional[float] = None,
 ) -> DpdkWorkload:
     """Build the Table 2 Fastclick configuration."""
     return DpdkWorkload(

@@ -16,8 +16,8 @@ from __future__ import annotations
 from collections import deque
 from typing import Optional
 
-from repro import config
 from repro.devices.nvme import NvmeCommand, NvmeConfig, NvmeSsd
+from repro.platform import DEFAULT_PLATFORM
 from repro.telemetry.pcm import KIND_STORAGE, PRIORITY_LOW
 from repro.workloads.base import METRIC_THROUGHPUT, Workload
 
@@ -52,7 +52,9 @@ class FioWorkload(Workload):
         if io_depth <= 0:
             raise ValueError("io_depth must be positive")
         self.block_bytes = block_bytes
-        self.block_lines = config.lines_for_paper_bytes(block_bytes)
+        self.block_lines = DEFAULT_PLATFORM.lines_for_paper_bytes(block_bytes)
+        """Scaled block size; re-derived from the server's platform at
+        :meth:`setup` time (the ctor value covers pre-setup inspection)."""
         if io_mode not in (self.IO_DIRECT, self.IO_BUFFERED):
             raise ValueError(f"unknown io_mode {io_mode!r}")
         self.io_mode = io_mode
@@ -71,10 +73,16 @@ class FioWorkload(Workload):
         load-to-use latency is amortised across ``memory_parallelism``
         lines — this keeps FIO device-bound (as on the paper's testbed)
         rather than consumer-bound."""
+        self._explicit_nvme_cfg = nvme_cfg
         self.nvme_cfg = nvme_cfg or NvmeConfig()
         self.ssd: Optional[NvmeSsd] = None
 
     def setup(self, server) -> None:
+        platform = server.platform
+        self.block_lines = platform.lines_for_paper_bytes(self.block_bytes)
+        self.nvme_cfg = (
+            self._explicit_nvme_cfg or NvmeConfig.for_platform(platform)
+        )
         self.cores = server.alloc_cores(self.num_cores)
         port = server.add_port(f"{self.name}-ssd")
         self.port_id = port.port_id
@@ -113,6 +121,7 @@ class FioWorkload(Workload):
         instructions_per_line = self.instructions_per_line
         compute_cycles = self.compute_cycles_per_line
         parallelism = self.memory_parallelism
+        line_bytes = server.platform.line_bytes
 
         def submit() -> None:
             nonlocal next_buffer
@@ -167,7 +176,7 @@ class FioWorkload(Workload):
                 )
                 counters.instructions += instructions_per_line
                 yield (latency + compute_cycles) / parallelism
-            counters.io_bytes_completed += command.lines * config.LINE_BYTES
+            counters.io_bytes_completed += command.lines * line_bytes
             counters.io_requests_completed += 1
             tracker.record(sim.now - command.submitted_at)
             submit()

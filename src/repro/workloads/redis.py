@@ -13,7 +13,6 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Deque, Optional, Tuple
 
-from repro import config
 from repro.telemetry.pcm import KIND_CPU, PRIORITY_HIGH
 from repro.workloads.base import METRIC_IPC, Workload
 
@@ -43,9 +42,10 @@ class RedisChannel:
         """Allocate the shared regions once, whichever side sets up first."""
         if self.table_base is not None:
             return
-        self.table_lines = config.lines_for_paper_bytes(int(store_mb * MB))
+        platform = server.platform
+        self.table_lines = platform.lines_for_paper_bytes(int(store_mb * MB))
         self.table_base = server.alloc_region(self.table_lines)
-        self.log_lines = config.lines_for_paper_bytes(int(log_mb * MB))
+        self.log_lines = platform.lines_for_paper_bytes(int(log_mb * MB))
         self.log_base = server.alloc_region(self.log_lines)
         self.mailbox_base = server.alloc_region(8)
 

@@ -23,9 +23,9 @@ Working sets are paper-scale bytes run through the capacity scale.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Tuple
 
-from repro import config
+from repro.platform import DEFAULT_PLATFORM, PlatformSpec
 from repro.telemetry.pcm import PRIORITY_HIGH
 from repro.workloads.synthetic import (
     AccessProfile,
@@ -36,17 +36,36 @@ from repro.workloads.synthetic import (
 
 MB = 1024 * 1024
 
+SPEC_PROFILE_PARAMS: Dict[str, Tuple[float, str, float, float, int, int]] = {
+    # (ws_mb, pattern, write_fraction, compute, instructions, repeats) —
+    # paper-scale parameters, platform-independent.
+    "x264": (1.5, PATTERN_SEQUENTIAL, 0.10, 10.0, 16, 6),
+    "parest": (8.0, PATTERN_RANDOM, 0.05, 4.0, 10, 2),
+    "xalancbmk": (6.0, PATTERN_RANDOM, 0.05, 2.0, 7, 2),
+    "mcf": (12.0, PATTERN_RANDOM, 0.10, 2.0, 6, 1),
+    "bwaves": (60.0, PATTERN_SEQUENTIAL, 0.0, 3.0, 8, 1),
+    "lbm": (80.0, PATTERN_SEQUENTIAL, 0.50, 3.0, 8, 1),
+    "zswap": (100.0, PATTERN_RANDOM, 0.50, 1.0, 5, 1),
+}
 
-def _profile(
-    ws_mb: float,
-    pattern: str,
-    write_fraction: float,
-    compute: float,
-    instructions: int,
-    repeats: int,
+
+def spec_profile(
+    benchmark: str, platform: PlatformSpec = DEFAULT_PLATFORM
 ) -> AccessProfile:
+    """Materialise one benchmark's profile on ``platform``'s capacity scale.
+
+    Built on demand (not at import) so two platforms can coexist in one
+    process without one's scaling leaking into the other's profiles.
+    """
+    if benchmark not in SPEC_PROFILE_PARAMS:
+        raise KeyError(
+            f"unknown benchmark {benchmark!r}; have {sorted(SPEC_PROFILE_PARAMS)}"
+        )
+    ws_mb, pattern, write_fraction, compute, instructions, repeats = (
+        SPEC_PROFILE_PARAMS[benchmark]
+    )
     return AccessProfile(
-        working_set_lines=config.lines_for_paper_bytes(int(ws_mb * MB)),
+        working_set_lines=platform.lines_for_paper_bytes(int(ws_mb * MB)),
         pattern=pattern,
         write_fraction=write_fraction,
         compute_cycles=compute,
@@ -56,14 +75,9 @@ def _profile(
 
 
 SPEC_PROFILES: Dict[str, AccessProfile] = {
-    "x264": _profile(1.5, PATTERN_SEQUENTIAL, 0.10, 10.0, 16, 6),
-    "parest": _profile(8.0, PATTERN_RANDOM, 0.05, 4.0, 10, 2),
-    "xalancbmk": _profile(6.0, PATTERN_RANDOM, 0.05, 2.0, 7, 2),
-    "mcf": _profile(12.0, PATTERN_RANDOM, 0.10, 2.0, 6, 1),
-    "bwaves": _profile(60.0, PATTERN_SEQUENTIAL, 0.0, 3.0, 8, 1),
-    "lbm": _profile(80.0, PATTERN_SEQUENTIAL, 0.50, 3.0, 8, 1),
-    "zswap": _profile(100.0, PATTERN_RANDOM, 0.50, 1.0, 5, 1),
+    name: spec_profile(name) for name in SPEC_PROFILE_PARAMS
 }
+"""Back-compat view materialised on the default platform."""
 
 
 def spec_workload(
@@ -71,12 +85,9 @@ def spec_workload(
     priority: str = PRIORITY_HIGH,
     cores: int = 1,
     name: str = "",
+    platform: PlatformSpec = DEFAULT_PLATFORM,
 ) -> SyntheticWorkload:
     """Instantiate one SPEC CPU2017 analogue (single-core SPECrate copy)."""
-    if benchmark not in SPEC_PROFILES:
-        raise KeyError(
-            f"unknown benchmark {benchmark!r}; have {sorted(SPEC_PROFILES)}"
-        )
     return SyntheticWorkload(
-        name or benchmark, SPEC_PROFILES[benchmark], priority, cores
+        name or benchmark, spec_profile(benchmark, platform), priority, cores
     )

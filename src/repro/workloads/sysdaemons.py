@@ -9,7 +9,9 @@ has something real to react to.
 
 from __future__ import annotations
 
-from repro import config
+from typing import Optional
+
+from repro.platform import DEFAULT_PLATFORM, PlatformSpec
 from repro.telemetry.pcm import PRIORITY_LOW
 from repro.workloads.phased import PhasedWorkload
 from repro.workloads.synthetic import (
@@ -22,10 +24,10 @@ from repro.workloads.synthetic import (
 MB = 1024 * 1024
 
 
-def _ksm_profile() -> AccessProfile:
+def _ksm_profile(platform: PlatformSpec) -> AccessProfile:
     # Page scanning: sequential reads over a huge region, light hashing.
     return AccessProfile(
-        working_set_lines=config.lines_for_paper_bytes(128 * MB),
+        working_set_lines=platform.lines_for_paper_bytes(128 * MB),
         pattern=PATTERN_SEQUENTIAL,
         write_fraction=0.02,  # occasional merge updates
         compute_cycles=2.0,
@@ -33,10 +35,10 @@ def _ksm_profile() -> AccessProfile:
     )
 
 
-def _zswap_profile() -> AccessProfile:
+def _zswap_profile(platform: PlatformSpec) -> AccessProfile:
     # Compress/decompress: read a page, write the compressed copy.
     return AccessProfile(
-        working_set_lines=config.lines_for_paper_bytes(96 * MB),
+        working_set_lines=platform.lines_for_paper_bytes(96 * MB),
         pattern=PATTERN_RANDOM,
         write_fraction=0.5,
         compute_cycles=4.0,  # compression work per line
@@ -48,11 +50,16 @@ def ksm(
     name: str = "ksm",
     priority: str = PRIORITY_LOW,
     phased: bool = False,
-    active_cycles: float = 6 * config.EPOCH_CYCLES,
-    idle_cycles: float = 6 * config.EPOCH_CYCLES,
+    active_cycles: Optional[float] = None,
+    idle_cycles: Optional[float] = None,
+    platform: PlatformSpec = DEFAULT_PLATFORM,
 ):
     """The kernel same-page-merging scanner."""
-    profile = _ksm_profile()
+    if active_cycles is None:
+        active_cycles = 6 * platform.epoch_cycles
+    if idle_cycles is None:
+        idle_cycles = 6 * platform.epoch_cycles
+    profile = _ksm_profile(platform)
     if phased:
         return PhasedWorkload(
             name, profile, priority, active_cycles, idle_cycles
@@ -64,11 +71,16 @@ def zswap(
     name: str = "zswap",
     priority: str = PRIORITY_LOW,
     phased: bool = False,
-    active_cycles: float = 6 * config.EPOCH_CYCLES,
-    idle_cycles: float = 6 * config.EPOCH_CYCLES,
+    active_cycles: Optional[float] = None,
+    idle_cycles: Optional[float] = None,
+    platform: PlatformSpec = DEFAULT_PLATFORM,
 ):
     """The compressed-swap daemon."""
-    profile = _zswap_profile()
+    if active_cycles is None:
+        active_cycles = 6 * platform.epoch_cycles
+    if idle_cycles is None:
+        idle_cycles = 6 * platform.epoch_cycles
+    profile = _zswap_profile(platform)
     if phased:
         return PhasedWorkload(
             name, profile, priority, active_cycles, idle_cycles

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import List
 
-from repro import config
+from repro.platform import DEFAULT_PLATFORM, PlatformSpec
 from repro.telemetry.pcm import PRIORITY_HIGH, PRIORITY_LOW
 from repro.workloads.synthetic import (
     AccessProfile,
@@ -29,12 +29,13 @@ def xmem(
     op: str = "read",
     cores: int = 2,
     priority: str = PRIORITY_HIGH,
+    platform: PlatformSpec = DEFAULT_PLATFORM,
 ) -> SyntheticWorkload:
     """An X-Mem instance with a paper-scale working set."""
     if op not in ("read", "write"):
         raise ValueError(f"unknown op {op!r}")
     profile = AccessProfile(
-        working_set_lines=config.lines_for_paper_bytes(int(working_set_mb * MB)),
+        working_set_lines=platform.lines_for_paper_bytes(int(working_set_mb * MB)),
         pattern=pattern,
         write_fraction=1.0 if op == "write" else 0.0,
         compute_cycles=2.0,
@@ -43,7 +44,9 @@ def xmem(
     return SyntheticWorkload(name, profile, priority, cores)
 
 
-def xmem_table3() -> List[SyntheticWorkload]:
+def xmem_table3(
+    platform: PlatformSpec = DEFAULT_PLATFORM,
+) -> List[SyntheticWorkload]:
     """The three X-Mem instances of Table 3.
 
     X-Mem 1: 4 MB sequential read (HPW, cache-sensitive);
@@ -51,7 +54,10 @@ def xmem_table3() -> List[SyntheticWorkload]:
     X-Mem 3: 10 MB random read (detected as an antagonist by A4).
     """
     return [
-        xmem("xmem1", 4.0, PATTERN_SEQUENTIAL, "read", cores=1, priority=PRIORITY_HIGH),
-        xmem("xmem2", 4.0, PATTERN_SEQUENTIAL, "write", cores=1, priority=PRIORITY_LOW),
-        xmem("xmem3", 10.0, PATTERN_RANDOM, "read", cores=1, priority=PRIORITY_LOW),
+        xmem("xmem1", 4.0, PATTERN_SEQUENTIAL, "read", cores=1,
+             priority=PRIORITY_HIGH, platform=platform),
+        xmem("xmem2", 4.0, PATTERN_SEQUENTIAL, "write", cores=1,
+             priority=PRIORITY_LOW, platform=platform),
+        xmem("xmem3", 10.0, PATTERN_RANDOM, "read", cores=1,
+             priority=PRIORITY_LOW, platform=platform),
     ]

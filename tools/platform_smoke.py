@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""CI smoke test for the swappable PlatformSpec.
+
+Runs a tiny figure three ways against a fresh temp cache and asserts:
+
+1. running it with an explicit ``platform="skylake-sp"`` is bit-identical
+   to running it with no platform argument (the default spec IS the
+   skylake-sp preset, so the refactor cannot have drifted);
+2. both spellings resolve to the *same* run-cache entry (the explicit
+   default must not double-simulate);
+3. an alternate preset completes end to end, lands in the cache under a
+   *different* key, and differs from the skylake result (the spec is
+   actually load-bearing, not decorative).
+
+Exit code 0 on success, 1 with a diagnostic on any violation.  Usage::
+
+    python tools/platform_smoke.py [figure_id] [epochs] [alternate]
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+if str(ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(ROOT / "src"))
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    figure_id = argv[0] if argv else "fig11"
+    epochs = int(argv[1]) if len(argv) > 1 else 6
+    alternate = argv[2] if len(argv) > 2 else "icelake-sp"
+
+    from repro.experiments import runcache
+    from repro.experiments.figures import REGISTRY
+    from repro.experiments.sweep import _accepts_platform
+    from repro.platform import get_platform
+
+    if figure_id not in REGISTRY:
+        print(f"FAIL: unknown figure {figure_id!r}; have {sorted(REGISTRY)}")
+        return 1
+    runner = REGISTRY[figure_id]
+    if not _accepts_platform(runner):
+        print(f"FAIL: {figure_id} does not take a platform parameter")
+        return 1
+    get_platform(alternate)  # validate the name before simulating anything
+
+    with tempfile.TemporaryDirectory(prefix="repro-platform-smoke-") as tmp:
+        runcache.set_cache(runcache.RunCache(root=Path(tmp)))
+        cache = runcache.get_cache()
+
+        default = runner(epochs=epochs, seed=0xA4)
+        explicit = runner(epochs=epochs, seed=0xA4, platform="skylake-sp")
+        if explicit != default:
+            print(
+                "FAIL: platform='skylake-sp' is not bit-identical to the "
+                "default run"
+            )
+            print(f"  default:  {default}")
+            print(f"  explicit: {explicit}")
+            return 1
+        if cache.stats.hits < 1:
+            print(
+                "FAIL: explicit skylake-sp run missed the cache; the "
+                f"default and explicit keys diverged: {cache.stats}"
+            )
+            return 1
+
+        stores_before_alt = cache.stats.stores
+        alt = runner(epochs=epochs, seed=0xA4, platform=alternate)
+        if cache.stats.stores <= stores_before_alt:
+            print(
+                f"FAIL: {alternate} run stored nothing new; its key "
+                f"collided with skylake-sp: {cache.stats}"
+            )
+            return 1
+        if alt == default:
+            print(
+                f"FAIL: {alternate} result is identical to skylake-sp; "
+                "the platform spec is not reaching the simulation"
+            )
+            return 1
+        if len(alt.rows) != len(default.rows):
+            print(
+                f"FAIL: {alternate} run is incomplete: "
+                f"{len(alt.rows)} rows vs {len(default.rows)}"
+            )
+            return 1
+
+        print(
+            f"OK: {figure_id} (epochs={epochs}) bit-identical on "
+            f"skylake-sp, distinct+complete on {alternate} "
+            f"[{cache.stats.summary()}]"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
