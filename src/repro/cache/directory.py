@@ -49,6 +49,8 @@ class DirectoryEntry:
 class SnoopFilter:
     """Extended-directory model, one bucket per LLC set."""
 
+    __slots__ = ("sets", "ways", "_sets", "_tick", "back_invalidations")
+
     def __init__(
         self,
         sets: int = DEFAULT_PLATFORM.llc_sets,

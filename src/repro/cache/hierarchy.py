@@ -26,8 +26,9 @@ movement rules the paper's contentions emerge from:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional
+from dataclasses import dataclass
+from itertools import islice
+from typing import Optional, Sequence, Tuple
 
 from repro.cache.directory import DirectoryEntry, SnoopFilter
 from repro.cache.line import LlcLine, MlcLine
@@ -35,23 +36,34 @@ from repro.cache.llc import LastLevelCache, LlcConfig
 from repro.cache.mlc import MidLevelCache
 from repro.platform import DEFAULT_PLATFORM, PlatformSpec
 from repro.rdt.cat import CacheAllocation
+from repro.sim import batch
 from repro.telemetry.counters import CounterBank
 from repro.uncore.memory import MemoryController
 
 
 @dataclass
 class HierarchyConfig:
-    """Geometry and latency knobs for one simulated socket."""
+    """Geometry and latency knobs for one simulated socket.
+
+    Geometry/timing fields default to ``None`` and are resolved against
+    ``platform`` (or :data:`~repro.platform.DEFAULT_PLATFORM`) in
+    ``__post_init__`` — at *construction* time, not at import time — so a
+    config built for a non-default platform can never silently inherit
+    skylake-sp geometry through a stale class-level default.
+    """
 
     cores: int = 18
-    llc: LlcConfig = field(default_factory=LlcConfig)
-    mlc_sets: int = DEFAULT_PLATFORM.mlc_sets
-    mlc_ways: int = DEFAULT_PLATFORM.mlc_ways
-    ext_dir_ways: int = DEFAULT_PLATFORM.extended_dir_ways
-    mlc_hit_cycles: float = DEFAULT_PLATFORM.mlc_hit_cycles
-    llc_hit_cycles: float = DEFAULT_PLATFORM.llc_hit_cycles
-    snoop_hit_cycles: float = DEFAULT_PLATFORM.llc_hit_cycles + 16
-    """Cache-to-cache transfer from a peer MLC via the extended directory."""
+    platform: Optional[PlatformSpec] = None
+    """The spec unresolved fields are derived from (default skylake-sp)."""
+    llc: Optional[LlcConfig] = None
+    mlc_sets: Optional[int] = None
+    mlc_ways: Optional[int] = None
+    ext_dir_ways: Optional[int] = None
+    mlc_hit_cycles: Optional[float] = None
+    llc_hit_cycles: Optional[float] = None
+    snoop_hit_cycles: Optional[float] = None
+    """Cache-to-cache transfer from a peer MLC via the extended directory
+    (defaults to ``llc_hit_cycles + 16``)."""
     ddio_write_update: bool = True
     """Real DDIO write-updates LLC-resident lines in place wherever they
     live.  Set False (ablation) to force every inbound write to re-allocate
@@ -70,27 +82,68 @@ class HierarchyConfig:
     directory contention and DMA bloat at the cost of hardware changes the
     paper's software-only approach avoids."""
 
+    def __post_init__(self) -> None:
+        spec = self.platform if self.platform is not None else DEFAULT_PLATFORM
+        if self.llc is None:
+            self.llc = LlcConfig.for_platform(spec)
+        if self.mlc_sets is None:
+            self.mlc_sets = spec.mlc_sets
+        if self.mlc_ways is None:
+            self.mlc_ways = spec.mlc_ways
+        if self.ext_dir_ways is None:
+            self.ext_dir_ways = spec.extended_dir_ways
+        if self.mlc_hit_cycles is None:
+            self.mlc_hit_cycles = spec.mlc_hit_cycles
+        if self.llc_hit_cycles is None:
+            self.llc_hit_cycles = spec.llc_hit_cycles
+        if self.snoop_hit_cycles is None:
+            self.snoop_hit_cycles = self.llc_hit_cycles + 16
+
     @classmethod
     def for_platform(
         cls, platform: PlatformSpec, cores: int = 18, **overrides
     ) -> "HierarchyConfig":
         """Hierarchy geometry/timing of ``platform`` (switches overridable)."""
-        llc = overrides.pop("llc", None) or LlcConfig.for_platform(platform)
-        return cls(
-            cores=cores,
-            llc=llc,
-            mlc_sets=platform.mlc_sets,
-            mlc_ways=platform.mlc_ways,
-            ext_dir_ways=platform.extended_dir_ways,
-            mlc_hit_cycles=platform.mlc_hit_cycles,
-            llc_hit_cycles=platform.llc_hit_cycles,
-            snoop_hit_cycles=platform.llc_hit_cycles + 16,
-            **overrides,
-        )
+        return cls(cores=cores, platform=platform, **overrides)
 
 
 class CacheHierarchy:
-    """One socket's cache hierarchy plus its memory interface."""
+    """One socket's cache hierarchy plus its memory interface.
+
+    The constructor snapshots every spec-derived scalar the per-event paths
+    need (hit latencies, behavioural switches, set counts, the set arrays
+    themselves) into ``__slots__`` locals: the hot paths never chase
+    ``self.cfg.<field>`` through two levels of dataclass indirection per
+    event.  All snapshot sources are frozen or construction-stable; the
+    runtime-mutable state (CAT masks, the DDIO way mask, replacement
+    policy ticks) is still read through its owning object every time.
+    """
+
+    __slots__ = (
+        "cfg",
+        "cat",
+        "memory",
+        "counters",
+        "mba",
+        "llc",
+        "sf",
+        "mlcs",
+        "_scounters",
+        "_inclusive_migration",
+        "_inclusive_ways",
+        "_llc_lru_tick",
+        "_mlc_hit_cycles",
+        "_llc_hit_cycles",
+        "_snoop_hit_cycles",
+        "_ddio_write_update",
+        "_next_line_prefetch",
+        "_self_invalidate_consumed",
+        "_llc_sets",
+        "_llc_nsets",
+        "_sf_sets",
+        "_sf_nsets",
+        "_batching",
+    )
 
     def __init__(
         self,
@@ -105,8 +158,8 @@ class CacheHierarchy:
         self.memory = memory
         self.counters = counters
         self.mba = mba
-        """Optional :class:`repro.rdt.mba.MemoryBandwidthAllocation`:
-        throttles memory latency per the accessing core's CLOS."""
+        # ^ Optional repro.rdt.mba.MemoryBandwidthAllocation: throttles
+        # memory latency per the accessing core's CLOS.
         self.llc = LastLevelCache(cfg.llc)
         self.sf = SnoopFilter(
             sets=cfg.llc.sets,
@@ -118,13 +171,31 @@ class CacheHierarchy:
             for core in range(cfg.cores)
         ]
         self._scounters: dict[str, "StreamCounters"] = {}
-        """Per-stream handle cache; dodges a CounterBank.stream call on
-        every access (the bank itself is stable for the hierarchy's life)."""
+        # Per-stream handle cache; dodges a CounterBank.stream call on
+        # every access (the bank itself is stable for the hierarchy's life).
         self._inclusive_migration = cfg.llc.inclusive_migration
         self._inclusive_ways = cfg.llc.inclusive_ways
-        """Hot-path copies of frozen LlcConfig fields (checked per LLC hit)."""
         self._llc_lru_tick = self.llc._lru_tick
-        """Mirror of the LLC's LRU fast-path tick (None for RRIP/NRU)."""
+        # Mirror of the LLC's LRU fast-path tick (None for RRIP/NRU).
+        # Spec-derived scalar snapshots (constants for this instance).
+        self._mlc_hit_cycles = cfg.mlc_hit_cycles
+        self._llc_hit_cycles = cfg.llc_hit_cycles
+        self._snoop_hit_cycles = cfg.snoop_hit_cycles
+        self._ddio_write_update = cfg.ddio_write_update
+        self._next_line_prefetch = cfg.next_line_prefetch
+        self._self_invalidate_consumed = cfg.self_invalidate_consumed
+        # Structure bindings: the set arrays never change identity.
+        self._llc_sets = self.llc._sets
+        self._llc_nsets = self.llc._nsets
+        self._sf_sets = self.sf._sets
+        self._sf_nsets = self.sf.sets
+        self._batching = batch.enabled()
+
+    def set_batching(self, enabled: bool) -> None:
+        """Toggle batched dispatch for this hierarchy (parity tests and the
+        on/off bit-identity gate use this; figures inherit the module
+        default from :mod:`repro.sim.batch`)."""
+        self._batching = bool(enabled)
 
     def _stream(self, name: str):
         counters = self._scounters.get(name)
@@ -166,14 +237,14 @@ class CacheHierarchy:
             if write:
                 mlc_line.dirty = True
                 # A store hit in an MLC invalidates any (now stale) LLC copy.
-                llc_line = llc._sets[addr % llc._nsets].index.get(addr)
+                llc_line = self._llc_sets[addr % self._llc_nsets].index.get(addr)
                 if llc_line is not None:
                     self._detach_llc_line(llc_line)
                     llc.remove(llc_line)
-            return self.cfg.mlc_hit_cycles
+            return self._mlc_hit_cycles
 
         counters.mlc_misses += 1
-        llc_line = llc._sets[addr % llc._nsets].index.get(addr)
+        llc_line = self._llc_sets[addr % self._llc_nsets].index.get(addr)
         if llc_line is not None:
             lru_tick = self._llc_lru_tick
             if lru_tick is not None:
@@ -195,7 +266,7 @@ class CacheHierarchy:
                 self._detach_llc_line(llc_line)
                 llc.remove(llc_line)
                 self._fill_mlc(now, core, addr, stream, dirty=dirty, io=io_flag)
-            elif llc_line.io and self.cfg.self_invalidate_consumed:
+            elif llc_line.io and self._self_invalidate_consumed:
                 # IDIO/Sweeper baseline: the consumed copy self-invalidates.
                 self._detach_llc_line(llc_line)
                 llc.remove(llc_line)
@@ -218,10 +289,9 @@ class CacheHierarchy:
                 self._fill_mlc(
                     now, core, addr, stream, dirty=llc_line.dirty, io=False
                 )
-            return self.cfg.llc_hit_cycles
+            return self._llc_hit_cycles
 
-        sf = self.sf
-        entry = sf._sets[addr % sf.sets].get(addr)
+        entry = self._sf_sets[addr % self._sf_nsets].get(addr)
         if entry is not None and entry.holders:
             # MLC-only line held by a peer core: serve via a snoop.
             counters.llc_hits += 1
@@ -230,7 +300,7 @@ class CacheHierarchy:
                 self._fill_mlc(now, core, addr, stream, dirty=True, io=False)
             else:
                 self._fill_mlc(now, core, addr, stream, dirty=False, io=False)
-            return self.cfg.snoop_hit_cycles
+            return self._snoop_hit_cycles
 
         # Full miss: fill the MLC straight from memory (non-inclusive).
         counters.llc_misses += 1
@@ -241,7 +311,7 @@ class CacheHierarchy:
         if self.mba is not None:
             latency *= self.mba.latency_factor(self.cat.clos_of(core))
         self._fill_mlc(now, core, addr, stream, dirty=write, io=io_read)
-        if self.cfg.next_line_prefetch and not io_read:
+        if self._next_line_prefetch and not io_read:
             self._prefetch(now, core, addr + 1, stream)
         return latency
 
@@ -255,6 +325,87 @@ class CacheHierarchy:
         counters.prefetch_fills += 1
         self.memory.read(now, 1, stream)
         self._fill_mlc(now, core, addr, stream, dirty=False, io=False)
+
+    def cpu_access_run(
+        self,
+        now: float,
+        core: int,
+        addrs: Sequence[int],
+        stream: str,
+        write: bool = False,
+        io_read: bool = False,
+    ) -> float:
+        """Sum of :meth:`cpu_access` latencies for ``addrs``, in order.
+
+        Semantically identical to calling :meth:`cpu_access` once per
+        address.  With batching on, maximal streaks of MLC *read* hits —
+        which mutate nothing but recency and counters — are classified
+        before any mutation and then processed in bulk (one counter update,
+        recency ticks pre-drawn in order); every other access (writes,
+        misses, LLC/snoop transitions, prefetch triggers) delegates to the
+        scalar path at its original position in the run, so any state it
+        changes is visible to the classification of the remaining suffix.
+
+        The returned total is exact for the default integral hit latencies;
+        with non-integral latency configs it may differ from the scalar sum
+        in the last float bit (bulk multiply vs. repeated add).
+        """
+        if not self._batching or write:
+            cpu_access = self.cpu_access
+            total = 0.0
+            for addr in addrs:
+                total += cpu_access(now, core, addr, stream, write, io_read)
+            return total
+        counters = self._scounters.get(stream)
+        if counters is None:
+            counters = self._scounters[stream] = self.counters.stream(stream)
+        mlc = self.mlcs[core]
+        msets = mlc._sets
+        nmsets = mlc.sets
+        mtick = mlc._tick
+        mlc_hit_cycles = self._mlc_hit_cycles
+        cpu_access = self.cpu_access
+        n = len(addrs)
+        if batch.use_numpy(n):
+            # Vectorized set-index computation for the whole run.
+            idx = (
+                batch.np.asarray(addrs, dtype=batch.np.int64) % nmsets
+            ).tolist()
+        else:
+            idx = None
+        total = 0.0
+        i = 0
+        while i < n:
+            addr = addrs[i]
+            bucket = msets[idx[i]] if idx is not None else msets[addr % nmsets]
+            line = bucket.get(addr)
+            if line is None:
+                total += cpu_access(now, core, addr, stream, False, io_read)
+                i += 1
+                continue
+            # MLC-read-hit streak: a hit mutates only the line's recency,
+            # which cannot change any later access's hit/miss outcome, so
+            # ticks are drawn inline in exact scalar order; the first
+            # non-hit ends the streak and re-enters scalar dispatch.
+            count = 0
+            while True:
+                line.lru = next(mtick)
+                count += 1
+                i += 1
+                if i >= n:
+                    break
+                addr = addrs[i]
+                bucket = (
+                    msets[idx[i]] if idx is not None else msets[addr % nmsets]
+                )
+                line = bucket.get(addr)
+                if line is None:
+                    break
+            counters.mlc_hits += count
+            if io_read:
+                counters.io_reads += count
+            total += mlc_hit_cycles * count
+        return total
 
     # ------------------------------------------------------------------
     # DMA side
@@ -283,13 +434,27 @@ class CacheHierarchy:
             counters = self._scounters[stream] = self.counters.stream(stream)
         counters.dma_writes += lines
 
-        sf = self.sf
-        sf_sets = sf._sets
-        sf_nsets = sf.sets
+        if (
+            self._batching
+            and lines >= batch.MIN_BURST
+            and (
+                not allocating
+                or (self._llc_lru_tick is not None and self._ddio_write_update)
+            )
+        ):
+            # Batched dispatch covers the two uniform flows; the ablation
+            # (write-update off) and non-LRU policies keep scalar dispatch.
+            self._dma_write_burst_batched(
+                now, base_addr, lines, stream, allocating, counters
+            )
+            return
+
+        sf_sets = self._sf_sets
+        sf_nsets = self._sf_nsets
         llc = self.llc
-        llc_sets = llc._sets
-        llc_nsets = llc._nsets
-        write_update = self.cfg.ddio_write_update
+        llc_sets = self._llc_sets
+        llc_nsets = self._llc_nsets
+        write_update = self._ddio_write_update
         lru_tick = self._llc_lru_tick
         memory_write = self.memory.write
         scounters = self._scounters
@@ -381,6 +546,152 @@ class CacheHierarchy:
                 if llc_line is not None:
                     # Stale copy invalidated without write-back.
                     llc.remove(llc_line)
+
+    def _dma_write_burst_batched(
+        self,
+        now: float,
+        base_addr: int,
+        lines: int,
+        stream: str,
+        allocating: bool,
+        counters,
+    ) -> None:
+        """Batch twin of the scalar burst loop (bit-identical by design).
+
+        Parity rests on three invariants, each checked by the randomized
+        property tests:
+
+        * at a fixed ``now`` the memory controller's utilisation window
+          rolls at most once (on the first access), so per-line write-backs
+          and one aggregated ``memory.write`` per stream account
+          identically;
+        * in the allocating LRU flow every line consumes exactly one LLC
+          recency tick (write-update or allocate), so the ticks can be
+          pre-drawn in line order;
+        * deferred per-victim-stream counter flushes run in first-encounter
+          order, matching the order the scalar loop would lazily create
+          stream counters in.
+
+        Anything that breaks uniformity — a snoop-filter hit, an inclusive
+        victim — drops to the scalar helpers mid-batch for that line only.
+        """
+        sf_sets = self._sf_sets
+        sf_nsets = self._sf_nsets
+        llc_sets = self._llc_sets
+        llc_nsets = self._llc_nsets
+        end = base_addr + lines
+        if batch.use_numpy(lines):
+            # Vectorized set-index computation for the whole burst.
+            addr_arr = batch.np.arange(base_addr, end, dtype=batch.np.int64)
+            llc_idx = (addr_arr % llc_nsets).tolist()
+            sf_idx = (
+                llc_idx
+                if sf_nsets == llc_nsets
+                else (addr_arr % sf_nsets).tolist()
+            )
+        else:
+            llc_idx = [a % llc_nsets for a in range(base_addr, end)]
+            sf_idx = (
+                llc_idx
+                if sf_nsets == llc_nsets
+                else [a % sf_nsets for a in range(base_addr, end)]
+            )
+        llc = self.llc
+
+        if not allocating:
+            for offset, addr in enumerate(range(base_addr, end)):
+                if sf_sets[sf_idx[offset]].get(addr) is not None:
+                    self._invalidate_peers(now, addr, keep_core=None, silent=True)
+                llc_line = llc_sets[llc_idx[offset]].index.get(addr)
+                if llc_line is not None:
+                    # Stale copy invalidated without write-back.
+                    llc_line.holders.clear()
+                    llc.remove(llc_line)
+            self.memory.write(now, lines, stream)
+            return
+
+        dca_ways = llc.dca_ways
+        lru_tick = self._llc_lru_tick
+        ticks = list(islice(lru_tick, lines))
+        n_updates = 0
+        n_allocates = 0
+        # victim stream -> [evictions, leaks, write-back lines]
+        evictions: dict[str, list] = {}
+        for offset, addr in enumerate(range(base_addr, end)):
+            if sf_sets[sf_idx[offset]].get(addr) is not None:
+                self._invalidate_peers(now, addr, keep_core=None, silent=True)
+            wayset = llc_sets[llc_idx[offset]]
+            index = wayset.index
+            llc_line = index.get(addr)
+            if llc_line is not None:
+                # DDIO write-update in place.
+                llc_line.holders.clear()
+                n_updates += 1
+                llc_line.dirty = True
+                llc_line.io = True
+                llc_line.consumed = False
+                llc_line.stream = stream
+                llc_line.lru = ticks[offset]
+                continue
+            # DDIO write-allocate into the DCA ways (inlined LRU allocate).
+            n_allocates += 1
+            slots = wayset.slots
+            way = -1
+            best_lru = None
+            for cand in dca_ways:
+                resident = slots[cand]
+                if resident is None:
+                    way = cand
+                    break
+                if best_lru is None or resident.lru < best_lru:
+                    way, best_lru = cand, resident.lru
+            if way < 0:
+                raise ValueError("no candidate ways for victim selection")
+            victim = slots[way]
+            if victim is not None:
+                del index[victim.addr]
+            line = LlcLine(addr, stream, way, True, True, False)
+            line.lru = ticks[offset]
+            slots[way] = line
+            index[addr] = line
+            if victim is not None:
+                if victim.holders:
+                    self._dispose_victim(now, victim)
+                else:
+                    acc = evictions.get(victim.stream)
+                    if acc is None:
+                        acc = evictions[victim.stream] = [0, 0, 0]
+                    acc[0] += 1
+                    if victim.io and not victim.consumed:
+                        acc[1] += 1
+                    if victim.dirty:
+                        acc[2] += 1
+        counters.ddio_updates += n_updates
+        counters.ddio_allocates += n_allocates
+        scounters = self._scounters
+        memory_write = self.memory.write
+        for vstream, (evicted, leaked, written) in evictions.items():
+            vcounters = scounters.get(vstream)
+            if vcounters is None:
+                vcounters = scounters[vstream] = self.counters.stream(vstream)
+            vcounters.llc_evictions_suffered += evicted
+            vcounters.dma_leaks += leaked
+            if written:
+                memory_write(now, written, vstream)
+
+    def dma_write_multi(
+        self,
+        now: float,
+        spans: Sequence[Tuple[int, int, str]],
+        allocating: bool,
+    ) -> None:
+        """Inbound writes of several ``(base_addr, lines, stream)`` spans
+        issued at the same timestamp; equivalent to one
+        :meth:`dma_write_burst` per span, in order.  Devices that fan one
+        service quantum across many buffers (the NVMe transfer engine) use
+        this to keep each span on the batched path."""
+        for base_addr, lines, stream in spans:
+            self.dma_write_burst(now, base_addr, lines, stream, allocating)
 
     def dma_read(self, now: float, addr: int, stream: str) -> None:
         """Outbound device read of one line (egress path)."""
@@ -495,7 +806,7 @@ class CacheHierarchy:
         # (buffers are per-core), so build the entry here; an existing
         # entry just gains a holder.
         sf = self.sf
-        sf_bucket = sf._sets[addr % sf.sets]
+        sf_bucket = self._sf_sets[addr % self._sf_nsets]
         entry = sf_bucket.get(addr)
         if entry is None:
             evicted_entry = None
@@ -522,18 +833,16 @@ class CacheHierarchy:
         """Victim-cache behaviour: an evicted MLC line allocates into the LLC
         within the evicting core's CAT mask (unless already resident)."""
         addr = mlc_line.addr
-        sf = self.sf
         # Inlined SnoopFilter.drop_holder; ``entry`` stays valid for the
         # peer-holder check below (empty entries are deleted here).
-        sf_bucket = sf._sets[addr % sf.sets]
+        sf_bucket = self._sf_sets[addr % self._sf_nsets]
         entry = sf_bucket.get(addr)
         if entry is not None:
             entry.holders.discard(core)
             if not entry.holders:
                 del sf_bucket[addr]
                 entry = None
-        llc = self.llc
-        wayset = llc._sets[addr % llc._nsets]
+        wayset = self._llc_sets[addr % self._llc_nsets]
         llc_line = wayset.index.get(addr)
         if llc_line is not None:
             llc_line.holders.discard(core)
@@ -552,7 +861,7 @@ class CacheHierarchy:
                     peer_line.dirty = True
             return
 
-        if mlc_line.io and self.cfg.self_invalidate_consumed:
+        if mlc_line.io and self._self_invalidate_consumed:
             # IDIO/Sweeper baseline: consumed I/O lines never bloat the LLC.
             if mlc_line.dirty:
                 self.memory.write(now, 1, mlc_line.stream)

@@ -62,6 +62,8 @@ class LlcConfig:
 class LastLevelCache:
     """The shared LLC data array."""
 
+    __slots__ = ("cfg", "_sets", "_nsets", "policy", "_lru_tick", "dca_ways")
+
     def __init__(self, cfg: Optional[LlcConfig] = None):
         self.cfg = cfg or LlcConfig()
         self._sets = [WaySet(self.cfg.ways) for _ in range(self.cfg.sets)]

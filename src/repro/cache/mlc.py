@@ -17,6 +17,8 @@ from repro.platform import DEFAULT_PLATFORM
 class MidLevelCache:
     """One core's private L2."""
 
+    __slots__ = ("core_id", "sets", "ways", "_sets", "_tick")
+
     def __init__(
         self,
         core_id: int,

@@ -33,6 +33,19 @@ class NicConfig:
 class Nic:
     """A receive-side NIC with one ring per consumer core."""
 
+    __slots__ = (
+        "name",
+        "stream",
+        "port",
+        "iio",
+        "generator",
+        "rings",
+        "counters",
+        "_next_ring",
+        "packets_delivered",
+        "packets_dropped",
+    )
+
     def __init__(
         self,
         name: str,

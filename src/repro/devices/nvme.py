@@ -83,6 +83,22 @@ class NvmeCommand:
 class NvmeSsd:
     """A logical NVMe namespace with internal transfer concurrency."""
 
+    __slots__ = (
+        "name",
+        "port",
+        "iio",
+        "counters",
+        "cfg",
+        "_queue",
+        "_active",
+        "_admission_credit",
+        "_started",
+        "_pending_stall",
+        "commands_completed",
+        "lines_transferred",
+        "stalls_injected",
+    )
+
     def __init__(
         self,
         name: str,
@@ -156,22 +172,27 @@ class NvmeSsd:
         cfg = self.cfg
         share = cfg.bandwidth_lines_per_cycle * cfg.quantum_cycles / len(self._active)
         finished: List[NvmeCommand] = []
+        spans: List[tuple] = []
         for command in self._active:
             command._credit += share
             burst = min(int(command._credit), command.lines - command._written)
             if burst > 0:
                 command._credit -= burst
-                self.iio.inbound_write_burst(
-                    sim.now,
-                    self.port,
-                    command.buffer_addr + command._written,
-                    burst,
-                    command.stream,
+                spans.append(
+                    (
+                        command.buffer_addr + command._written,
+                        burst,
+                        command.stream,
+                    )
                 )
                 command._written += burst
                 self.lines_transferred += burst
             if command._written >= command.lines:
                 finished.append(command)
+        if spans:
+            # All of this quantum's per-command bursts happen at the same
+            # timestamp, so they cross the IIO agent as one multi-span call.
+            self.iio.inbound_write_multi(sim.now, self.port, spans)
         for command in finished:
             self._active.remove(command)
             command.completed_at = sim.now

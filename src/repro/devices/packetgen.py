@@ -81,7 +81,23 @@ class PacketGenConfig:
 
 
 class PacketGenerator:
-    """Yields successive packet sizes and inter-arrival gaps."""
+    """Yields successive packet sizes and inter-arrival gaps.
+
+    The config-derived per-packet constants (mean gap, jitter, fixed
+    packet size) are snapshotted at construction: ``mean_gap_cycles`` is
+    a property that re-derives the size mix's expectation, far too much
+    work to repeat once per simulated packet.
+    """
+
+    __slots__ = (
+        "cfg",
+        "rng",
+        "_mix",
+        "rate_scale",
+        "_mean_gap",
+        "_jitter",
+        "_fixed_packet_lines",
+    )
 
     def __init__(self, cfg: PacketGenConfig, rng: random.Random):
         self.cfg = cfg
@@ -90,11 +106,16 @@ class PacketGenerator:
         self.rate_scale = 1.0
         """Instantaneous rate multiplier (>1 = burst storm; set by the
         fault injector, reset to 1.0 when the storm ends)."""
+        self._mean_gap = cfg.mean_gap_cycles
+        self._jitter = cfg.jitter
+        self._fixed_packet_lines = (
+            cfg.packet_lines if self._mix is None else None
+        )
 
     def next_packet_lines(self) -> int:
         """Size of the next packet in cache lines."""
         if self._mix is None:
-            return self.cfg.packet_lines
+            return self._fixed_packet_lines
         draw = self.rng.random()
         cumulative = 0.0
         for size, weight in self._mix:
@@ -104,9 +125,9 @@ class PacketGenerator:
         return self.cfg.lines_for(self._mix[-1][0])
 
     def next_gap(self) -> float:
-        gap = self.cfg.mean_gap_cycles
-        if self.cfg.jitter:
-            spread = self.cfg.jitter * gap
+        gap = self._mean_gap
+        if self._jitter:
+            spread = self._jitter * gap
             gap += self.rng.uniform(-spread, spread)
         if self.rate_scale != 1.0:
             # Guarded so the unstormed arrival process is bit-identical.

@@ -43,6 +43,8 @@ def contiguous_mask(first_way: int, last_way: int) -> Tuple[int, ...]:
 class CacheAllocation:
     """Per-socket CAT state: CLOS masks plus core associations."""
 
+    __slots__ = ("ways", "num_clos", "_masks", "_core_clos")
+
     def __init__(self, ways: int = DEFAULT_PLATFORM.llc_ways, num_clos: int = 16):
         if ways > MAX_CBM_BITS:
             raise ClosConfigError(

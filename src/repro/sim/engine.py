@@ -482,7 +482,11 @@ class Simulator:
                 limit = self._limit
                 pos_end = self._pos_end
                 popped = 0
-                while i < len(bucket):
+                blen = len(bucket)
+                # ``blen`` mirrors ``len(bucket)``: bumped on our own
+                # same-bucket insorts, re-read after callbacks (which may
+                # schedule into this bucket through ``_push``).
+                while i < blen:
                     entry = bucket[i]
                     when = entry[_TIME]
                     if when > end_time:
@@ -526,6 +530,7 @@ class Simulator:
                         if when < pos_end:
                             # Same-bucket re-schedule: one compare.
                             insort(bucket, entry, i)
+                            blen += 1
                             popped -= 1  # pop + wheel push cancel out
                         elif when < limit:
                             idx = int((when - base) * _INV_GRAIN)
@@ -533,6 +538,7 @@ class Simulator:
                                 idx = _LAST_SLOT
                             if idx == pos:  # boundary rounding disagreement
                                 insort(bucket, entry, i)
+                                blen += 1
                             else:
                                 buckets[idx].append(entry)
                             popped -= 1
@@ -543,6 +549,7 @@ class Simulator:
                         # The callback may have pushed into this bucket
                         # (tracked by _wheel_len directly) or anywhere
                         # else; only our own pops stay in ``popped``.
+                        blen = len(bucket)
                 self._wheel_len -= popped
         finally:
             self._running = False

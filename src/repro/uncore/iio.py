@@ -10,7 +10,7 @@ exact mechanism A4's selective DCA disabling manipulates.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Sequence, Tuple
 
 from repro.uncore.pcie import PciePort
 
@@ -20,6 +20,8 @@ if TYPE_CHECKING:  # pragma: no cover - avoids a cycle with cache.hierarchy
 
 class IIOAgent:
     """Bridges device DMA to the cache hierarchy, respecting per-port DCA."""
+
+    __slots__ = ("hierarchy",)
 
     def __init__(self, hierarchy: "CacheHierarchy"):
         self.hierarchy = hierarchy
@@ -37,6 +39,23 @@ class IIOAgent:
         self.hierarchy.dma_write_burst(
             now, base_addr, lines, stream, port.dca_enabled
         )
+
+    def inbound_write_multi(
+        self,
+        now: float,
+        port: PciePort,
+        spans: Sequence[Tuple[int, int, str]],
+    ) -> None:
+        """DMA-write several ``(base_addr, lines, stream)`` spans at once.
+
+        Equivalent to one :meth:`inbound_write_burst` per span; devices
+        that spread a service quantum across many buffers use this so the
+        whole quantum crosses the agent in one call."""
+        total = 0
+        for _, lines, _ in spans:
+            total += lines
+        port.inbound_write_lines += total
+        self.hierarchy.dma_write_multi(now, spans, port.dca_enabled)
 
     def outbound_read(self, now: float, port: PciePort, addr: int, stream: str) -> None:
         """A device DMA-reads one line from host address ``addr`` (egress)."""

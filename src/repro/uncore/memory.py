@@ -16,6 +16,19 @@ from repro.telemetry.counters import CounterBank
 class MemoryController:
     """DRAM interface; all units are cache lines and cycles."""
 
+    __slots__ = (
+        "counters",
+        "_scounters",
+        "bandwidth",
+        "base_latency",
+        "window",
+        "_window_start",
+        "_window_lines",
+        "_utilization",
+        "total_reads",
+        "total_writes",
+    )
+
     def __init__(
         self,
         counters: CounterBank,

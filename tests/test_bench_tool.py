@@ -1,0 +1,157 @@
+"""Tests for the bench harness's record comparison and gating logic.
+
+``tools/bench.py`` is a script, not a package module; these tests load it
+by path and exercise the pure comparison layer (no benchmarks run): the
+``--compare`` drift table, the calibration-normalized gate, and the
+regressed-name reporting the retry loop feeds on.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+_spec = importlib.util.spec_from_file_location("bench_tool", ROOT / "tools" / "bench.py")
+bench = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(bench)
+
+
+def record(walls, quick=False, calibration=None, git="abc1234"):
+    results = {
+        name: {
+            "wall_s": wall,
+            "events": 1000,
+            "events_per_s": 1000 / wall,
+        }
+        for name, wall in walls.items()
+    }
+    rec = {"schema": 1, "git": git, "quick": quick, "results": results}
+    if calibration is not None:
+        rec["calibration_ops_per_s"] = calibration
+    return rec
+
+
+def write(tmp_path, name, rec):
+    path = tmp_path / name
+    path.write_text(json.dumps(rec))
+    return path
+
+
+def test_compare_records_flags_regression(tmp_path, capsys):
+    a = write(tmp_path, "a.json", record({"engine": 1.0, "cpu": 2.0}))
+    b = write(tmp_path, "b.json", record({"engine": 1.0, "cpu": 2.5}))
+    status = bench.compare_records(a, b, fail_below=0.95)
+    out = capsys.readouterr().out
+    assert status == 1
+    assert "cpu" in out and "REGRESSION" in out
+    assert "engine" in out
+
+
+def test_compare_records_passes_at_parity(tmp_path, capsys):
+    a = write(tmp_path, "a.json", record({"engine": 1.0}))
+    b = write(tmp_path, "b.json", record({"engine": 1.02}))
+    assert bench.compare_records(a, b, fail_below=0.95) == 0
+    assert "REGRESSION" not in capsys.readouterr().out
+
+
+def test_compare_records_handles_dropped_and_new(tmp_path, capsys):
+    a = write(tmp_path, "a.json", record({"old": 1.0, "shared": 1.0}))
+    b = write(tmp_path, "b.json", record({"shared": 1.0, "fresh": 0.5}))
+    assert bench.compare_records(a, b, fail_below=0.95) == 0
+    out = capsys.readouterr().out
+    assert "(dropped)" in out and "(new)" in out
+
+
+def test_compare_records_warns_on_quick_vs_full(tmp_path, capsys):
+    a = write(tmp_path, "a.json", record({"engine": 1.0}, quick=True))
+    b = write(tmp_path, "b.json", record({"engine": 1.0}, quick=False))
+    bench.compare_records(a, b, fail_below=0.95)
+    assert "quick record against a full record" in capsys.readouterr().out
+
+
+def test_calibration_normalizes_uniform_slowdown(tmp_path, capsys):
+    """A host running 25% slower inflates every wall AND deflates the
+    calibration loop by the same factor; the normalized gate must pass."""
+    a = write(
+        tmp_path, "a.json", record({"engine": 1.0}, calibration=1_000_000.0)
+    )
+    b = write(
+        tmp_path,
+        "b.json",
+        record({"engine": 1.25}, calibration=800_000.0),
+    )
+    assert bench.compare_records(a, b, fail_below=0.95) == 0
+    out = capsys.readouterr().out
+    assert "host speed vs baseline" in out
+    # Without calibration the same walls are a hard failure.
+    a2 = write(tmp_path, "a2.json", record({"engine": 1.0}))
+    b2 = write(tmp_path, "b2.json", record({"engine": 1.25}))
+    assert bench.compare_records(a2, b2, fail_below=0.95) == 1
+
+
+def test_calibration_does_not_mask_real_regression(tmp_path):
+    """Same host speed (equal calibration), slower code: still fails."""
+    a = write(
+        tmp_path, "a.json", record({"engine": 1.0}, calibration=1_000_000.0)
+    )
+    b = write(
+        tmp_path,
+        "b.json",
+        record({"engine": 1.25}, calibration=1_000_000.0),
+    )
+    assert bench.compare_records(a, b, fail_below=0.95) == 1
+
+
+def test_compare_returns_regressed_names():
+    current = record({"engine": 1.0, "cpu": 2.5, "dma": 1.0})
+    previous = record({"engine": 1.0, "cpu": 2.0, "dma": 1.02})
+    lines, regressed = bench.compare(current, previous, threshold=0.95)
+    assert regressed == ["cpu"]
+    assert any("REGRESSION" in line for line in lines)
+
+
+def test_compare_skips_incomparable_quick_baseline():
+    current = record({"engine": 2.0}, quick=False)
+    previous = record({"engine": 1.0}, quick=True)
+    lines, regressed = bench.compare(current, previous, threshold=0.95)
+    assert regressed == []
+    assert any("no comparable baseline" in line for line in lines)
+
+
+def test_calibrate_returns_positive_rate():
+    assert bench.calibrate(repeats=1) > 0
+
+
+def test_committed_quick_baseline_is_valid():
+    """CI's bench-gate depends on this record: it must exist, be a quick
+    record, carry a calibration number, and cover the gated scenarios."""
+    path = ROOT / "BENCH_baseline.quick.json"
+    rec = json.loads(path.read_text())
+    assert rec["quick"] is True
+    assert rec["calibration_ops_per_s"] > 0
+    for name in ("engine", "cpu_access", "dma_write"):
+        assert rec["results"][name]["wall_s"] > 0
+
+
+def test_baseline_quick_record_never_sorts_latest(tmp_path):
+    """``BENCH_baseline.quick.json`` must sort *before* every dated
+    record so it can never become a full run's implicit baseline."""
+    names = [
+        "BENCH_baseline.quick.json",
+        "BENCH_2026-08-06.json",
+        "BENCH_2026-08-06.2.json",
+    ]
+    # bench_records sorts non-matching names first via the empty date key.
+    saved = bench.ROOT
+    bench.ROOT = tmp_path
+    try:
+        for name in names:
+            write(tmp_path, name, record({"engine": 1.0}))
+        ordered = bench.bench_records(exclude=tmp_path / "none.json")
+    finally:
+        bench.ROOT = saved
+    assert [p.name for p in ordered] == [
+        "BENCH_baseline.quick.json",
+        "BENCH_2026-08-06.json",
+        "BENCH_2026-08-06.2.json",
+    ]
