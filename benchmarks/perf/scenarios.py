@@ -19,7 +19,12 @@ Registered benchmarks:
   replay and ``cold_s``/``speedup`` record the win;
 * ``platform_sweep``        — one small figure across every platform
   preset via :func:`repro.experiments.sweep.sweep_platforms` (cache
-  disabled, so it measures real per-platform simulation).
+  disabled, so it measures real per-platform simulation);
+* ``long_horizon``          — the canonical server over a long stationary
+  horizon, simulated exactly epoch by epoch;
+* ``sampled_long_horizon``  — the same horizon under
+  representative-interval sampling; records wall/structural speedup and
+  the true error vs the exact run (asserted <= the 2% budget).
 """
 
 from __future__ import annotations
@@ -242,6 +247,96 @@ def bench_batched_cpu(quick: bool) -> Dict[str, float]:
     return _best_of(1 if quick else 3, body)
 
 
+def _long_horizon_config(quick: bool):
+    """Epoch count + sampling plan for the long-horizon pair.
+
+    Full mode is sized so the sampled run demonstrates the ISSUE-7 target
+    (>=10x wall clock at <=2% error) on a stationary scenario; quick mode
+    keeps CI smoke under a few seconds with a shorter skip leash."""
+    from repro.sim.sampling import SamplingPlan
+
+    if quick:
+        return 60, SamplingPlan(max_skip=16, error_budget=0.02)
+    return 200, SamplingPlan(max_skip=32, error_budget=0.02)
+
+
+def _run_long_horizon(quick: bool, plan=None):
+    epochs, default_plan = _long_horizon_config(quick)
+    started = time.perf_counter()
+    server = build_canonical(0xA4)
+    result = server.run(epochs=epochs, warmup=5, sampling=plan)
+    wall = time.perf_counter() - started
+    return wall, epochs, server, result
+
+
+def _sampled_true_error(exact, sampled) -> float:
+    """Worst relative error of the sampled aggregates vs the exact run.
+
+    Metrics whose exact magnitude is below 0.01 are excluded: relative
+    error against a near-zero denominator (e.g. the storage reader's
+    ~1e-3 LLC hit rate in the unmanaged mix) measures noise amplification,
+    not extrapolation quality — absolute drift there is negligible."""
+    worst = 0.0
+    for name in exact.stream_names():
+        exact_agg = exact.aggregate(name)
+        sampled_agg = sampled.aggregate(name)
+        for metric in ("ipc", "llc_hit_rate", "throughput"):
+            reference = getattr(exact_agg, metric)
+            if abs(reference) < 0.01:
+                continue
+            estimate = getattr(sampled_agg, metric)
+            worst = max(worst, abs(estimate - reference) / abs(reference))
+    return worst
+
+
+def bench_long_horizon(quick: bool) -> Dict[str, float]:
+    """Exact long-horizon run of the canonical server (the 10-100x
+    motivation case: many stationary epochs simulated one by one)."""
+    wall, epochs, server, _ = _run_long_horizon(quick)
+    events = server.sim.events_executed
+    return {
+        "wall_s": wall,
+        "events": events,
+        "events_per_s": events / wall if wall else 0.0,
+        "epochs": epochs,
+    }
+
+
+def bench_sampled_long_horizon(quick: bool) -> Dict[str, float]:
+    """The same horizon under representative-interval sampling.
+
+    Runs exact *and* sampled so the record carries the measured wall
+    speedup and the true (not just estimated) error; asserts the error
+    budget holds, so a sampler regression fails the bench outright.
+    ``wall_s`` (the gated number) is the sampled run."""
+    epochs, plan = _long_horizon_config(quick)
+    exact_wall, _, _, exact = _run_long_horizon(quick)
+    started = time.perf_counter()
+    server = build_canonical(0xA4)
+    sampled = server.run(epochs=epochs, warmup=5, sampling=plan)
+    wall = time.perf_counter() - started
+    report = sampled.sampling
+    true_err = _sampled_true_error(exact, sampled)
+    assert true_err <= plan.error_budget, (
+        f"sampled long-horizon error {true_err:.4f} blew the "
+        f"{plan.error_budget:.2f} budget"
+    )
+    events = server.sim.events_executed
+    return {
+        "wall_s": wall,
+        "events": events,
+        "events_per_s": events / wall if wall else 0.0,
+        "epochs": epochs,
+        "exact_wall_s": exact_wall,
+        "wall_speedup_vs_exact": exact_wall / wall if wall else 0.0,
+        "structural_speedup": report.speedup_estimate,
+        "detailed_epochs": report.detailed_epochs,
+        "skipped_epochs": report.skipped_epochs,
+        "max_rel_err_true": true_err,
+        "max_rel_err_reported": report.max_rel_err(),
+    }
+
+
 MACRO_BENCHMARKS = {
     "canonical": bench_canonical,
     "multi_seed": bench_multi_seed,
@@ -250,4 +345,6 @@ MACRO_BENCHMARKS = {
     "platform_sweep": bench_platform_sweep,
     "batched_dma": bench_batched_dma,
     "batched_cpu": bench_batched_cpu,
+    "long_horizon": bench_long_horizon,
+    "sampled_long_horizon": bench_sampled_long_horizon,
 }

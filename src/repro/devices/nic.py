@@ -68,9 +68,11 @@ class Nic:
         self.packets_dropped = 0
 
     def start(self, sim: Simulator) -> None:
-        sim.spawn(f"{self.name}-rx", self._rx_body(sim))
+        sim.spawn_restartable(f"{self.name}-rx", self, "_rx_body", sim)
 
     def _rx_body(self, sim: Simulator):
+        # Already restartable as written: the single yield ends the loop
+        # body and all state lives on ``self`` / the generator's RNG.
         counters = self.counters.stream(self.stream)
         while True:
             lines = self.generator.next_packet_lines()

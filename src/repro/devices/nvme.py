@@ -94,6 +94,8 @@ class NvmeSsd:
         "_admission_credit",
         "_started",
         "_pending_stall",
+        "_mid_quantum",
+        "_stall_taken",
         "commands_completed",
         "lines_transferred",
         "stalls_injected",
@@ -117,6 +119,8 @@ class NvmeSsd:
         self._admission_credit = 0.0
         self._started = False
         self._pending_stall = 0.0
+        self._mid_quantum = False
+        self._stall_taken = False
         self.commands_completed = 0
         self.lines_transferred = 0
         self.stalls_injected = 0
@@ -133,20 +137,39 @@ class NvmeSsd:
     def queue_depth(self) -> int:
         return len(self._queue) + len(self._active)
 
+    def time_shift(self, delta: float) -> None:
+        """Shift the absolute timestamps of queued/in-flight commands by
+        ``delta`` (interval-sampling clock skip)."""
+        for command in list(self._queue) + self._active:
+            command.submitted_at += delta
+            command.admitted_at += delta
+            command.completed_at += delta
+
     def submit(self, sim: Simulator, command: NvmeCommand) -> None:
         command.submitted_at = sim.now
         self._queue.append(command)
         if not self._started:
             self._started = True
-            sim.spawn(f"{self.name}-engine", self._engine(sim))
+            sim.spawn_restartable(f"{self.name}-engine", self, "_engine", sim)
 
     def _engine(self, sim: Simulator):
+        # Restartable body: the quantum/stall position lives in the
+        # ``_mid_quantum``/``_stall_taken`` flags rather than in the
+        # generator frame, so a rebuilt generator resumes in the right leg
+        # of the service loop after a checkpoint restore.
         cfg = self.cfg
         while True:
-            yield cfg.quantum_cycles
-            if self._pending_stall > 0.0:
+            if not self._mid_quantum:
+                self._mid_quantum = True
+                yield cfg.quantum_cycles
+                continue
+            if self._pending_stall > 0.0 and not self._stall_taken:
+                self._stall_taken = True
                 stall, self._pending_stall = self._pending_stall, 0.0
                 yield stall
+                continue
+            self._mid_quantum = False
+            self._stall_taken = False
             self._admit(sim)
             self._transfer(sim)
 

@@ -120,6 +120,30 @@ def main(argv=None) -> int:
         "print a summary table (honours --jobs)",
     )
     parser.add_argument(
+        "--sample",
+        action="store_true",
+        help="representative-interval sampling: skip stationary epochs and "
+        "extrapolate, for 10-100x faster long-horizon runs; passed to "
+        "every selected figure that takes a sampling parameter "
+        "(others warn and run exact)",
+    )
+    parser.add_argument(
+        "--error-budget",
+        type=float,
+        default=0.02,
+        help="target max relative error of sampled aggregates "
+        "(default: 0.02; only meaningful with --sample)",
+    )
+    parser.add_argument(
+        "--checkpoint-dir",
+        metavar="DIR",
+        default=None,
+        help="checkpoint/restore directory: run_setup-based figures "
+        "snapshot periodically and resume interrupted runs from the "
+        "newest checkpoint (exported as $REPRO_CHECKPOINT_DIR so pool "
+        "workers inherit it)",
+    )
+    parser.add_argument(
         "--fault-intensity",
         type=float,
         default=None,
@@ -156,6 +180,21 @@ def main(argv=None) -> int:
             print("--fault-intensity must be >= 0", file=sys.stderr)
             return 2
         os.environ[runcache.ENV_FAULT_INTENSITY] = str(args.fault_intensity)
+
+    if args.checkpoint_dir is not None:
+        from repro.experiments.figures import base as figures_base
+
+        os.environ[figures_base.ENV_CHECKPOINT_DIR] = args.checkpoint_dir
+
+    sampling_plan = None
+    if args.sample:
+        from repro.sim.sampling import SamplingPlan
+
+        try:
+            sampling_plan = SamplingPlan(error_budget=args.error_budget)
+        except ValueError as exc:
+            print(f"--error-budget: {exc}", file=sys.stderr)
+            return 2
 
     cache = runcache.configure(
         cache_dir=args.cache_dir,
@@ -228,6 +267,16 @@ def main(argv=None) -> int:
         kwargs = {}
         if args.quick:
             kwargs.update(QUICK_KWARGS.get(name, {}))
+        if sampling_plan is not None:
+            from repro.experiments.sweep import _accepts
+
+            if _accepts(REGISTRY[name], "sampling"):
+                kwargs["sampling"] = sampling_plan
+            else:
+                print(
+                    f"[{name}: no sampling parameter; running exact]",
+                    file=sys.stderr,
+                )
         return kwargs
 
     if args.sweep_ways is not None:

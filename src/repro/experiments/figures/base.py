@@ -8,6 +8,7 @@ that.
 
 from __future__ import annotations
 
+import os
 from typing import Dict, Iterable, Optional, Tuple
 
 from repro.experiments import runcache
@@ -19,6 +20,11 @@ from repro.workloads.base import Workload
 DEFAULT_EPOCHS = 8
 DEFAULT_WARMUP = 2
 
+ENV_CHECKPOINT_DIR = "REPRO_CHECKPOINT_DIR"
+"""Ambient checkpoint directory (the CLI's ``--checkpoint-dir`` exports
+it so process-pool workers inherit the setting); an explicit
+``checkpoint_dir`` argument always wins."""
+
 
 def run_setup(
     workloads: Iterable[Workload],
@@ -29,6 +35,9 @@ def run_setup(
     seed: int = 0xA4,
     spare_cores: int = 2,
     platform: Optional[PlatformSpec] = None,
+    sampling=None,
+    checkpoint_dir: Optional[str] = None,
+    checkpoint_every: Optional[int] = None,
 ) -> RunResult:
     """Run a manager-less setup with explicit CAT masks.
 
@@ -37,6 +46,17 @@ def run_setup(
     non-allocating flow.  ``platform`` (a spec or preset name) selects the
     microarchitecture; its fingerprint is part of the cache key, so runs
     on different specs never alias.
+
+    ``sampling`` (a :class:`~repro.sim.sampling.SamplingPlan`) switches
+    the run to representative-interval mode; the plan — including its
+    error budget — is folded into the cache key, so sampled and exact
+    results never alias.  ``checkpoint_dir`` attaches a
+    :class:`~repro.sim.checkpoint.CheckpointStore`: the run snapshots
+    every ``checkpoint_every`` epochs (default: quarter-run cadence)
+    under this setup's cache key, and an interrupted run restarted with
+    the same configuration resumes from the newest checkpoint instead of
+    simulating from cycle zero.  Checkpoint parameters do *not* enter the
+    cache key — they change how a result is computed, never what it is.
 
     Completed runs are memoized in the content-addressed run cache keyed
     on the full canonical configuration; a warm hit rebuilds the
@@ -60,6 +80,7 @@ def run_setup(
             seed,
             spare_cores,
             platform.fingerprint(),
+            sampling,
         )
     )
     cached = cache.get(key)
@@ -68,27 +89,65 @@ def run_setup(
             samples=cached["samples"],
             warmup=cached["warmup"],
             server=runcache.CachedServer(epoch_cycles=cached["epoch_cycles"]),
+            sampling=cached.get("sampling"),
         )
-    cores = sum(w.num_cores for w in workloads) + spare_cores
-    server = Server(cores=cores, seed=seed, platform=platform)
-    for workload in workloads:
-        server.add_workload(workload)
-    for name, (first, last) in (masks or {}).items():
-        server.cat.set_mask(server.clos_of(name), range(first, last + 1))
-    for name in dca_off:
-        workload = server.workload(name)
-        if workload.port_id is None:
-            raise WorkloadConfigError(
-                f"{name} has no I/O device to disable DCA for"
-            )
-        server.pcie.port(workload.port_id).disable_dca()
-    result = server.run(epochs=epochs, warmup=warmup)
+    if checkpoint_dir is None:
+        checkpoint_dir = os.environ.get(ENV_CHECKPOINT_DIR) or None
+    store = None
+    if checkpoint_dir is not None:
+        from repro.sim.checkpoint import CheckpointStore
+
+        store = CheckpointStore(checkpoint_dir)
+        if checkpoint_every is None:
+            checkpoint_every = max(1, epochs // 4)
+    server = None
+    done = 0
+    if store is not None:
+        from repro.sim import checkpoint as ckpt
+
+        state = store.latest(key, max_epoch=epochs - 1)
+        if state is not None and 0 < state.epoch < epochs:
+            server = ckpt.restore(state)
+            done = state.epoch
+    if server is None:
+        cores = sum(w.num_cores for w in workloads) + spare_cores
+        server = Server(cores=cores, seed=seed, platform=platform)
+        for workload in workloads:
+            server.add_workload(workload)
+        for name, (first, last) in (masks or {}).items():
+            server.cat.set_mask(server.clos_of(name), range(first, last + 1))
+        for name in dca_off:
+            workload = server.workload(name)
+            if workload.port_id is None:
+                raise WorkloadConfigError(
+                    f"{name} has no I/O device to disable DCA for"
+                )
+            server.pcie.port(workload.port_id).disable_dca()
+    result = server.run(
+        epochs=epochs - done,
+        warmup=max(0, warmup - done),
+        sampling=sampling,
+        checkpoint_store=store,
+        checkpoint_every=checkpoint_every or 0,
+        run_key=key,
+    )
+    if done:
+        # Stitch the pre-checkpoint epochs (restored inside the server's
+        # PCM history) back onto this segment's samples so the result is
+        # indistinguishable from an uninterrupted run.
+        result = RunResult(
+            samples=server.pcm.history[-epochs:],
+            warmup=warmup,
+            server=server,
+            sampling=result.sampling,
+        )
     cache.put(
         key,
         {
             "samples": result.samples,
             "warmup": result.warmup,
             "epoch_cycles": server.epoch_cycles,
+            "sampling": result.sampling,
         },
     )
     return result

@@ -28,6 +28,7 @@ def run(
     packet_sizes=PACKET_SIZES,
     schemes=SCHEMES,
     platform: Optional[PlatformSpec] = None,
+    sampling=None,
 ) -> FigureResult:
     platform = get_platform(platform)
     result = FigureResult(
@@ -54,7 +55,9 @@ def run(
                 seed=seed,
                 platform=platform,
             )
-            run_result = server.run(epochs=epochs, warmup=warmup)
+            run_result = server.run(
+                epochs=epochs, warmup=warmup, sampling=sampling
+            )
             row = {"scheme": scheme, "pkt": f"{packet_bytes}B"}
             for i in (1, 2, 3):
                 agg = run_result.aggregate(f"xmem{i}")

@@ -32,6 +32,7 @@ def _hpw_relative_perf(
     seed: int,
     baselines: Dict[str, float],
     platform: PlatformSpec,
+    sampling=None,
 ) -> Dict[str, float]:
     """Run one configuration; return per-workload performance.
 
@@ -39,9 +40,10 @@ def _hpw_relative_perf(
     (policy, scheme, seed) corner across sub-figures."""
     return runcache.get_cache().memo(
         ("fig15_hpw_relative_perf", policy, scheme, epochs, warmup, seed,
-         baselines, platform.fingerprint()),
+         baselines, platform.fingerprint(), sampling),
         lambda: _hpw_relative_perf_compute(
-            policy, scheme, epochs, warmup, seed, baselines, platform
+            policy, scheme, epochs, warmup, seed, baselines, platform,
+            sampling,
         ),
     )
 
@@ -54,12 +56,13 @@ def _hpw_relative_perf_compute(
     seed: int,
     baselines: Dict[str, float],
     platform: PlatformSpec,
+    sampling=None,
 ) -> Dict[str, float]:
     workloads = hpw_heavy_workloads(platform)
     server = build_server(
         workloads, scheme=scheme, seed=seed, policy=policy, platform=platform
     )
-    run = server.run(epochs=epochs, warmup=warmup)
+    run = server.run(epochs=epochs, warmup=warmup, sampling=sampling)
     perfs = {w.name: performance_of(run, w) for w in workloads}
     perfs["__hpw_geomean__"] = geometric_mean(
         [
@@ -74,22 +77,28 @@ def _hpw_relative_perf_compute(
     return perfs
 
 
-def _default_baseline(epochs, warmup, seed, platform) -> Dict[str, float]:
+def _default_baseline(
+    epochs, warmup, seed, platform, sampling=None
+) -> Dict[str, float]:
     """Default-model per-workload performance (shared across all three
     sensitivity panels — memoized so the suite computes it once)."""
     return runcache.get_cache().memo(
         ("fig15_default_baseline", epochs, warmup, seed,
-         platform.fingerprint()),
-        lambda: _default_baseline_compute(epochs, warmup, seed, platform),
+         platform.fingerprint(), sampling),
+        lambda: _default_baseline_compute(
+            epochs, warmup, seed, platform, sampling
+        ),
     )
 
 
-def _default_baseline_compute(epochs, warmup, seed, platform) -> Dict[str, float]:
+def _default_baseline_compute(
+    epochs, warmup, seed, platform, sampling=None
+) -> Dict[str, float]:
     workloads = hpw_heavy_workloads(platform)
     server = build_server(
         workloads, scheme="default", seed=seed, platform=platform
     )
-    run = server.run(epochs=epochs, warmup=warmup)
+    run = server.run(epochs=epochs, warmup=warmup, sampling=sampling)
     return {w.name: performance_of(run, w) for w in workloads}
 
 
@@ -100,6 +109,7 @@ def run_partitioning(
     t1_values=(0.10, 0.20, 0.40),
     t5_values=(0.80, 0.90, 0.95),
     platform: Optional[PlatformSpec] = None,
+    sampling=None,
 ) -> FigureResult:
     """Fig. 15a: T1 and T5 sweeps."""
     platform = get_platform(platform)
@@ -108,11 +118,11 @@ def run_partitioning(
         title="A4 sensitivity to T1 (HPW_LLC_HIT) and T5 (ANT_CACHE_MISS)",
         columns=["param", "value", "hpw_rel_perf", "n_antagonists"],
     )
-    baselines = _default_baseline(epochs, warmup, seed, platform)
+    baselines = _default_baseline(epochs, warmup, seed, platform, sampling)
     for t1 in t1_values:
         perfs = _hpw_relative_perf(
             A4Policy.for_platform(platform, hpw_llc_hit_thr=t1),
-            "a4", epochs, warmup, seed, baselines, platform,
+            "a4", epochs, warmup, seed, baselines, platform, sampling,
         )
         result.add_row(
             param="T1",
@@ -123,7 +133,7 @@ def run_partitioning(
     for t5 in t5_values:
         perfs = _hpw_relative_perf(
             A4Policy.for_platform(platform, ant_cache_miss_thr=t5),
-            "a4", epochs, warmup, seed, baselines, platform,
+            "a4", epochs, warmup, seed, baselines, platform, sampling,
         )
         result.add_row(
             param="T5",

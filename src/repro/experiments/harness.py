@@ -94,6 +94,11 @@ class Server:
         self.total_cores = cores
         self.workloads: List[Workload] = []
         self.manager = None
+        self.epochs_completed = 0
+        """Cumulative epoch count across every ``run`` call (and across a
+        checkpoint restore — it pickles with the server), so trace epochs
+        and checkpoint indices of a resumed run line up with the
+        uninterrupted equivalent."""
         self._next_core = 0
         self._next_addr = 1 << 20
         self._next_port = 0
@@ -172,19 +177,23 @@ class Server:
 
     # -- execution -------------------------------------------------------------
 
-    def run(
-        self,
-        epochs: int,
-        warmup: Optional[int] = None,
-        epoch_hook=None,
-    ) -> "RunResult":
-        if warmup is None:
-            warmup = self.platform.warmup_epochs
-        if epochs <= warmup:
-            raise InsufficientEpochsError(
-                "need more epochs than warm-up intervals"
-            )
-        samples: List[EpochSample] = []
+    def time_shift(self, delta: float) -> None:
+        """Advance the wall clock by ``delta`` cycles without simulating.
+
+        The engine fast-forwards (pending events keep their relative
+        offsets), and every component holding *absolute* timestamps —
+        the memory controller's bandwidth window, in-flight device
+        commands, workload latency baselines — is shifted to match, so
+        simulation resumes exactly where it left off, just later.  This
+        is the primitive interval sampling skips epochs with."""
+        self.sim.fast_forward(delta)
+        self.memory.time_shift(delta)
+        for workload in self.workloads:
+            workload.time_shift(delta)
+
+    def _begin_run(self):
+        """Per-``run`` observability setup shared by the exact and sampled
+        executors; returns the context tuple ``_run_epoch`` consumes."""
         faults = self.faults
         tracer = obsv.TRACER
         profiler = obsv.PROFILER
@@ -205,46 +214,121 @@ class Server:
             )
             if obsv.AUDIT is not None:
                 obsv.AUDIT.platform = self.platform.token
-        for i in range(epochs):
-            if tracer is not None:
-                tracer.epoch = i
-                tracer.now = self.sim.now
-            if profiler is not None:
-                profiler.label = (
-                    getattr(self.manager, "phase", None) or "epoch"
-                )
+        return (faults, tracer, profiler, epoch_hist)
+
+    def _run_epoch(self, ctx) -> EpochSample:
+        """Simulate exactly one monitoring epoch (chaos, events, sample,
+        manager) and advance ``epochs_completed``."""
+        faults, tracer, profiler, epoch_hist = ctx
+        i = self.epochs_completed
+        if tracer is not None:
+            tracer.epoch = i
+            tracer.now = self.sim.now
+        if profiler is not None:
+            profiler.label = (
+                getattr(self.manager, "phase", None) or "epoch"
+            )
+        if faults is not None:
+            # Device chaos is armed before the epoch simulates; delayed
+            # CAT commits mature at the boundary, before the manager
+            # acts on it; the manager sees the (possibly corrupted)
+            # fault view while ``samples`` keeps the true reading.
+            faults.epoch_chaos(self)
+        wall_started = perf_counter() if tracer is not None else 0.0
+        self.sim.run_until(self.sim.now + self.epoch_cycles)
+        sample = self.pcm.sample(self.sim.now)
+        if tracer is not None:
+            wall = perf_counter() - wall_started
+            tracer.now = self.sim.now
+            tracer.emit(
+                obsv.KIND_EPOCH,
+                "epoch",
+                {
+                    "index": i,
+                    "events": self.sim.events_executed,
+                    "mem_bw": sample.mem_total_bw,
+                },
+                wall=wall,
+            )
+            epoch_hist.observe(wall)
+        if self.manager is not None:
             if faults is not None:
-                # Device chaos is armed before the epoch simulates; delayed
-                # CAT commits mature at the boundary, before the manager
-                # acts on it; the manager sees the (possibly corrupted)
-                # fault view while ``samples`` keeps the true reading.
-                faults.epoch_chaos(self)
-            wall_started = perf_counter() if tracer is not None else 0.0
-            self.sim.run_until(self.sim.now + self.epoch_cycles)
-            sample = self.pcm.sample(self.sim.now)
+                faults.advance_epoch()
+                self.manager.on_epoch(faults.filter_sample(sample))
+            else:
+                self.manager.on_epoch(sample)
+        self.epochs_completed += 1
+        return sample
+
+    def _maybe_checkpoint(
+        self, store, every: int, run_key: Optional[str]
+    ) -> None:
+        """Write a checkpoint if a store is attached and the cadence says
+        so; emits one ``checkpoint`` trace event per snapshot taken."""
+        if store is None or every <= 0:
+            return
+        if self.epochs_completed % every != 0:
+            return
+        from repro.sim import checkpoint as ckpt
+
+        state = ckpt.snapshot(self)
+        key = store.save(run_key or "run", state)
+        tracer = obsv.TRACER
+        if tracer is not None:
+            tracer.now = self.sim.now
+            tracer.emit(
+                obsv.KIND_CHECKPOINT,
+                "snapshot",
+                {
+                    "epoch": state.epoch,
+                    "key": key[:16],
+                    "bytes": len(state.payload),
+                },
+            )
+
+    def run(
+        self,
+        epochs: int,
+        warmup: Optional[int] = None,
+        epoch_hook=None,
+        sampling=None,
+        checkpoint_store=None,
+        checkpoint_every: int = 0,
+        run_key: Optional[str] = None,
+    ) -> "RunResult":
+        """Advance the server ``epochs`` monitoring intervals.
+
+        ``sampling`` (a :class:`~repro.sim.sampling.SamplingPlan`) switches
+        to the representative-interval executor; exact epoch-by-epoch
+        simulation — bit-identical to every previous release — remains the
+        default.  ``checkpoint_store`` + ``checkpoint_every`` snapshot the
+        whole server every N completed epochs under ``run_key``."""
+        if warmup is None:
+            warmup = self.platform.warmup_epochs
+        if epochs <= warmup:
+            raise InsufficientEpochsError(
+                "need more epochs than warm-up intervals"
+            )
+        if sampling is not None:
+            from repro.sim.sampling import SampledRun
+
+            return SampledRun(self, sampling).run(
+                epochs,
+                warmup,
+                epoch_hook,
+                checkpoint_store=checkpoint_store,
+                checkpoint_every=checkpoint_every,
+                run_key=run_key,
+            )
+        samples: List[EpochSample] = []
+        ctx = self._begin_run()
+        tracer = ctx[1]
+        for _ in range(epochs):
+            sample = self._run_epoch(ctx)
             samples.append(sample)
-            if tracer is not None:
-                wall = perf_counter() - wall_started
-                tracer.now = self.sim.now
-                tracer.emit(
-                    obsv.KIND_EPOCH,
-                    "epoch",
-                    {
-                        "index": i,
-                        "events": self.sim.events_executed,
-                        "mem_bw": sample.mem_total_bw,
-                    },
-                    wall=wall,
-                )
-                epoch_hist.observe(wall)
-            if self.manager is not None:
-                if faults is not None:
-                    faults.advance_epoch()
-                    self.manager.on_epoch(faults.filter_sample(sample))
-                else:
-                    self.manager.on_epoch(sample)
             if epoch_hook is not None:
                 epoch_hook(self, sample)
+            self._maybe_checkpoint(checkpoint_store, checkpoint_every, run_key)
         if tracer is not None:
             tracer.epoch = -1
         return RunResult(samples=samples, warmup=warmup, server=self)
@@ -279,6 +363,9 @@ class RunResult:
     samples: List[EpochSample]
     warmup: int
     server: Server
+    sampling: Optional[object] = None
+    """:class:`~repro.sim.sampling.SamplingReport` when the run used
+    representative-interval sampling; None for exact runs."""
 
     @property
     def window(self) -> List[EpochSample]:
@@ -359,10 +446,29 @@ class RunResult:
         path: str,
         metrics=("ipc", "llc_hit_rate", "io_throughput", "avg_latency"),
     ) -> None:
-        """Dump the per-epoch, per-stream time series to ``path`` (CSV)."""
+        """Dump the per-epoch, per-stream time series to ``path`` (CSV).
+
+        For a sampled run a companion ``<path>.sampling.csv`` is written
+        alongside, carrying the per-stream extrapolation estimates
+        (mean, standard error, relative error) so downstream plots can
+        annotate confidence."""
         from repro.telemetry import trace
 
         trace.write_csv(self.samples, path, metrics)
+        if self.sampling is not None:
+            self._export_sampling_csv(f"{path}.sampling.csv")
+
+    def _export_sampling_csv(self, path: str) -> None:
+        import csv
+
+        with open(path, "w", newline="") as fh:
+            writer = csv.writer(fh)
+            writer.writerow(["stream", "metric", "mean", "stderr", "rel_err"])
+            for name in sorted(self.sampling.estimates):
+                for metric, est in sorted(self.sampling.estimates[name].items()):
+                    writer.writerow(
+                        [name, metric, est.mean, est.stderr, est.rel_err]
+                    )
 
     def summary(self) -> str:
         """Human-readable per-workload table."""
@@ -382,4 +488,6 @@ class RunResult:
             f"memory bandwidth: read {self.mem_read_bw:.4f} "
             f"write {self.mem_write_bw:.4f} lines/cycle"
         )
+        if self.sampling is not None:
+            lines.append(self.sampling.summary())
         return "\n".join(lines)

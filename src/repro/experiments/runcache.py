@@ -44,10 +44,13 @@ from typing import Any, Callable, Optional
 
 from repro.obsv.metrics import merge_counts
 
-SCHEMA_VERSION = 3
-"""Bumped to 3 when the platform fingerprint entered the key payloads
-(``run_setup``, the fig15 memos) — entries written by a pre-platform tree
-can never alias platform-aware ones."""
+SCHEMA_VERSION = 4
+"""Bumped to 4 when representative-interval sampling entered the run
+protocol: sampled results carry a :class:`SamplingReport` and approximate
+aggregates, so the sampling plan (or its absence) is part of every
+``run_setup``/figure key and v3 entries — which could alias a sampled
+and an exact run — are evicted on first lookup.  (v3 added the platform
+fingerprint to the key payloads.)"""
 DEFAULT_CACHE_DIR = ".repro-cache"
 ENV_CACHE_DIR = "REPRO_CACHE_DIR"
 ENV_CACHE_DISABLE = "REPRO_CACHE_DISABLE"

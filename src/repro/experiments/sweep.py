@@ -200,10 +200,15 @@ def run_platform_figure(task: PlatformTask) -> FigureResult:
     )
 
 
+def _accepts(runner, param: str) -> bool:
+    """True if a registry runner's underlying function takes ``param``."""
+    fn = runner._resolve() if hasattr(runner, "_resolve") else runner
+    return param in inspect.signature(fn).parameters
+
+
 def _accepts_platform(runner) -> bool:
     """True if a registry runner's underlying function takes ``platform``."""
-    fn = runner._resolve() if hasattr(runner, "_resolve") else runner
-    return "platform" in inspect.signature(fn).parameters
+    return _accepts(runner, "platform")
 
 
 def sweep_platforms(

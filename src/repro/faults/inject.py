@@ -292,6 +292,10 @@ class FaultyCacheAllocation:
         self.injector.cat_apply(self.inner, clos, mask)
 
     def __getattr__(self, name):
+        if name == "inner":
+            # During unpickling ``inner`` is not set yet; delegating would
+            # recurse forever.  Raising lets pickle fall back to __dict__.
+            raise AttributeError(name)
         return getattr(self.inner, name)
 
 
@@ -309,6 +313,8 @@ class FaultyPortView:
         self.injector.dca_apply(self.inner, False)
 
     def __getattr__(self, name):
+        if name == "inner":
+            raise AttributeError(name)
         return getattr(self.inner, name)
 
 
@@ -328,6 +334,8 @@ class FaultyPcieView:
         return FaultyPortView(self.inner.port(port_id), self.injector)
 
     def __getattr__(self, name):
+        if name == "inner":
+            raise AttributeError(name)
         return getattr(self.inner, name)
 
 

@@ -44,6 +44,7 @@ from repro.obsv.metrics import (
 )
 from repro.obsv.profile import PhaseProfiler
 from repro.obsv.tracer import (
+    KIND_CHECKPOINT,
     KIND_CONTROL,
     KIND_DCA,
     KIND_DECISION,
@@ -52,6 +53,7 @@ from repro.obsv.tracer import (
     KIND_MASK,
     KIND_PHASE,
     KIND_PLATFORM,
+    KIND_SAMPLE,
     KIND_SPAN,
     KIND_ZONE,
     TraceEvent,
@@ -98,6 +100,7 @@ __all__ = [
     "AUDIT",
     "AuditTrail",
     "Decision",
+    "KIND_CHECKPOINT",
     "KIND_CONTROL",
     "KIND_DCA",
     "KIND_DECISION",
@@ -106,6 +109,7 @@ __all__ = [
     "KIND_MASK",
     "KIND_PHASE",
     "KIND_PLATFORM",
+    "KIND_SAMPLE",
     "KIND_SPAN",
     "KIND_ZONE",
     "MetricsRegistry",

@@ -48,6 +48,8 @@ KIND_CONTROL = "control"
 KIND_DECISION = "decision"
 KIND_SPAN = "span"
 KIND_PLATFORM = "platform"
+KIND_CHECKPOINT = "checkpoint"
+KIND_SAMPLE = "sample"
 
 ALL_KINDS = (
     KIND_EPOCH,
@@ -60,6 +62,8 @@ ALL_KINDS = (
     KIND_DECISION,
     KIND_SPAN,
     KIND_PLATFORM,
+    KIND_CHECKPOINT,
+    KIND_SAMPLE,
 )
 
 

@@ -60,6 +60,16 @@ ProcessBody = Generator[float, None, None]
 
 _TIME, _SEQ, _ACTION = 0, 1, 2
 
+
+class SnapshotError(RuntimeError):
+    """The simulator holds state that cannot be checkpointed.
+
+    Raised while pickling when a pending event is a raw callback or a
+    process spawned through :meth:`Simulator.spawn` instead of
+    :meth:`Simulator.spawn_restartable` — suspended generator frames are
+    not serializable, so only processes with a registered factory (and a
+    body written in restartable form) can cross a snapshot."""
+
 WHEEL_SLOTS = 256
 """Buckets in the calendar wheel."""
 
@@ -122,6 +132,16 @@ class Process:
     def on_finish(self, callback: Callable[["Simulator"], None]) -> None:
         self._finish_callbacks.append(callback)
 
+    def __getstate__(self):
+        # The suspended generator frame is not picklable; restartable
+        # processes are rebuilt from their factory on restore
+        # (see Simulator.__setstate__), everything else keeps ``None``.
+        return (self.name, self.finished, self._finish_callbacks)
+
+    def __setstate__(self, state) -> None:
+        self.name, self.finished, self._finish_callbacks = state
+        self._body = None
+
     def _step(self, sim: "Simulator") -> None:
         """Resume the process once (slow path; the engine's run loops resume
         process entries inline instead of calling this)."""
@@ -165,6 +185,7 @@ class Simulator:
         "_wheel_len",
         "_far",
         "_running",
+        "_factories",
         "profiler",
     )
 
@@ -180,24 +201,32 @@ class Simulator:
         each ``run_until`` window records (wall seconds, events, cycles)
         under the profiler's current label; when ``None`` (the default)
         the only cost is one attribute check per ``run_until`` call."""
-        # Bucket queue state.  Invariants: ``_base <= now``; every wheel
-        # entry has ``time < _limit`` and lives in bucket
-        # ``int((time - _base) * _INV_GRAIN)``; buckets before ``_pos`` are
-        # empty; the bucket at ``_pos`` is sorted and consumed up to
-        # ``_bptr``; ``_wheel_len`` counts unconsumed wheel entries; every
-        # ``_far`` entry had ``time >= _limit`` when filed.
+        self._factories: dict = {}
+        """``name -> (owner, method, args)`` for restartable processes;
+        the snapshot protocol rebuilds their generators from these."""
+        self._running = False
+        self._init_wheel(0.0)
+
+    def _init_wheel(self, base: float) -> None:
+        """(Re)build an empty bucket queue anchored at ``base``.
+
+        Invariants: ``_base <= now``; every wheel entry has
+        ``time < _limit`` and lives in bucket
+        ``int((time - _base) * _INV_GRAIN)``; buckets before ``_pos`` are
+        empty; the bucket at ``_pos`` is sorted and consumed up to
+        ``_bptr``; ``_wheel_len`` counts unconsumed wheel entries; every
+        ``_far`` entry had ``time >= _limit`` when filed.  ``_pos_end`` is
+        the end time of the current bucket
+        (``_base + (_pos + 1) * grain``) so the hot re-schedule path can
+        detect a same-bucket insert with one float compare."""
         self._buckets: list[list] = [[] for _ in range(WHEEL_SLOTS)]
-        self._base: float = 0.0
-        self._limit: float = _SPAN
+        self._base: float = base
+        self._limit: float = base + _SPAN
         self._pos: int = 0
-        self._pos_end: float = WHEEL_GRAIN
-        """End time of the current bucket (``_base + (_pos + 1) * grain``);
-        lets the hot re-schedule path detect a same-bucket insert with one
-        float compare instead of recomputing the bucket index."""
+        self._pos_end: float = base + WHEEL_GRAIN
         self._bptr: int = 0
         self._wheel_len: int = 0
         self._far: list[list] = []
-        self._running = False
 
     # -- queue internals ---------------------------------------------------
 
@@ -270,6 +299,33 @@ class Simulator:
             raise ValueError(f"cannot schedule into the past ({when} < {self.now})")
         self._push([when, next(self._seq), body, process])
         return process
+
+    def spawn_restartable(
+        self,
+        name: str,
+        owner: object,
+        method: str,
+        *args,
+        start_at: Optional[float] = None,
+    ) -> Process:
+        """Spawn ``getattr(owner, method)(*args)`` as a checkpointable
+        process.
+
+        The ``(owner, method, args)`` factory is recorded so a restored
+        simulator can rebuild the generator (generator frames themselves
+        cannot pickle).  The contract on the body: it must be written in
+        *restartable* form — all loop-carried state lives in picklable
+        objects passed through ``args`` (or on ``owner``), every ``yield``
+        sits at the end of its dispatch arm, and the code before the first
+        ``yield`` is free of side effects — so that a fresh generator
+        first-resumed at the recorded pending time executes exactly what
+        the suspended original would have on resume.
+        """
+        if name in self._factories:
+            raise ValueError(f"duplicate restartable process name {name!r}")
+        self._factories[name] = (owner, method, tuple(args))
+        body = getattr(owner, method)(*args)
+        return self.spawn(name, body, start_at=start_at)
 
     def every(
         self,
@@ -564,10 +620,102 @@ class Simulator:
                 return
         raise RuntimeError("simulation exceeded max_events; likely a livelock")
 
-    def pending(self) -> Iterable[Event]:
-        """Live events still queued (for inspection in tests)."""
-        entries = list(self._buckets[self._pos][self._bptr:])
+    def _live_entries(self) -> list:
+        """Every live (non-cancelled) queued entry — the consumed prefix of
+        the current bucket, all future buckets, *and* the far heap beyond
+        the wheel horizon — sorted into firing order ``(time, seq)``."""
+        entries = [
+            e
+            for e in self._buckets[self._pos][self._bptr:]
+            if e[_ACTION] is not None
+        ]
         for bucket in self._buckets[self._pos + 1:]:
-            entries.extend(bucket)
-        entries.extend(self._far)
-        return (Event(e) for e in entries if e[_ACTION] is not None)
+            entries.extend(e for e in bucket if e[_ACTION] is not None)
+        entries.extend(e for e in self._far if e[_ACTION] is not None)
+        entries.sort(key=lambda e: (e[_TIME], e[_SEQ]))
+        return entries
+
+    def pending(self) -> Iterable[Event]:
+        """Live events still queued, in firing order (for inspection).
+
+        Covers the whole two-tier queue: wheel buckets *and* far-heap
+        entries past the wheel horizon, so long-sleep events (idle phases,
+        far-future timers) are visible — the snapshot protocol relies on
+        this completeness."""
+        return (Event(e) for e in self._live_entries())
+
+    # -- checkpoint/restore and time travel --------------------------------
+
+    def fast_forward(self, cycles: float) -> None:
+        """Advance the clock by ``cycles`` without executing anything.
+
+        Every pending entry is shifted by the same delta and re-filed into
+        a wheel re-anchored at the new ``now``; relative order is preserved
+        exactly (a uniform shift is monotone in ``(time, seq)``).  This is
+        the interval-sampling skip primitive — callers are responsible for
+        shifting any *actor-held* absolute timestamps alongside (see
+        ``Server.time_shift``)."""
+        if self._running:
+            raise RuntimeError("cannot fast_forward while running")
+        if cycles < 0:
+            raise ValueError("cannot fast_forward into the past")
+        entries = self._live_entries()
+        self.now += cycles
+        self._init_wheel(self.now)
+        for entry in entries:
+            entry[_TIME] += cycles
+            self._push(entry)
+
+    def __getstate__(self):
+        """Snapshot: queue state with pending entries reduced to
+        ``(time, seq, process name)`` descriptors.
+
+        Non-restartable pending work (raw callbacks, ``every`` timers,
+        plain ``spawn`` processes) raises :class:`SnapshotError` — their
+        suspended frames cannot be rebuilt.  Building the state perturbs
+        nothing, so a checkpointing run stays bit-identical to one that
+        never snapshots."""
+        pending = []
+        for entry in self._live_entries():
+            if len(entry) != 4:
+                raise SnapshotError(
+                    f"pending callback at t={entry[_TIME]} is not "
+                    "checkpointable; schedule work through "
+                    "spawn_restartable instead"
+                )
+            process = entry[3]
+            if process.name not in self._factories:
+                raise SnapshotError(
+                    f"process {process.name!r} was spawned without a "
+                    "factory; use spawn_restartable for checkpointable "
+                    "actors"
+                )
+            pending.append((entry[_TIME], entry[_SEQ], process.name))
+        return {
+            "now": self.now,
+            "seq": self._seq,  # itertools.count pickles with its state
+            "events_executed": self.events_executed,
+            "processes": self.processes,
+            "factories": self._factories,
+            "pending": pending,
+        }
+
+    def __setstate__(self, state) -> None:
+        self.now = state["now"]
+        self._seq = state["seq"]
+        self.events_executed = state["events_executed"]
+        self.processes = state["processes"]
+        self._factories = state["factories"]
+        self.profiler = None
+        self._running = False
+        self._init_wheel(self.now)
+        by_name = {p.name: p for p in self.processes}
+        for when, seq, name in state["pending"]:
+            owner, method, args = self._factories[name]
+            # Creating a generator runs none of its body, so this is safe
+            # even while the owner is itself mid-unpickle; the body first
+            # executes when the entry fires.
+            body = getattr(owner, method)(*args)
+            process = by_name[name]
+            process._body = body
+            self._push([when, seq, body, process])

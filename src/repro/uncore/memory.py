@@ -88,6 +88,12 @@ class MemoryController:
             self._roll_window(now)
         self._window_lines += lines
 
+    def time_shift(self, delta: float) -> None:
+        """Shift the utilisation window's anchor with the clock (interval
+        sampling); keeps the decayed estimate intact across a skip instead
+        of collapsing it over one huge 'elapsed' window."""
+        self._window_start += delta
+
     def _roll_window(self, now: float) -> None:
         elapsed = max(now - self._window_start, self.window)
         inst = self._window_lines / elapsed / self.bandwidth

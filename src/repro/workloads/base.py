@@ -57,6 +57,13 @@ class Workload(abc.ABC):
     def setup(self, server) -> None:
         """Claim resources from ``server`` and spawn simulation processes."""
 
+    def time_shift(self, delta: float) -> None:
+        """Shift any absolute simulated timestamps this workload holds by
+        ``delta`` cycles.  Called by ``Server.time_shift`` when interval
+        sampling fast-forwards the clock, so stored deadlines and request
+        start times stay consistent with the new ``now``.  The default is
+        a no-op (most workloads hold only relative state)."""
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"<{type(self).__name__} {self.name} {self.kind} {self.priority} "

@@ -30,6 +30,24 @@ POLL_GAP_CYCLES = 30.0
 """Idle-poll back-off of the run-to-completion loop."""
 
 
+class _ConsumerState:
+    """Loop-carried state of one consumer core (checkpointable).
+
+    ``pc`` is the dispatch arm the loop is in: 0 = poll/descriptor,
+    1 = payload scan, 2 = header rewrite, 3 = egress + retire.  The entry
+    under service is not stored — it is always ``ring.peek()`` until the
+    retire arm pops it."""
+
+    __slots__ = ("pc", "queueing", "access", "processing", "offset")
+
+    def __init__(self) -> None:
+        self.pc = 0
+        self.queueing = 0.0
+        self.access = 0.0
+        self.processing = 0.0
+        self.offset = 0
+
+
 class DpdkWorkload(Workload):
     """A DPDK application: one NIC, one Rx ring + consumer loop per core."""
 
@@ -121,11 +139,32 @@ class DpdkWorkload(Workload):
         self.nic.start(server.sim)
 
         for core, ring in zip(self.cores, self.rings):
-            server.sim.spawn(
-                f"{self.name}@{core}", self._consumer_body(server, core, ring)
+            server.sim.spawn_restartable(
+                f"{self.name}@{core}",
+                self,
+                "_consumer_body",
+                server,
+                core,
+                ring,
+                _ConsumerState(),
             )
 
-    def _consumer_body(self, server, core: int, ring: RxRing):
+    def time_shift(self, delta: float) -> None:
+        # Queued packets carry absolute arrival times (the queueing-delay
+        # component of Fig. 14a); shift them with the clock.
+        for ring in self.rings:
+            for entry in ring.entries:
+                if entry.filled:
+                    entry.arrival_time += delta
+
+    def _consumer_body(self, server, core: int, ring: RxRing, st):
+        # Restartable body: the original straight-line packet pipeline is
+        # a ``pc`` dispatch machine — poll/descriptor (0), payload scan
+        # (1), header rewrite (2), egress + retire (3) — with one yield
+        # per arm, so a rebuilt generator resumes mid-packet exactly where
+        # the original left off.  Arms fall through without yielding where
+        # the original had no yield (retire runs at the same ``now`` as
+        # the last payload line, then polling continues immediately).
         sim = server.sim
         hierarchy = server.hierarchy
         counters = server.counters.stream(self.name)
@@ -138,54 +177,72 @@ class DpdkWorkload(Workload):
         processing_per_line = self.processing_cycles_per_line
         parallelism = self.payload_parallelism
         while True:
-            entry = ring.peek()
-            if entry is None:
-                yield POLL_GAP_CYCLES
+            if st.pc == 0:
+                entry = ring.peek()
+                if entry is None:
+                    yield POLL_GAP_CYCLES
+                    continue
+                st.queueing = max(0.0, sim.now - entry.arrival_time)
+                # Descriptor / packet-pointer access.
+                st.access = cpu_access(
+                    sim.now, core, entry.buffer_addr, name, io_read=True
+                )
+                counters.instructions += instructions_per_line
+                st.processing = 0.0
+                st.offset = 1
+                st.pc = 1
+                yield st.access
                 continue
-            queueing = max(0.0, sim.now - entry.arrival_time)
-            # Descriptor / packet-pointer access.
-            access = cpu_access(
-                sim.now, core, entry.buffer_addr, name, io_read=True
-            )
-            counters.instructions += instructions_per_line
-            yield access
-            processing = 0.0
-            if self.touch:
-                buffer_addr = entry.buffer_addr
-                for offset in range(1, entry.packet_lines):
+            if st.pc == 1:
+                entry = ring.peek()
+                if self.touch and st.offset < entry.packet_lines:
                     line_latency = (
                         cpu_access(
-                            sim.now, core, buffer_addr + offset, name,
-                            io_read=True,
+                            sim.now, core, entry.buffer_addr + st.offset,
+                            name, io_read=True,
                         )
                         / parallelism
                     )
-                    access += line_latency
-                    processing += processing_per_line
+                    st.access += line_latency
+                    st.processing += processing_per_line
                     counters.instructions += instructions_per_line
+                    st.offset += 1
                     yield line_latency + processing_per_line
+                    continue
+                st.pc = 2
+                continue
+            if st.pc == 2:
+                if self.forward:
+                    # Rewrite the header (MAC/TTL), then the NIC pulls the
+                    # packet back out through the egress path.
+                    entry = ring.peek()
+                    header_latency = hierarchy.cpu_access(
+                        sim.now, core, entry.buffer_addr, name, write=True
+                    )
+                    counters.instructions += instructions_per_line
+                    st.processing += header_latency
+                    st.pc = 3
+                    yield header_latency
+                    continue
+                st.pc = 3
+                continue
+            # pc == 3: egress (forwarding only) and retire.
+            entry = ring.peek()
             if self.forward:
-                # Rewrite the header (MAC/TTL), then the NIC pulls the
-                # packet back out through the egress path.
-                header_latency = hierarchy.cpu_access(
-                    sim.now, core, entry.buffer_addr, self.name, write=True
-                )
-                counters.instructions += self.instructions_per_line
-                processing += header_latency
-                yield header_latency
                 port = self.nic.port
                 for offset in range(entry.packet_lines):
                     server.iio.outbound_read(
-                        sim.now, port, entry.buffer_addr + offset, self.name
+                        sim.now, port, entry.buffer_addr + offset, name
                     )
             ring.pop()
             counters.io_bytes_completed += entry.packet_lines * line_bytes
             counters.io_requests_completed += 1
             tracker.record(
-                queueing + access + processing,
+                st.queueing + st.access + st.processing,
                 components={
-                    "queueing": queueing,
-                    "access": access,
-                    "processing": processing,
+                    "queueing": st.queueing,
+                    "access": st.access,
+                    "processing": st.processing,
                 },
             )
+            st.pc = 0

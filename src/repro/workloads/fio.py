@@ -24,6 +24,41 @@ from repro.workloads.base import METRIC_THROUGHPUT, Workload
 COMPLETION_POLL_CYCLES = 60.0
 
 
+class _CompletionQueue:
+    """Picklable completion sink: the SSD calls it, the thread drains it.
+
+    Replaces the former ``on_complete`` lambda (closures cannot pickle, so
+    they cannot cross a checkpoint)."""
+
+    __slots__ = ("items",)
+
+    def __init__(self) -> None:
+        self.items = deque()
+
+    def __call__(self, _now: float, command) -> None:
+        self.items.append(command)
+
+
+class _FioState:
+    """Loop-carried state of one FIO thread (checkpointable).
+
+    ``pc``: 0 = poll completions, 1 = kernel->user copy (buffered mode),
+    2 = block scan.  ``command`` is the block under service; its
+    ``submitted_at`` is an absolute timestamp handled by
+    :meth:`FioWorkload.time_shift`."""
+
+    __slots__ = ("pc", "offset", "next_buffer", "completed", "primed",
+                 "command")
+
+    def __init__(self) -> None:
+        self.pc = 0
+        self.offset = 0
+        self.next_buffer = 0
+        self.completed = _CompletionQueue()
+        self.primed = False
+        self.command = None
+
+
 class FioWorkload(Workload):
     """Flexible I/O Tester: multi-threaded random reads + per-line scan."""
 
@@ -93,6 +128,7 @@ class FioWorkload(Workload):
             counters=server.counters,
             cfg=self.nvme_cfg,
         )
+        self._states = []
         for core in self.cores:
             buffers = [
                 server.alloc_region(self.block_lines)
@@ -103,18 +139,42 @@ class FioWorkload(Workload):
                 if self.io_mode == self.IO_BUFFERED
                 else None
             )
-            server.sim.spawn(
+            st = _FioState()
+            self._states.append(st)
+            server.sim.spawn_restartable(
                 f"{self.name}@{core}",
-                self._thread_body(server, core, buffers, user_buffer),
+                self,
+                "_thread_body",
+                server,
+                core,
+                buffers,
+                user_buffer,
+                st,
             )
 
-    def _thread_body(self, server, core: int, buffers, user_buffer=None):
+    def time_shift(self, delta: float) -> None:
+        if self.ssd is not None:
+            self.ssd.time_shift(delta)
+        for st in getattr(self, "_states", ()):
+            for command in st.completed.items:
+                command.submitted_at += delta
+                command.admitted_at += delta
+                command.completed_at += delta
+            if st.command is not None:
+                st.command.submitted_at += delta
+                st.command.admitted_at += delta
+                st.command.completed_at += delta
+
+    def _thread_body(self, server, core: int, buffers, user_buffer, st):
+        # Restartable body: poll (0), buffered copy (1), scan (2) arms of
+        # a ``pc`` dispatch machine, each yield ending its arm.  The
+        # io_depth priming submits run on the first resume, guarded by
+        # ``st.primed`` so a rebuilt generator never re-submits.
         sim = server.sim
         hierarchy = server.hierarchy
         counters = server.counters.stream(self.name)
         tracker = server.pcm.tracker(self.name)
-        completed = deque()
-        next_buffer = 0
+        completed = st.completed
         # Loop-invariant bindings for the per-line scan below.
         cpu_access = hierarchy.cpu_access
         name = self.name
@@ -124,59 +184,75 @@ class FioWorkload(Workload):
         line_bytes = server.platform.line_bytes
 
         def submit() -> None:
-            nonlocal next_buffer
-            buffer_addr = buffers[next_buffer]
-            next_buffer = (next_buffer + 1) % len(buffers)
+            buffer_addr = buffers[st.next_buffer]
+            st.next_buffer = (st.next_buffer + 1) % len(buffers)
             command = NvmeCommand(
-                stream=self.name,
+                stream=name,
                 buffer_addr=buffer_addr,
                 lines=self.block_lines,
-                on_complete=lambda _now, cmd: completed.append(cmd),
+                on_complete=completed,
             )
             self.ssd.submit(sim, command)
 
-        for _ in range(self.io_depth):
-            submit()
+        if not st.primed:
+            st.primed = True
+            for _ in range(self.io_depth):
+                submit()
 
         while True:
-            if not completed:
-                yield COMPLETION_POLL_CYCLES
+            if st.pc == 0:
+                if not completed.items:
+                    yield COMPLETION_POLL_CYCLES
+                    continue
+                st.command = completed.items.popleft()
+                st.offset = 0
+                st.pc = 1 if user_buffer is not None else 2
                 continue
-            command = completed.popleft()
-            if user_buffer is not None:
+            if st.pc == 1:
                 # Buffered path: copy kernel buffer -> user buffer first
-                # (read the DMA target, write the user page), then scan the
-                # user copy.
-                for offset in range(command.lines):
+                # (read the DMA target, write the user page), then scan
+                # the user copy.
+                if st.offset < st.command.lines:
                     read_latency = cpu_access(
                         sim.now,
                         core,
-                        command.buffer_addr + offset,
+                        st.command.buffer_addr + st.offset,
                         name,
                         io_read=True,
                     )
                     write_latency = cpu_access(
                         sim.now,
                         core,
-                        user_buffer + offset,
+                        user_buffer + st.offset,
                         name,
                         write=True,
                     )
                     counters.instructions += instructions_per_line
+                    st.offset += 1
                     yield (read_latency + write_latency) / parallelism
-                scan_base = user_buffer
-                scan_io = False
+                    continue
+                st.offset = 0
+                st.pc = 2
+                continue
+            # pc == 2: regex scan over the whole block — every line enters
+            # the MLC — then retire and resubmit without yielding (the
+            # next poll happens at the same ``now``, as in the original).
+            if user_buffer is not None:
+                scan_base, scan_io = user_buffer, False
             else:
-                scan_base = command.buffer_addr
-                scan_io = True
-            # Regex scan over the whole block: every line enters the MLC.
-            for offset in range(command.lines):
+                scan_base, scan_io = st.command.buffer_addr, True
+            if st.offset < st.command.lines:
                 latency = cpu_access(
-                    sim.now, core, scan_base + offset, name, io_read=scan_io
+                    sim.now, core, scan_base + st.offset, name,
+                    io_read=scan_io,
                 )
                 counters.instructions += instructions_per_line
+                st.offset += 1
                 yield (latency + compute_cycles) / parallelism
-            counters.io_bytes_completed += command.lines * line_bytes
+                continue
+            counters.io_bytes_completed += st.command.lines * line_bytes
             counters.io_requests_completed += 1
-            tracker.record(sim.now - command.submitted_at)
+            tracker.record(sim.now - st.command.submitted_at)
+            st.command = None
             submit()
+            st.pc = 0

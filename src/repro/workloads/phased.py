@@ -15,6 +15,21 @@ from repro.workloads.base import METRIC_IPC, Workload
 from repro.workloads.synthetic import AccessProfile
 
 
+class _PhasedState:
+    """Loop-carried state of one phased core loop (checkpointable).
+
+    ``phase_end`` is an *absolute* simulated time — ``None`` between
+    phases — and is shifted by :meth:`PhasedWorkload.time_shift` when
+    interval sampling fast-forwards the clock."""
+
+    __slots__ = ("index", "flips_seen", "phase_end")
+
+    def __init__(self) -> None:
+        self.index = 0
+        self.flips_seen = 0
+        self.phase_end = None
+
+
 class PhasedWorkload(Workload):
     """Alternates ``active_cycles`` of profile execution with
     ``idle_cycles`` of sleep, indefinitely."""
@@ -38,45 +53,57 @@ class PhasedWorkload(Workload):
         self.active_cycles = active_cycles
         self.idle_cycles = idle_cycles
         self.flip_count = 0
+        self._states = []
 
     def request_flip(self) -> None:
         """Cut the current active phase short at the next access (fault
         injector chaos: a forced phase change §5.6 must chase)."""
         self.flip_count += 1
 
+    def time_shift(self, delta: float) -> None:
+        for st in self._states:
+            if st.phase_end is not None:
+                st.phase_end += delta
+
     def setup(self, server) -> None:
         self.cores = server.alloc_cores(self.num_cores)
         base = server.alloc_region(self.profile.working_set_lines)
         slice_lines = max(1, self.profile.working_set_lines // self.num_cores)
         for i, core in enumerate(self.cores):
-            server.sim.spawn(
+            st = _PhasedState()
+            self._states.append(st)
+            server.sim.spawn_restartable(
                 f"{self.name}@{core}",
-                self._body(
-                    server,
-                    core,
-                    base + i * slice_lines,
-                    slice_lines,
-                    server.rng.stream(f"{self.name}-{i}"),
-                ),
+                self,
+                "_body",
+                server,
+                core,
+                base + i * slice_lines,
+                slice_lines,
+                server.rng.stream(f"{self.name}-{i}"),
+                st,
             )
 
-    def _body(self, server, core: int, base: int, lines: int, rng):
+    def _body(self, server, core: int, base: int, lines: int, rng, st):
+        # Restartable body: the original nested phase loop is flattened
+        # into one dispatch loop so every yield ends an arm.  A ``None``
+        # ``phase_end`` marks "start a new active phase here" — exactly
+        # where the original outer loop re-stamped it.
         hierarchy = server.hierarchy
         counters = server.counters.stream(self.name)
         profile = self.profile
         sequential = profile.pattern == "seq"
-        index = 0
+        sim = server.sim
         while True:
-            flips_seen = self.flip_count
-            phase_end = server.sim.now + self.active_cycles
-            while server.sim.now < phase_end:
-                if self.flip_count != flips_seen:
-                    break
+            if st.phase_end is None:
+                st.flips_seen = self.flip_count
+                st.phase_end = sim.now + self.active_cycles
+            if sim.now < st.phase_end and self.flip_count == st.flips_seen:
                 if sequential:
-                    addr = base + index
-                    index += 1
-                    if index >= lines:
-                        index = 0
+                    addr = base + st.index
+                    st.index += 1
+                    if st.index >= lines:
+                        st.index = 0
                 else:
                     addr = base + rng.randrange(lines)
                 write = (
@@ -84,9 +111,11 @@ class PhasedWorkload(Workload):
                     and rng.random() < profile.write_fraction
                 )
                 latency = hierarchy.cpu_access(
-                    server.sim.now, core, addr, self.name, write=write
+                    sim.now, core, addr, self.name, write=write
                 )
                 counters.instructions += profile.instructions_per_access
                 yield latency + profile.compute_cycles
+                continue
+            st.phase_end = None
             if self.idle_cycles:
                 yield self.idle_cycles

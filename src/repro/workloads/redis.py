@@ -25,6 +25,34 @@ SERVER_POLL_CYCLES = 40.0
 CLIENT_POLL_CYCLES = 40.0
 
 
+class _RedisServerState:
+    """Loop-carried state of the server loop (checkpointable)."""
+
+    __slots__ = ("pc", "log_cursor", "request_id", "key", "update", "offset")
+
+    def __init__(self) -> None:
+        self.pc = 0
+        self.log_cursor = 0
+        self.request_id = 0
+        self.key = 0
+        self.update = False
+        self.offset = 0
+
+
+class _RedisClientState:
+    """Loop-carried state of the client loop (checkpointable).
+
+    ``started`` is an absolute timestamp (request issue time, the latency
+    baseline) and is shifted by :meth:`RedisClient.time_shift`."""
+
+    __slots__ = ("pc", "request_id", "started")
+
+    def __init__(self) -> None:
+        self.pc = 0
+        self.request_id = 0
+        self.started = 0.0
+
+
 @dataclass
 class RedisChannel:
     """Loopback transport + shared memory between the S/C pair."""
@@ -72,51 +100,74 @@ class RedisServer(Workload):
     def setup(self, server) -> None:
         self.cores = server.alloc_cores(1)
         self.channel.ensure_regions(server, self.store_mb, self.log_mb)
-        server.sim.spawn(
-            f"{self.name}@{self.cores[0]}", self._body(server, self.cores[0])
+        server.sim.spawn_restartable(
+            f"{self.name}@{self.cores[0]}",
+            self,
+            "_body",
+            server,
+            self.cores[0],
+            _RedisServerState(),
         )
 
-    def _body(self, server, core: int):
+    def _body(self, server, core: int, st):
+        # Restartable body: one request's pipeline — poll/mailbox read (0),
+        # value lines (1), AOF append (2), response write (3) — as a ``pc``
+        # dispatch machine with every yield ending its arm.
         sim = server.sim
         hierarchy = server.hierarchy
         counters = server.counters.stream(self.name)
         channel = self.channel
-        log_cursor = 0
         while True:
-            if not channel.requests:
-                yield SERVER_POLL_CYCLES
-                continue
-            request_id, key, update = channel.requests.popleft()
-            # Read the request mailbox line (shared with the client).
-            latency = hierarchy.cpu_access(
-                sim.now, core, channel.mailbox_base, self.name
-            )
-            counters.instructions += 6
-            yield latency
-            value_base = channel.table_base + (
-                key * VALUE_LINES
-            ) % max(1, channel.table_lines - VALUE_LINES)
-            for offset in range(VALUE_LINES):
+            if st.pc == 0:
+                if not channel.requests:
+                    yield SERVER_POLL_CYCLES
+                    continue
+                st.request_id, st.key, st.update = channel.requests.popleft()
+                # Read the request mailbox line (shared with the client).
                 latency = hierarchy.cpu_access(
-                    sim.now, core, value_base + offset, self.name, write=update
+                    sim.now, core, channel.mailbox_base, self.name
                 )
-                counters.instructions += 12
-                yield latency + 4.0
-            if update:
-                # Append-only persistence (AOF) write.
-                log_addr = channel.log_base + log_cursor
-                log_cursor = (log_cursor + 1) % channel.log_lines
-                latency = hierarchy.cpu_access(
-                    sim.now, core, log_addr, self.name, write=True
-                )
-                counters.instructions += 8
+                counters.instructions += 6
+                st.offset = 0
+                st.pc = 1
                 yield latency
-            # Write the response mailbox line.
+                continue
+            if st.pc == 1:
+                if st.offset < VALUE_LINES:
+                    value_base = channel.table_base + (
+                        st.key * VALUE_LINES
+                    ) % max(1, channel.table_lines - VALUE_LINES)
+                    latency = hierarchy.cpu_access(
+                        sim.now, core, value_base + st.offset, self.name,
+                        write=st.update,
+                    )
+                    counters.instructions += 12
+                    st.offset += 1
+                    yield latency + 4.0
+                    continue
+                st.pc = 2
+                continue
+            if st.pc == 2:
+                if st.update:
+                    # Append-only persistence (AOF) write.
+                    log_addr = channel.log_base + st.log_cursor
+                    st.log_cursor = (st.log_cursor + 1) % channel.log_lines
+                    latency = hierarchy.cpu_access(
+                        sim.now, core, log_addr, self.name, write=True
+                    )
+                    counters.instructions += 8
+                    st.pc = 3
+                    yield latency
+                    continue
+                st.pc = 3
+                continue
+            # pc == 3: write the response mailbox line.
             latency = hierarchy.cpu_access(
                 sim.now, core, channel.mailbox_base + 1, self.name, write=True
             )
             counters.instructions += 6
-            channel.responses.append(request_id)
+            channel.responses.append(st.request_id)
+            st.pc = 0
             yield latency
 
 
@@ -142,42 +193,61 @@ class RedisClient(Workload):
     def setup(self, server) -> None:
         self.cores = server.alloc_cores(1)
         self.channel.ensure_regions(server, 8.0, 4.0)
-        server.sim.spawn(
-            f"{self.name}@{self.cores[0]}", self._body(server, self.cores[0])
+        self._state = _RedisClientState()
+        server.sim.spawn_restartable(
+            f"{self.name}@{self.cores[0]}",
+            self,
+            "_body",
+            server,
+            self.cores[0],
+            server.rng.stream(f"{self.name}-keys"),
+            self._state,
         )
 
-    def _body(self, server, core: int):
+    def time_shift(self, delta: float) -> None:
+        state = getattr(self, "_state", None)
+        if state is not None:
+            state.started += delta
+
+    def _body(self, server, core: int, rng, st):
+        # Restartable body: issue (0) and await/complete (1) arms; the RNG
+        # stream is created at setup time and passed in so a rebuilt
+        # generator continues the same draw sequence.
         sim = server.sim
         hierarchy = server.hierarchy
         counters = server.counters.stream(self.name)
         tracker = server.pcm.tracker(self.name)
-        rng = server.rng.stream(f"{self.name}-keys")
         channel = self.channel
-        request_id = 0
         while True:
-            # Skewed popularity: squaring a uniform draw concentrates mass
-            # on low key indices (zipf-ish, cheap and deterministic).
-            key = int((rng.random() ** 2) * self.keys)
-            update = rng.random() < self.update_fraction
-            latency = hierarchy.cpu_access(
-                sim.now, core, channel.mailbox_base, self.name, write=True
-            )
-            counters.instructions += 10
-            started = sim.now
-            channel.requests.append((request_id, key, update))
-            yield latency + 4.0
-            while not (
-                channel.responses and channel.responses[0] == request_id
+            if st.pc == 0:
+                # Skewed popularity: squaring a uniform draw concentrates
+                # mass on low key indices (zipf-ish, cheap, deterministic).
+                key = int((rng.random() ** 2) * self.keys)
+                update = rng.random() < self.update_fraction
+                latency = hierarchy.cpu_access(
+                    sim.now, core, channel.mailbox_base, self.name, write=True
+                )
+                counters.instructions += 10
+                st.started = sim.now
+                channel.requests.append((st.request_id, key, update))
+                st.pc = 1
+                yield latency + 4.0
+                continue
+            # pc == 1: poll for our response, then read it.
+            if not (
+                channel.responses and channel.responses[0] == st.request_id
             ):
                 yield CLIENT_POLL_CYCLES
+                continue
             channel.responses.popleft()
             latency = hierarchy.cpu_access(
                 sim.now, core, channel.mailbox_base + 1, self.name
             )
             counters.instructions += 10
             counters.io_requests_completed += 1
-            tracker.record(sim.now - started)
-            request_id += 1
+            tracker.record(sim.now - st.started)
+            st.request_id += 1
+            st.pc = 0
             yield latency + 6.0
 
 

@@ -68,6 +68,17 @@ class AccessProfile:
             )
 
 
+class _SynthState:
+    """Loop-carried state of one synthetic core loop (checkpointable)."""
+
+    __slots__ = ("index", "rep", "addr")
+
+    def __init__(self) -> None:
+        self.index = 0
+        self.rep = 0
+        self.addr = 0
+
+
 class SyntheticWorkload(Workload):
     """A profile-driven CPU workload, optionally multi-core.
 
@@ -93,25 +104,33 @@ class SyntheticWorkload(Workload):
         base = server.alloc_region(self.profile.working_set_lines)
         slice_lines = max(1, self.profile.working_set_lines // self.num_cores)
         for i, core in enumerate(self.cores):
-            body = self._body(
+            server.sim.spawn_restartable(
+                f"{self.name}@{core}",
+                self,
+                "_body",
                 server,
                 core,
                 base + i * slice_lines,
                 slice_lines,
                 server.rng.stream(f"{self.name}-{i}"),
+                _SynthState(),
             )
-            server.sim.spawn(f"{self.name}@{core}", body)
 
-    def _body(self, server, core: int, base: int, lines: int, rng):
+    def _body(self, server, core: int, base: int, lines: int, rng, st):
+        # Restartable body: all loop-carried state lives in ``st``/``rng``
+        # (snapshotted with the server) and every yield ends its dispatch
+        # arm, so a rebuilt generator resumes exactly where this one left
+        # off.  The per-repeat structure, access order, and RNG draw order
+        # match the original nested-loop formulation bit for bit.
         hierarchy = server.hierarchy
         counters = server.counters.stream(self.name)
         profile = self.profile
         pattern = profile.pattern
         stride = profile.stride_lines
-        index = 0
+        repeats = profile.repeats
 
         def next_addr():
-            nonlocal index
+            index = st.index
             if pattern == PATTERN_SEQUENTIAL:
                 addr = base + index
                 index += 1
@@ -124,6 +143,7 @@ class SyntheticWorkload(Workload):
                     index = (index + 1) % stride  # rotate the phase
             else:
                 addr = base + rng.randrange(lines)
+            st.index = index
             return addr
 
         if profile.batch_accesses > 1:
@@ -145,14 +165,17 @@ class SyntheticWorkload(Workload):
                 yield latency + profile.compute_cycles * len(addrs)
 
         while True:
-            addr = next_addr()
-            for _ in range(profile.repeats):
-                write = (
-                    profile.write_fraction > 0
-                    and rng.random() < profile.write_fraction
-                )
-                latency = hierarchy.cpu_access(
-                    server.sim.now, core, addr, self.name, write=write
-                )
-                counters.instructions += profile.instructions_per_access
-                yield latency + profile.compute_cycles
+            if st.rep == 0:
+                st.addr = next_addr()
+            write = (
+                profile.write_fraction > 0
+                and rng.random() < profile.write_fraction
+            )
+            latency = hierarchy.cpu_access(
+                server.sim.now, core, st.addr, self.name, write=write
+            )
+            counters.instructions += profile.instructions_per_access
+            st.rep += 1
+            if st.rep >= repeats:
+                st.rep = 0
+            yield latency + profile.compute_cycles

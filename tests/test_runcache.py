@@ -320,3 +320,22 @@ def test_fault_intensity_env_changes_fingerprint(monkeypatch):
     assert faulted != clean  # faulted results never alias fault-free ones
     monkeypatch.setenv(runcache.ENV_FAULT_INTENSITY, "1.0")
     assert fingerprint("payload") not in (clean, faulted)
+
+
+def test_v3_entry_is_evicted_on_first_lookup(tmp_path):
+    """Schema v4 folded sampling into the run protocol (run_setup payloads
+    grew a ``sampling`` field and keys a sampling component); a v3 entry
+    written before the bump must be a MISS *and* deleted on first lookup,
+    not deserialized into the new shape."""
+    assert runcache.SCHEMA_VERSION == 4
+    cache = _cache(tmp_path)
+    key = fingerprint("payload")
+    wrapper = {
+        "schema": 3,
+        "key": key,
+        "value": {"samples": [], "warmup": 0, "epoch_cycles": 1.0},
+    }
+    path = _mangle(cache, key, pickle.dumps(wrapper))
+    assert cache.get(key) is runcache.MISS
+    assert cache.stats.errors == 1
+    assert not path.exists()  # evicted, so the next run re-simulates

@@ -1,0 +1,136 @@
+#!/usr/bin/env python
+"""CI smoke test for checkpoint/restore and interval sampling.
+
+Three checks, each fatal on violation:
+
+1. **Round-trip bit-identity** — run the canonical mixed server N epochs,
+   snapshot through a real on-disk :class:`CheckpointStore`, restore from
+   the store, continue M epochs, and compare clock / event count /
+   per-stream counters against an uninterrupted N+M run.
+2. **Store durability** — a corrupted blob is a clean miss (evicted, not
+   restored), and ``latest`` falls back to the older intact checkpoint.
+3. **Sampled-run sanity** — a sampled long-horizon run skips epochs,
+   stays within its reported error budget, and its primary-stream
+   aggregates land within 2% of the exact run's.
+
+Exit code 0 on success, 1 with a diagnostic on any violation.  Usage::
+
+    python tools/ckpt_smoke.py [epochs_before] [epochs_after]
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+for path in (str(ROOT / "src"), str(ROOT / "benchmarks")):
+    if path not in sys.path:
+        sys.path.insert(0, path)
+
+
+def _fingerprint(server):
+    streams = {}
+    for name in sorted(server.counters.streams):
+        stream = server.counters.stream(name)
+        streams[name] = repr(
+            vars(stream) if hasattr(stream, "__dict__") else stream
+        )
+    return (
+        server.sim.now,
+        server.sim.events_executed,
+        server.epochs_completed,
+        streams,
+    )
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    before = int(argv[0]) if argv else 3
+    after = int(argv[1]) if len(argv) > 1 else 3
+
+    from perf.scenarios import build_canonical
+    from repro.sim import checkpoint
+    from repro.sim.checkpoint import CheckpointStore, checkpoint_key
+    from repro.sim.sampling import SamplingPlan
+
+    with tempfile.TemporaryDirectory(prefix="repro-ckpt-smoke-") as tmp:
+        store = CheckpointStore(Path(tmp) / "ckpt")
+
+        # 1. round-trip through the on-disk store
+        first = build_canonical(0xA4)
+        first.run(epochs=before, warmup=1)
+        early = checkpoint.snapshot(first)
+        store.save("smoke", early)
+        first.run(epochs=1, warmup=0)
+        store.save("smoke", checkpoint.snapshot(first))
+
+        state = store.load("smoke", before)
+        if state is None:
+            print("FAIL: stored checkpoint did not load back")
+            return 1
+        resumed = checkpoint.restore(state)
+        resumed.run(epochs=after, warmup=0)
+
+        continuous = build_canonical(0xA4)
+        continuous.run(epochs=before + after, warmup=1)
+        if _fingerprint(resumed) != _fingerprint(continuous):
+            print(
+                "FAIL: restored run diverged from the uninterrupted run\n"
+                f"  resumed:    {_fingerprint(resumed)[:3]}\n"
+                f"  continuous: {_fingerprint(continuous)[:3]}"
+            )
+            return 1
+        print(
+            f"OK: restore@{before} + {after} epochs == "
+            f"uninterrupted {before + after} "
+            f"({len(early.payload)} payload bytes)"
+        )
+
+        # 2. corruption is a clean miss with fallback
+        newest = checkpoint_key("smoke", before + 1)
+        store._blob_path(newest).write_bytes(b"garbage")
+        if store.load("smoke", before + 1) is not None:
+            print("FAIL: corrupt checkpoint blob restored")
+            return 1
+        fallback = store.latest("smoke")
+        if fallback is None or fallback.epoch != before:
+            print("FAIL: latest() did not fall back past the corrupt blob")
+            return 1
+        print("OK: corrupt blob evicted; latest() fell back to "
+              f"epoch {fallback.epoch}")
+
+    # 3. sampled run sanity
+    epochs = 60
+    plan = SamplingPlan(max_skip=16, error_budget=0.02)
+    exact = build_canonical(0xA4).run(epochs=epochs, warmup=5)
+    sampled = build_canonical(0xA4).run(epochs=epochs, warmup=5, sampling=plan)
+    report = sampled.sampling
+    if report is None or report.skipped_epochs == 0:
+        print("FAIL: sampled run did not skip any epochs")
+        return 1
+    worst = 0.0
+    for name in exact.stream_names():
+        exact_agg, sampled_agg = exact.aggregate(name), sampled.aggregate(name)
+        for metric in ("ipc", "llc_hit_rate", "throughput"):
+            reference = getattr(exact_agg, metric)
+            if abs(reference) < 0.01:  # near-zero denominator: noise
+                continue
+            estimate = getattr(sampled_agg, metric)
+            worst = max(worst, abs(estimate - reference) / abs(reference))
+    if worst > plan.error_budget:
+        print(f"FAIL: sampled error {worst:.4f} > budget "
+              f"{plan.error_budget:.2f}")
+        return 1
+    print(
+        f"OK: sampled {report.detailed_epochs} detailed + "
+        f"{report.skipped_epochs} synthesized of {epochs} epochs, "
+        f"true error {100 * worst:.2f}% <= "
+        f"{100 * plan.error_budget:.0f}% budget"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
