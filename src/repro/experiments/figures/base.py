@@ -9,8 +9,9 @@ that.
 from __future__ import annotations
 
 import os
-from typing import Dict, Iterable, Optional, Tuple
+from typing import Callable, Dict, Iterable, Optional, Tuple
 
+from repro import obsv
 from repro.experiments import runcache
 from repro.experiments.errors import WorkloadConfigError
 from repro.experiments.harness import RunResult, Server
@@ -22,8 +23,83 @@ DEFAULT_WARMUP = 2
 
 ENV_CHECKPOINT_DIR = "REPRO_CHECKPOINT_DIR"
 """Ambient checkpoint directory (the CLI's ``--checkpoint-dir`` exports
-it so process-pool workers inherit the setting); an explicit
-``checkpoint_dir`` argument always wins."""
+it so process-pool workers inherit the setting; the job-service worker
+exports its per-job namespace); an explicit ``checkpoint_dir`` argument
+always wins."""
+
+
+def resumable_run(
+    build: Callable[[], Server],
+    run_key: str,
+    epochs: int,
+    warmup: int,
+    sampling=None,
+    checkpoint_dir: Optional[str] = None,
+    checkpoint_every: Optional[int] = None,
+) -> Tuple[Server, RunResult]:
+    """Run ``build()``'s server to ``epochs``, checkpointing and resuming
+    under ``run_key`` when a checkpoint directory is configured.
+
+    This is the restore-and-stitch core shared by :func:`run_setup` and
+    the per-cell figure runners (``fig11``): with ``checkpoint_dir`` (or
+    ``$REPRO_CHECKPOINT_DIR``) set, the run snapshots every
+    ``checkpoint_every`` epochs (default: quarter-run cadence), and a
+    rerun with the same ``run_key`` restores the newest snapshot below
+    ``epochs``, simulates only the remaining epochs, and stitches the
+    restored PCM history back onto the fresh segment — the returned
+    :class:`RunResult` is bit-identical to an uninterrupted run.  With no
+    directory configured nothing changes: ``build()`` then one plain
+    ``server.run``, zero extra work.
+
+    Returns ``(server, result)`` — callers need the server for
+    ``epoch_cycles`` / aggregates.
+    """
+    if checkpoint_dir is None:
+        checkpoint_dir = os.environ.get(ENV_CHECKPOINT_DIR) or None
+    store = None
+    if checkpoint_dir is not None:
+        from repro.sim.checkpoint import CheckpointStore
+
+        store = CheckpointStore(checkpoint_dir)
+        if checkpoint_every is None:
+            checkpoint_every = max(1, epochs // 4)
+    server = None
+    done = 0
+    if store is not None:
+        from repro.sim import checkpoint as ckpt
+
+        state = store.latest(run_key, max_epoch=epochs - 1)
+        if state is not None and 0 < state.epoch < epochs:
+            server = ckpt.restore(state)
+            done = state.epoch
+            tracer = obsv.TRACER
+            if tracer is not None:
+                tracer.emit(
+                    obsv.KIND_CHECKPOINT,
+                    "restore",
+                    {"run_key": run_key[:16], "epoch": done, "of": epochs},
+                )
+    if server is None:
+        server = build()
+    result = server.run(
+        epochs=epochs - done,
+        warmup=max(0, warmup - done),
+        sampling=sampling,
+        checkpoint_store=store,
+        checkpoint_every=checkpoint_every or 0,
+        run_key=run_key,
+    )
+    if done:
+        # Stitch the pre-checkpoint epochs (restored inside the server's
+        # PCM history) back onto this segment's samples so the result is
+        # indistinguishable from an uninterrupted run.
+        result = RunResult(
+            samples=server.pcm.history[-epochs:],
+            warmup=warmup,
+            server=server,
+            sampling=result.sampling,
+        )
+    return server, result
 
 
 def run_setup(
@@ -91,25 +167,7 @@ def run_setup(
             server=runcache.CachedServer(epoch_cycles=cached["epoch_cycles"]),
             sampling=cached.get("sampling"),
         )
-    if checkpoint_dir is None:
-        checkpoint_dir = os.environ.get(ENV_CHECKPOINT_DIR) or None
-    store = None
-    if checkpoint_dir is not None:
-        from repro.sim.checkpoint import CheckpointStore
-
-        store = CheckpointStore(checkpoint_dir)
-        if checkpoint_every is None:
-            checkpoint_every = max(1, epochs // 4)
-    server = None
-    done = 0
-    if store is not None:
-        from repro.sim import checkpoint as ckpt
-
-        state = store.latest(key, max_epoch=epochs - 1)
-        if state is not None and 0 < state.epoch < epochs:
-            server = ckpt.restore(state)
-            done = state.epoch
-    if server is None:
+    def build() -> Server:
         cores = sum(w.num_cores for w in workloads) + spare_cores
         server = Server(cores=cores, seed=seed, platform=platform)
         for workload in workloads:
@@ -123,24 +181,17 @@ def run_setup(
                     f"{name} has no I/O device to disable DCA for"
                 )
             server.pcie.port(workload.port_id).disable_dca()
-    result = server.run(
-        epochs=epochs - done,
-        warmup=max(0, warmup - done),
+        return server
+
+    server, result = resumable_run(
+        build,
+        key,
+        epochs,
+        warmup,
         sampling=sampling,
-        checkpoint_store=store,
-        checkpoint_every=checkpoint_every or 0,
-        run_key=key,
+        checkpoint_dir=checkpoint_dir,
+        checkpoint_every=checkpoint_every,
     )
-    if done:
-        # Stitch the pre-checkpoint epochs (restored inside the server's
-        # PCM history) back onto this segment's samples so the result is
-        # indistinguishable from an uninterrupted run.
-        result = RunResult(
-            samples=server.pcm.history[-epochs:],
-            warmup=warmup,
-            server=server,
-            sampling=result.sampling,
-        )
     cache.put(
         key,
         {

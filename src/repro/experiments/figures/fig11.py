@@ -9,8 +9,11 @@ LPWs stay within acceptable ranges and X-Mem 3 is bypass-treated.
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Optional, Tuple
 
+from repro.experiments import runcache
+from repro.experiments.figures.base import resumable_run
 from repro.experiments.report import FigureResult
 from repro.experiments.scenarios import build_server, microbenchmark_workloads
 from repro.platform import PlatformSpec, get_platform
@@ -21,6 +24,15 @@ PACKET_SIZES: Tuple[int, ...] = (64, 256, 1024, 1514)
 SCHEMES: Tuple[str, ...] = ("default", "isolate", "a4")
 
 
+def _build_cell(scheme, packet_bytes, seed, platform):
+    return build_server(
+        microbenchmark_workloads(packet_bytes=packet_bytes, platform=platform),
+        scheme=scheme,
+        seed=seed,
+        platform=platform,
+    )
+
+
 def run(
     epochs: int = 20,
     warmup: int = 5,
@@ -29,7 +41,15 @@ def run(
     schemes=SCHEMES,
     platform: Optional[PlatformSpec] = None,
     sampling=None,
+    checkpoint_dir: Optional[str] = None,
+    checkpoint_every: Optional[int] = None,
 ) -> FigureResult:
+    """Each (scheme, packet size) cell runs through
+    :func:`~repro.experiments.figures.base.resumable_run` under its own
+    content key, so with a checkpoint directory configured (explicitly or
+    via ``$REPRO_CHECKPOINT_DIR`` — the job service sets it per job) an
+    interrupted figure resumes mid-grid *and* mid-cell.  Without one the
+    grid runs exactly as before."""
     platform = get_platform(platform)
     result = FigureResult(
         figure="Fig. 11",
@@ -47,16 +67,26 @@ def run(
     )
     for scheme in schemes:
         for packet_bytes in packet_sizes:
-            server = build_server(
-                microbenchmark_workloads(
-                    packet_bytes=packet_bytes, platform=platform
-                ),
-                scheme=scheme,
-                seed=seed,
-                platform=platform,
+            cell_key = runcache.fingerprint(
+                (
+                    "fig11_cell",
+                    scheme,
+                    packet_bytes,
+                    epochs,
+                    warmup,
+                    seed,
+                    platform.fingerprint(),
+                    sampling,
+                )
             )
-            run_result = server.run(
-                epochs=epochs, warmup=warmup, sampling=sampling
+            _, run_result = resumable_run(
+                partial(_build_cell, scheme, packet_bytes, seed, platform),
+                cell_key,
+                epochs,
+                warmup,
+                sampling=sampling,
+                checkpoint_dir=checkpoint_dir,
+                checkpoint_every=checkpoint_every,
             )
             row = {"scheme": scheme, "pkt": f"{packet_bytes}B"}
             for i in (1, 2, 3):

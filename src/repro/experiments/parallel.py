@@ -36,6 +36,7 @@ from __future__ import annotations
 import atexit
 import functools
 import os
+import time
 import traceback
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
@@ -46,6 +47,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 from repro.experiments import runcache
 from repro.experiments.errors import classify
 from repro.obsv.metrics import counts_of, diff_counts
+from repro.service.retry import RetryPolicy
 
 METRIC_FIELDS = (
     "ipc",
@@ -298,6 +300,27 @@ def shutdown_pool(wait: bool = True) -> None:
         _pool_workers = 0
 
 
+def recycle_if_broken() -> bool:
+    """Replace the warm pool if a dead worker has poisoned it.
+
+    A :class:`BrokenProcessPool` marks the executor permanently broken;
+    every later submit fails instantly.  Rather than leaving the *next*
+    batch to discover that, callers in failure-handling paths (the batch
+    dispatcher below, the job-service supervisor after a worker death)
+    recycle eagerly: tear the broken executor down and warm a fresh one
+    with the same worker count.  Returns True when a recycle happened;
+    counted in :data:`dispatch_stats` (and from there exported by
+    ``obsv.collect_process``)."""
+    global _pool
+    if _pool is None or not getattr(_pool, "_broken", False):
+        return False
+    workers = _pool_workers
+    shutdown_pool()
+    get_pool(workers)
+    dispatch_stats.pool_recycles += 1
+    return True
+
+
 atexit.register(shutdown_pool)
 
 
@@ -321,21 +344,48 @@ class DispatchStats:
     """Tasks re-run serially in-parent after a timeout."""
     broken_pools: int = 0
     """Whole-batch serial fallbacks after a dead worker."""
+    pool_recycles: int = 0
+    """Broken executors proactively replaced with warm ones."""
+    backoff_seconds: float = 0.0
+    """Total time spent backing off before dispatch retries."""
 
     def reset(self) -> None:
         self.timeouts = 0
         self.retried_tasks = 0
         self.broken_pools = 0
+        self.pool_recycles = 0
+        self.backoff_seconds = 0.0
 
     def summary(self) -> str:
         return (
             f"{self.timeouts} timeouts, {self.retried_tasks} tasks retried, "
-            f"{self.broken_pools} pool fallbacks"
+            f"{self.broken_pools} pool fallbacks, "
+            f"{self.pool_recycles} pool recycles"
         )
 
 
 dispatch_stats = DispatchStats()
 """Process-wide dispatch accounting (reset via ``dispatch_stats.reset()``)."""
+
+
+DISPATCH_RETRY_POLICY = RetryPolicy(
+    max_attempts=2, base_delay=0.2, max_delay=5.0, jitter=0.25
+)
+"""Backoff applied before re-running stranded or pool-broken tasks.
+
+The delay is deterministic (jitter is a pure function of the batch
+fingerprint and attempt number — see :meth:`RetryPolicy.delay`) so a
+retried batch is still reproducible.  Replace the module-level value to
+tune; tests swap in a zero-delay policy."""
+
+
+def _backoff(attempt: int, token: str) -> None:
+    """Sleep the policy's delay before a dispatch retry (recorded in
+    :data:`dispatch_stats` so run reports show time lost to backoff)."""
+    delay = DISPATCH_RETRY_POLICY.delay(attempt, token=token)
+    if delay > 0:
+        dispatch_stats.backoff_seconds += delay
+        time.sleep(delay)
 
 
 def _resolve_timeout(task_timeout: Optional[float]) -> Optional[float]:
@@ -423,19 +473,25 @@ def run_tasks(
                 parent_stats.merge(chunk_stats)
             if stranded:
                 # The worker is wedged, not slow: joining it would wedge
-                # us too.  Abandon the executor (no join) and run the
-                # stranded tasks once, serially, where they cannot hang
-                # silently.
+                # us too.  Abandon the executor (no join), back off per
+                # the dispatch retry policy (the pool's workers may be
+                # contending for whatever starved the first attempt),
+                # then run the stranded tasks once, serially, where they
+                # cannot hang silently.
                 shutdown_pool(wait=False)
                 dispatch_stats.retried_tasks += len(stranded)
+                _backoff(1, task_digest(tuple(i for i, _ in stranded)))
                 outcomes.extend(
                     _run_one(fn, index, task) for index, task in stranded
                 )
         except BrokenProcessPool:
-            # A dead worker (OOM-kill etc.) poisons the executor; discard
-            # it and run the batch once in-process rather than failing.
-            shutdown_pool()
+            # A dead worker (OOM-kill etc.) poisons the executor; recycle
+            # it (warm replacement for the next batch), back off, and run
+            # this batch once in-process rather than failing.
             dispatch_stats.broken_pools += 1
+            if not recycle_if_broken():
+                shutdown_pool()
+            _backoff(1, task_digest(len(tasks)))
             outcomes = (_run_one(fn, i, task) for i, task in enumerate(tasks))
 
     for index, value, failure in outcomes:

@@ -382,14 +382,35 @@ class CachedFigure:
             fn = getattr(fn, part)
         return fn
 
-    def __call__(self, **kwargs: Any) -> Any:
-        runner = self._resolve()
-        payload = (
+    _NON_SEMANTIC_KWARGS = frozenset({"checkpoint_dir", "checkpoint_every"})
+    """Kwargs that change how a result is computed, never what it is —
+    excluded from the key so a checkpointed run and a straight-through
+    run of the same figure address the same cache entry."""
+
+    def _payload(self, runner: Callable[..., Any], kwargs: dict) -> tuple:
+        kwargs = {
+            name: value
+            for name, value in kwargs.items()
+            if name not in self._NON_SEMANTIC_KWARGS
+        }
+        return (
             "figure",
             self.figure_id,
             callable_token(runner),
             sorted(_normalize_platform(kwargs).items()),
         )
+
+    def cache_key(self, **kwargs: Any) -> str:
+        """The content key a call with these kwargs is memoized under.
+
+        The job service uses this as the dedup identity of a submitted
+        figure job, so a service job and a CLI run of the same figure
+        share one cache entry."""
+        return fingerprint(self._payload(self._resolve(), kwargs))
+
+    def __call__(self, **kwargs: Any) -> Any:
+        runner = self._resolve()
+        payload = self._payload(runner, kwargs)
         return get_cache().memo(payload, lambda: runner(**kwargs))
 
     def __getstate__(self):

@@ -50,6 +50,7 @@ from repro.obsv.tracer import (
     KIND_DECISION,
     KIND_EPOCH,
     KIND_FAULT,
+    KIND_JOB,
     KIND_MASK,
     KIND_PHASE,
     KIND_PLATFORM,
@@ -106,6 +107,7 @@ __all__ = [
     "KIND_DECISION",
     "KIND_EPOCH",
     "KIND_FAULT",
+    "KIND_JOB",
     "KIND_MASK",
     "KIND_PHASE",
     "KIND_PLATFORM",

@@ -301,6 +301,32 @@ def collect_process(registry: Optional[MetricsRegistry] = None) -> MetricsRegist
     return registry
 
 
+def collect_service(
+    store: Any, registry: Optional[MetricsRegistry] = None
+) -> MetricsRegistry:
+    """Absorb a :class:`repro.service.store.JobStore`'s durable state:
+    live queue depth, per-state job counts, and the incident counters
+    (retries, resumes, shed, deduped, recovered, corrupt rows).  Takes
+    the store as an argument — this module never imports the service."""
+    registry = registry or get_registry()
+    registry.gauge(
+        "repro_service_queue_depth",
+        help="jobs queued, running, or awaiting a retry decision",
+    ).set(store.queue_depth())
+    for state, count in store.state_counts().items():
+        registry.gauge(
+            "repro_service_jobs",
+            help="jobs per state-machine state",
+            state=state.lower(),
+        ).set(count)
+    for name, value in store.counters().items():
+        registry.gauge(
+            f"repro_service_{name}_total",
+            help=f"job-service {name} incidents (durable)",
+        ).set(value)
+    return registry
+
+
 def collect_robustness(
     stats: Mapping[str, Union[int, float]],
     manager: str,

@@ -23,6 +23,8 @@ Event taxonomy (``kind``):
 ``span``       a timed section (wall-seconds duration in ``wall``)
 ``platform``   run header: the microarchitecture spec fingerprint of the
                server producing the trace (one per ``Server.run``)
+``job``        a job-service lifecycle step (submit / dedup / shed /
+               claim / failed / requeue / recover / done / dead / kill)
 =============  =========================================================
 
 ``data`` values must stay JSON-round-trippable (numbers, strings, bools,
@@ -50,6 +52,7 @@ KIND_SPAN = "span"
 KIND_PLATFORM = "platform"
 KIND_CHECKPOINT = "checkpoint"
 KIND_SAMPLE = "sample"
+KIND_JOB = "job"
 
 ALL_KINDS = (
     KIND_EPOCH,
@@ -64,6 +67,7 @@ ALL_KINDS = (
     KIND_PLATFORM,
     KIND_CHECKPOINT,
     KIND_SAMPLE,
+    KIND_JOB,
 )
 
 

@@ -1,0 +1,685 @@
+"""Durable SQLite-backed job store for the simulation service.
+
+One database file holds every job ever submitted to a service instance:
+its spec (the figure id + kwargs that reproduce it), its content key
+(the run-cache fingerprint, which is also the dedup identity), its state
+machine position, attempt/resume accounting, the newest checkpoint it
+can resume from, and — once finished — the result path and a SHA-256
+digest of the pickled result so bit-identity can be asserted without
+reloading anything.
+
+Durability posture:
+
+* **WAL mode** — readers never block the writer, a crash mid-commit
+  rolls back to the last committed transaction on the next open, and a
+  torn append to the ``-wal`` file costs at most the uncommitted suffix
+  (SQLite replays the longest valid frame prefix).
+* **Versioned schema + migrations** — ``PRAGMA user_version`` tracks the
+  schema; :data:`MIGRATIONS` is an append-only list and every open
+  applies the missing suffix inside one transaction, so a store created
+  by an older build upgrades in place.
+* **Crash recovery on open** — any job left ``RUNNING`` by a process
+  that no longer exists is re-queued (its checkpoint pointer intact) so
+  a ``kill -9`` of worker *and* supervisor loses nothing but the time
+  since the newest checkpoint.
+* **Corrupt rows degrade, never poison** — a job whose spec does not
+  parse back is marked ``DEAD`` with :data:`~repro.experiments.errors.
+  CATEGORY_CORRUPT` at claim time; the queue keeps moving.
+
+State machine (enforced by :meth:`JobStore._transition`)::
+
+    QUEUED -> RUNNING -> DONE
+       ^         |    -> FAILED -> QUEUED (retry, maybe from checkpoint)
+       |         |              -> DEAD   (retries exhausted / fail-fast)
+       +---------+  (orphan recovery / supervisor requeue)
+    QUEUED -> DEAD  (corrupt spec discovered at claim)
+
+Admission control: ``queue_limit`` bounds QUEUED+RUNNING depth; a submit
+beyond it raises :class:`AdmissionError` with a reason and bumps the
+durable ``shed`` counter.  A submit whose key matches a live or finished
+job instead *joins* it (dedup): the caller gets the same job id and the
+shared result fans out.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro import obsv
+from repro.experiments.errors import CATEGORY_CORRUPT
+
+QUEUED = "QUEUED"
+RUNNING = "RUNNING"
+DONE = "DONE"
+FAILED = "FAILED"
+DEAD = "DEAD"
+
+STATES = (QUEUED, RUNNING, DONE, FAILED, DEAD)
+TERMINAL_STATES = frozenset({DONE, DEAD})
+LIVE_STATES = frozenset({QUEUED, RUNNING, FAILED})
+
+_TRANSITIONS = {
+    QUEUED: frozenset({RUNNING, DEAD}),
+    RUNNING: frozenset({DONE, FAILED, QUEUED}),
+    FAILED: frozenset({QUEUED, DEAD}),
+    DONE: frozenset(),
+    DEAD: frozenset(),
+}
+
+MIGRATIONS: List[str] = [
+    # v1: the jobs table and its claim-order index.
+    """
+    CREATE TABLE jobs (
+        id              INTEGER PRIMARY KEY,
+        key             TEXT NOT NULL,
+        spec            TEXT NOT NULL,
+        state           TEXT NOT NULL DEFAULT 'QUEUED',
+        attempts        INTEGER NOT NULL DEFAULT 0,
+        max_attempts    INTEGER NOT NULL DEFAULT 3,
+        resumes         INTEGER NOT NULL DEFAULT 0,
+        submits         INTEGER NOT NULL DEFAULT 1,
+        checkpoint_epoch INTEGER,
+        result_path     TEXT,
+        error           TEXT,
+        category        TEXT,
+        owner_pid       INTEGER,
+        heartbeat       REAL,
+        next_run_at     REAL NOT NULL DEFAULT 0,
+        created_at      REAL NOT NULL,
+        updated_at      REAL NOT NULL
+    );
+    CREATE INDEX jobs_claim ON jobs (state, next_run_at, id);
+    CREATE INDEX jobs_key ON jobs (key);
+    CREATE TABLE counters (
+        name  TEXT PRIMARY KEY,
+        value INTEGER NOT NULL DEFAULT 0
+    );
+    """,
+    # v2: result digest for bit-identity assertions without reloading
+    # the pickle (added after v1 shipped; exercises the migration path).
+    """
+    ALTER TABLE jobs ADD COLUMN result_digest TEXT;
+    """,
+]
+
+SCHEMA_VERSION = len(MIGRATIONS)
+
+
+class ServiceError(RuntimeError):
+    """Base class for job-service failures."""
+
+
+class AdmissionError(ServiceError):
+    """A submit was shed by admission control; ``reason`` says why."""
+
+    def __init__(self, reason: str):
+        self.reason = reason
+        super().__init__(reason)
+
+
+class TransitionError(ServiceError):
+    """An illegal job state transition was attempted."""
+
+
+@dataclass(frozen=True)
+class Job:
+    """One row of the store, frozen at read time."""
+
+    id: int
+    key: str
+    spec: Dict[str, Any]
+    state: str
+    attempts: int
+    max_attempts: int
+    resumes: int
+    submits: int
+    checkpoint_epoch: Optional[int]
+    result_path: Optional[str]
+    result_digest: Optional[str]
+    error: Optional[str]
+    category: Optional[str]
+    owner_pid: Optional[int]
+    heartbeat: Optional[float]
+    next_run_at: float
+    created_at: float
+    updated_at: float
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+
+def _pid_alive(pid: Optional[int]) -> bool:
+    """Best-effort liveness: signal 0 probes existence without touching
+    the process.  EPERM means "exists but not ours" — still alive."""
+    if not pid:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True
+    except OSError:
+        return False
+    return True
+
+
+def _emit_job(name: str, data: Dict[str, Any]) -> None:
+    """One guarded job-lifecycle trace event (no-op while obsv is off)."""
+    tracer = obsv.TRACER
+    if tracer is not None:
+        tracer.emit(obsv.KIND_JOB, name, data)
+
+
+class JobStore:
+    """The durable run store (one SQLite file, WAL mode).
+
+    Safe for multiple processes: every mutation runs inside an immediate
+    transaction, and a generous busy timeout rides out a concurrent
+    writer (a worker heartbeat racing the supervisor's claim).
+    """
+
+    def __init__(
+        self,
+        path,
+        queue_limit: Optional[int] = None,
+        recover: bool = True,
+        busy_timeout: float = 10.0,
+    ) -> None:
+        self.path = Path(path)
+        self.queue_limit = queue_limit
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._db = sqlite3.connect(
+            str(self.path), timeout=busy_timeout, isolation_level=None
+        )
+        self._db.row_factory = sqlite3.Row
+        self._db.execute("PRAGMA journal_mode=WAL")
+        self._db.execute("PRAGMA synchronous=NORMAL")
+        self._db.execute(f"PRAGMA busy_timeout={int(busy_timeout * 1000)}")
+        self._migrate()
+        if recover:
+            self.recover()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        self._db.close()
+
+    def __enter__(self) -> "JobStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- schema --------------------------------------------------------------
+
+    def _migrate(self) -> None:
+        """Apply every migration past ``PRAGMA user_version``, atomically."""
+        version = self._db.execute("PRAGMA user_version").fetchone()[0]
+        if version > SCHEMA_VERSION:
+            raise ServiceError(
+                f"store schema v{version} is newer than this build "
+                f"(v{SCHEMA_VERSION}); refusing to downgrade"
+            )
+        if version == SCHEMA_VERSION:
+            return
+        with self._txn():
+            for index in range(version, SCHEMA_VERSION):
+                # Not executescript: it force-commits any open transaction,
+                # which would break the all-or-nothing upgrade.
+                for statement in MIGRATIONS[index].split(";"):
+                    if statement.strip():
+                        self._db.execute(statement)
+            self._db.execute(f"PRAGMA user_version={SCHEMA_VERSION}")
+
+    @property
+    def schema_version(self) -> int:
+        return self._db.execute("PRAGMA user_version").fetchone()[0]
+
+    # -- low-level helpers ---------------------------------------------------
+
+    def _txn(self):
+        """An immediate write transaction (context manager)."""
+        return _Transaction(self._db)
+
+    def _bump(self, name: str, amount: int = 1) -> None:
+        self._db.execute(
+            "INSERT INTO counters (name, value) VALUES (?, ?) "
+            "ON CONFLICT(name) DO UPDATE SET value = value + ?",
+            (name, amount, amount),
+        )
+
+    def _row_to_job(self, row: sqlite3.Row) -> Job:
+        try:
+            spec = json.loads(row["spec"])
+        except (TypeError, ValueError):
+            spec = {}
+        return Job(
+            id=row["id"],
+            key=row["key"],
+            spec=spec,
+            state=row["state"],
+            attempts=row["attempts"],
+            max_attempts=row["max_attempts"],
+            resumes=row["resumes"],
+            submits=row["submits"],
+            checkpoint_epoch=row["checkpoint_epoch"],
+            result_path=row["result_path"],
+            result_digest=row["result_digest"],
+            error=row["error"],
+            category=row["category"],
+            owner_pid=row["owner_pid"],
+            heartbeat=row["heartbeat"],
+            next_run_at=row["next_run_at"],
+            created_at=row["created_at"],
+            updated_at=row["updated_at"],
+        )
+
+    def _transition(
+        self, job_id: int, to_state: str, now: float, **updates: Any
+    ) -> Job:
+        """Move a job to ``to_state``, enforcing the state machine.
+
+        Must run inside a transaction; returns the updated job."""
+        row = self._db.execute(
+            "SELECT * FROM jobs WHERE id = ?", (job_id,)
+        ).fetchone()
+        if row is None:
+            raise ServiceError(f"no such job: {job_id}")
+        from_state = row["state"]
+        if to_state not in _TRANSITIONS.get(from_state, frozenset()):
+            raise TransitionError(
+                f"job {job_id}: illegal transition {from_state} -> {to_state}"
+            )
+        updates["state"] = to_state
+        updates["updated_at"] = now
+        assignments = ", ".join(f"{name} = ?" for name in updates)
+        self._db.execute(
+            f"UPDATE jobs SET {assignments} WHERE id = ?",
+            (*updates.values(), job_id),
+        )
+        return self.job(job_id)
+
+    # -- submission / admission ----------------------------------------------
+
+    def queue_depth(self) -> int:
+        """Jobs currently occupying the service (queued, running, or
+        awaiting a retry decision)."""
+        return self._db.execute(
+            "SELECT COUNT(*) FROM jobs WHERE state IN (?, ?, ?)",
+            (QUEUED, RUNNING, FAILED),
+        ).fetchone()[0]
+
+    def submit(
+        self,
+        spec: Dict[str, Any],
+        key: str,
+        max_attempts: int = 3,
+    ) -> "SubmitOutcome":
+        """Admit one job (or join an existing one with the same key).
+
+        Dedup: if a non-DEAD job with this key exists, no new row is
+        created — the existing job's ``submits`` fan-out count grows and
+        its (current or eventual) result is shared.  A DEAD key gets a
+        fresh job: the previous execution is not coming back.
+
+        Raises :class:`AdmissionError` (and counts a shed) when the live
+        queue is at ``queue_limit``.
+        """
+        now = time.time()
+        shed_reason: Optional[str] = None
+        with self._txn():
+            row = self._db.execute(
+                "SELECT * FROM jobs WHERE key = ? AND state != ? "
+                "ORDER BY id DESC LIMIT 1",
+                (key, DEAD),
+            ).fetchone()
+            if row is not None:
+                self._db.execute(
+                    "UPDATE jobs SET submits = submits + 1, updated_at = ? "
+                    "WHERE id = ?",
+                    (now, row["id"]),
+                )
+                self._bump("deduped")
+                job = self.job(row["id"])
+                _emit_job("dedup", {"job": job.id, "key": key[:16]})
+                return SubmitOutcome(job=job, deduped=True)
+            depth = self.queue_depth()
+            if self.queue_limit is not None and depth >= self.queue_limit:
+                # Bump inside the transaction, raise after it commits —
+                # a rollback must not lose the shed accounting.
+                self._bump("shed")
+                shed_reason = (
+                    f"queue depth {depth} at limit "
+                    f"{self.queue_limit}; resubmit later"
+                )
+            else:
+                cursor = self._db.execute(
+                    "INSERT INTO jobs (key, spec, state, max_attempts, "
+                    "created_at, updated_at) VALUES (?, ?, ?, ?, ?, ?)",
+                    (
+                        key,
+                        json.dumps(spec, sort_keys=True),
+                        QUEUED,
+                        max_attempts,
+                        now,
+                        now,
+                    ),
+                )
+                job = self.job(cursor.lastrowid)
+        if shed_reason is not None:
+            _emit_job("shed", {"key": key[:16], "reason": shed_reason})
+            raise AdmissionError(shed_reason)
+        _emit_job("submit", {"job": job.id, "key": key[:16]})
+        return SubmitOutcome(job=job, deduped=False)
+
+    # -- claim / heartbeat ---------------------------------------------------
+
+    def claim(self, owner_pid: Optional[int] = None) -> Optional[Job]:
+        """Atomically take the oldest runnable QUEUED job, or None.
+
+        A claimed job moves to RUNNING with ``attempts`` incremented and
+        this process (or ``owner_pid``) recorded as owner.  A job whose
+        stored spec no longer parses is marked DEAD (category
+        ``corrupt``) and skipped — one corrupted row never wedges the
+        queue.
+        """
+        now = time.time()
+        pid = owner_pid if owner_pid is not None else os.getpid()
+        with self._txn():
+            while True:
+                row = self._db.execute(
+                    "SELECT * FROM jobs WHERE state = ? AND next_run_at <= ? "
+                    "ORDER BY id LIMIT 1",
+                    (QUEUED, now),
+                ).fetchone()
+                if row is None:
+                    return None
+                try:
+                    json.loads(row["spec"])
+                except (TypeError, ValueError):
+                    self._bump("corrupt_rows")
+                    self._transition(
+                        row["id"],
+                        DEAD,
+                        now,
+                        error="stored spec does not parse",
+                        category=CATEGORY_CORRUPT,
+                    )
+                    _emit_job("dead", {"job": row["id"], "category": CATEGORY_CORRUPT})
+                    continue
+                job = self._transition(
+                    row["id"],
+                    RUNNING,
+                    now,
+                    attempts=row["attempts"] + 1,
+                    owner_pid=pid,
+                    heartbeat=now,
+                    error=None,
+                    category=None,
+                )
+                _emit_job(
+                    "claim",
+                    {"job": job.id, "attempt": job.attempts, "pid": pid},
+                )
+                return job
+
+    def set_owner(self, job_id: int, pid: int) -> None:
+        """Re-point a RUNNING job at the process actually executing it
+        (the supervisor claims with its own pid, then hands ownership to
+        the spawned worker so orphan recovery probes the right process)."""
+        self._db.execute(
+            "UPDATE jobs SET owner_pid = ? WHERE id = ? AND state = ?",
+            (pid, job_id, RUNNING),
+        )
+
+    def heartbeat(self, job_id: int) -> None:
+        """Record worker liveness (workers call this from a side thread)."""
+        self._db.execute(
+            "UPDATE jobs SET heartbeat = ? WHERE id = ? AND state = ?",
+            (time.time(), job_id, RUNNING),
+        )
+
+    def record_checkpoint(self, job_id: int, epoch: int) -> None:
+        """Remember the newest checkpoint epoch a retry could resume from."""
+        self._db.execute(
+            "UPDATE jobs SET checkpoint_epoch = ? WHERE id = ?",
+            (epoch, job_id),
+        )
+
+    # -- completion / failure ------------------------------------------------
+
+    def mark_done(
+        self, job_id: int, result_path: str, result_digest: str
+    ) -> Job:
+        now = time.time()
+        with self._txn():
+            job = self._transition(
+                job_id,
+                DONE,
+                now,
+                result_path=result_path,
+                result_digest=result_digest,
+                owner_pid=None,
+            )
+        _emit_job(
+            "done",
+            {
+                "job": job.id,
+                "attempts": job.attempts,
+                "resumes": job.resumes,
+                "digest": result_digest[:16],
+            },
+        )
+        return job
+
+    def mark_failed(self, job_id: int, error: str, category: str) -> Job:
+        """Record one failed attempt (RUNNING -> FAILED).  The retry
+        decision — requeue or declare dead — is the supervisor's."""
+        now = time.time()
+        with self._txn():
+            job = self._transition(
+                job_id,
+                FAILED,
+                now,
+                error=error[:2000],
+                category=category,
+                owner_pid=None,
+            )
+        _emit_job(
+            "failed",
+            {"job": job.id, "attempt": job.attempts, "category": category},
+        )
+        return job
+
+    def requeue(
+        self,
+        job_id: int,
+        delay: float = 0.0,
+        resume_epoch: Optional[int] = None,
+    ) -> Job:
+        """FAILED/RUNNING -> QUEUED for another attempt.
+
+        ``resume_epoch`` marks this retry as checkpoint-resumable: the
+        resume counter grows and the epoch is recorded so `status` can
+        show where the next attempt will pick up."""
+        now = time.time()
+        updates: Dict[str, Any] = {
+            "next_run_at": now + max(0.0, delay),
+            "owner_pid": None,
+        }
+        counter = "retries"
+        if resume_epoch is not None:
+            updates["checkpoint_epoch"] = resume_epoch
+        with self._txn():
+            if resume_epoch is not None:
+                self._db.execute(
+                    "UPDATE jobs SET resumes = resumes + 1 WHERE id = ?",
+                    (job_id,),
+                )
+                self._bump("resumes")
+            self._bump(counter)
+            job = self._transition(job_id, QUEUED, now, **updates)
+        _emit_job(
+            "requeue",
+            {
+                "job": job.id,
+                "delay": round(delay, 3),
+                "resume_epoch": resume_epoch,
+            },
+        )
+        return job
+
+    def mark_dead(self, job_id: int, error: str, category: str) -> Job:
+        now = time.time()
+        with self._txn():
+            job = self._transition(
+                job_id,
+                DEAD,
+                now,
+                error=error[:2000],
+                category=category,
+                owner_pid=None,
+            )
+        _emit_job("dead", {"job": job.id, "category": category})
+        return job
+
+    # -- crash recovery ------------------------------------------------------
+
+    def recover(self) -> List[Job]:
+        """Re-queue every RUNNING job whose owner process is gone.
+
+        Called on open; safe to call any time.  The re-queued job keeps
+        its attempt count (the interrupted execution already counted at
+        claim) and its checkpoint pointer, so the next claim resumes
+        from the newest snapshot instead of cycle zero.
+        """
+        recovered: List[Job] = []
+        now = time.time()
+        with self._txn():
+            rows = self._db.execute(
+                "SELECT * FROM jobs WHERE state = ?", (RUNNING,)
+            ).fetchall()
+            for row in rows:
+                if _pid_alive(row["owner_pid"]):
+                    continue
+                self._bump("recovered")
+                job = self._transition(
+                    row["id"],
+                    QUEUED,
+                    now,
+                    owner_pid=None,
+                    next_run_at=now,
+                )
+                recovered.append(job)
+        for job in recovered:
+            _emit_job(
+                "recover",
+                {"job": job.id, "checkpoint_epoch": job.checkpoint_epoch},
+            )
+        return recovered
+
+    # -- queries -------------------------------------------------------------
+
+    def job(self, job_id: int) -> Job:
+        row = self._db.execute(
+            "SELECT * FROM jobs WHERE id = ?", (job_id,)
+        ).fetchone()
+        if row is None:
+            raise ServiceError(f"no such job: {job_id}")
+        return self._row_to_job(row)
+
+    def jobs(self, state: Optional[str] = None) -> List[Job]:
+        if state is None:
+            rows = self._db.execute("SELECT * FROM jobs ORDER BY id")
+        else:
+            rows = self._db.execute(
+                "SELECT * FROM jobs WHERE state = ? ORDER BY id", (state,)
+            )
+        return [self._row_to_job(row) for row in rows.fetchall()]
+
+    def by_key(self, key: str) -> Optional[Job]:
+        """The newest job for ``key`` (any state), or None."""
+        row = self._db.execute(
+            "SELECT * FROM jobs WHERE key = ? ORDER BY id DESC LIMIT 1",
+            (key,),
+        ).fetchone()
+        return self._row_to_job(row) if row is not None else None
+
+    def next_eta(self) -> Optional[float]:
+        """Earliest ``next_run_at`` among QUEUED jobs (None when empty)."""
+        row = self._db.execute(
+            "SELECT MIN(next_run_at) FROM jobs WHERE state = ?", (QUEUED,)
+        ).fetchone()
+        return row[0]
+
+    def state_counts(self) -> Dict[str, int]:
+        counts = {state: 0 for state in STATES}
+        for state, n in self._db.execute(
+            "SELECT state, COUNT(*) FROM jobs GROUP BY state"
+        ).fetchall():
+            counts[state] = n
+        return counts
+
+    def counters(self) -> Dict[str, int]:
+        """Durable incident counters: retries, resumes, shed, deduped,
+        recovered, corrupt_rows (absent names read as 0)."""
+        base = {
+            name: 0
+            for name in (
+                "retries",
+                "resumes",
+                "shed",
+                "deduped",
+                "recovered",
+                "corrupt_rows",
+            )
+        }
+        for name, value in self._db.execute(
+            "SELECT name, value FROM counters"
+        ).fetchall():
+            base[name] = value
+        return base
+
+
+@dataclass(frozen=True)
+class SubmitOutcome:
+    """What :meth:`JobStore.submit` admitted: the (possibly pre-existing)
+    job, and whether this submission joined it instead of creating it."""
+
+    job: Job
+    deduped: bool
+
+
+class _Transaction:
+    """``BEGIN IMMEDIATE`` ... ``COMMIT``/``ROLLBACK`` context manager.
+
+    Re-entrant within one store (SQLite rejects nested BEGIN): an inner
+    use while a transaction is open becomes a no-op member of the outer
+    one."""
+
+    def __init__(self, db: sqlite3.Connection):
+        self._db = db
+        self._nested = False
+
+    def __enter__(self) -> "_Transaction":
+        if self._db.in_transaction:
+            self._nested = True
+            return self
+        self._db.execute("BEGIN IMMEDIATE")
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self._nested:
+            return
+        if exc_type is None:
+            self._db.execute("COMMIT")
+        else:
+            self._db.execute("ROLLBACK")

@@ -27,9 +27,15 @@ import hashlib
 import json
 import os
 import pickle
+from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Optional
+from typing import Dict, Iterator, List, Optional
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platform
+    fcntl = None
 
 CHECKPOINT_SCHEMA = 1
 """Version of the SimState wrapper itself (bump on any layout change)."""
@@ -135,6 +141,32 @@ class CheckpointStore:
         token = hashlib.sha256(run_key.encode()).hexdigest()[:32]
         return self.root / "index" / f"{token}.json"
 
+    def _lock_path(self, run_key: str) -> Path:
+        return self._index_path(run_key).with_suffix(".lock")
+
+    @contextmanager
+    def _locked(self, run_key: str) -> Iterator[None]:
+        """Inter-process exclusion for one run key (flock on a sidecar).
+
+        Two workers resuming the same run key otherwise race: one can be
+        mid-``save`` (blob written, index not yet) while the other's
+        ``load`` evicts what it mistakes for a stale blob.  The sidecar
+        — never the data file itself — carries the lock, so lock
+        acquisition cannot corrupt anything and a crashed holder's lock
+        evaporates with its process.  No-op where ``flock`` is
+        unavailable."""
+        if fcntl is None:  # pragma: no cover - non-POSIX platform
+            yield
+            return
+        path = self._lock_path(run_key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("a") as fh:
+            fcntl.flock(fh.fileno(), fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(fh.fileno(), fcntl.LOCK_UN)
+
     # -- index ---------------------------------------------------------------
 
     def _read_index(self, run_key: str) -> Dict[str, str]:
@@ -167,24 +199,26 @@ class CheckpointStore:
 
     def save(self, run_key: str, state: SimState) -> str:
         """Persist ``state`` and index it under ``run_key``; returns the
-        blob key."""
+        blob key.  Blob write + index update are one critical section
+        under the run key's file lock."""
         key = checkpoint_key(run_key, state.epoch)
         path = self._blob_path(key)
-        try:
-            path.parent.mkdir(parents=True, exist_ok=True)
-            tmp = path.with_suffix(f".tmp.{os.getpid()}")
-            with tmp.open("wb") as fh:
-                pickle.dump(
-                    {"schema": CHECKPOINT_SCHEMA, "key": key, "state": state},
-                    fh,
-                    protocol=pickle.HIGHEST_PROTOCOL,
-                )
-            os.replace(tmp, path)
-        except OSError as exc:
-            raise CheckpointError(f"cannot write checkpoint: {exc}")
-        index = self._read_index(run_key)
-        index[str(state.epoch)] = key
-        self._write_index(run_key, index)
+        with self._locked(run_key):
+            try:
+                path.parent.mkdir(parents=True, exist_ok=True)
+                tmp = path.with_suffix(f".tmp.{os.getpid()}")
+                with tmp.open("wb") as fh:
+                    pickle.dump(
+                        {"schema": CHECKPOINT_SCHEMA, "key": key, "state": state},
+                        fh,
+                        protocol=pickle.HIGHEST_PROTOCOL,
+                    )
+                os.replace(tmp, path)
+            except OSError as exc:
+                raise CheckpointError(f"cannot write checkpoint: {exc}")
+            index = self._read_index(run_key)
+            index[str(state.epoch)] = key
+            self._write_index(run_key, index)
         return key
 
     def _load_key(self, key: str) -> Optional[SimState]:
@@ -221,11 +255,14 @@ class CheckpointStore:
             pass
 
     def load(self, run_key: str, epoch: int) -> Optional[SimState]:
-        """The checkpoint at exactly ``epoch``, or None."""
-        key = self._read_index(run_key).get(str(epoch))
-        if key is None:
-            return None
-        return self._load_key(key)
+        """The checkpoint at exactly ``epoch``, or None.  Holds the run
+        key's lock so a validation-eviction cannot interleave with a
+        concurrent worker's in-progress ``save``."""
+        with self._locked(run_key):
+            key = self._read_index(run_key).get(str(epoch))
+            if key is None:
+                return None
+            return self._load_key(key)
 
     def latest(
         self, run_key: str, max_epoch: Optional[int] = None
@@ -239,3 +276,35 @@ class CheckpointStore:
             if state is not None:
                 return state
         return None
+
+
+def newest_epoch(root) -> Optional[int]:
+    """The newest indexed checkpoint epoch across every run key under
+    ``root`` — None when the store directory holds none.
+
+    This reads only the JSON indices (never unpickles a blob), so it is
+    cheap enough for the job supervisor to call after every worker death
+    to decide whether a retry is a *resume* (and from which epoch) or a
+    from-scratch re-run."""
+    index_dir = Path(root) / "index"
+    newest: Optional[int] = None
+    try:
+        entries = list(index_dir.glob("*.json"))
+    except OSError:
+        return None
+    for path in entries:
+        try:
+            with path.open("r", encoding="utf-8") as fh:
+                index = json.load(fh)
+        except (OSError, ValueError):
+            continue
+        if not isinstance(index, dict):
+            continue
+        for raw in index:
+            try:
+                epoch = int(raw)
+            except (TypeError, ValueError):
+                continue
+            if newest is None or epoch > newest:
+                newest = epoch
+    return newest

@@ -333,6 +333,47 @@ def test_checkpoint_key_separates_runs_epochs_schema():
     assert checkpoint_key("a", 1) == checkpoint_key("a", 1)
 
 
+def test_save_and_load_hold_the_run_key_flock(tmp_path):
+    """Blob writes and index reads go through an exclusive sidecar lock,
+    so two workers sharing a run key cannot interleave a save with a
+    validation-eviction."""
+    import fcntl
+
+    store = CheckpointStore(tmp_path / "ckpt")
+    _, state = _stored_state()
+    store.save("runA", state)
+    lock_path = store._lock_path("runA")
+    assert lock_path.exists()
+    # Hold the lock from "another process" (a separate file description:
+    # flock is per-open-file, so a second handle genuinely contends).
+    with lock_path.open("a") as fh:
+        fcntl.flock(fh.fileno(), fcntl.LOCK_EX)
+        with store._lock_path("runA").open("a") as probe:
+            with pytest.raises(BlockingIOError):
+                fcntl.flock(probe.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+        fcntl.flock(fh.fileno(), fcntl.LOCK_UN)
+    # Released: load proceeds normally.
+    assert store.load("runA", state.epoch).digest == state.digest
+
+
+def test_newest_epoch_scans_indices_without_unpickling(tmp_path):
+    from repro.sim.checkpoint import newest_epoch
+
+    root = tmp_path / "ckpt"
+    assert newest_epoch(root) is None  # no store at all
+    store = CheckpointStore(root)
+    origin, state2 = _stored_state(epochs=2)
+    store.save("runA", state2)
+    origin.run(epochs=2, warmup=0)
+    store.save("runA", checkpoint.snapshot(origin))
+    store.save("runB", state2)
+    assert newest_epoch(root) == 4  # max across every run key
+    # Destroy every blob: the scan still answers from the indices alone.
+    for blob in root.rglob(f"*{checkpoint.CHECKPOINT_SUFFIX}"):
+        blob.write_bytes(b"garbage")
+    assert newest_epoch(root) == 4
+
+
 # -- run_setup resume -------------------------------------------------------
 
 

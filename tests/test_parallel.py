@@ -276,3 +276,73 @@ def test_task_digest_matches_runcache_fingerprint():
 
     # Unfingerprintable payloads degrade to a marker instead of raising.
     assert task_digest(Undigestable()) == "unfingerprintable"
+
+
+# -- broken-pool recycling / dispatch backoff -------------------------------
+
+
+def _die_if_pooled(parent_pid):
+    """SIGKILL the process when run in a pool worker; harmless in-parent.
+
+    Lets one batch both break the executor (worker side) and complete
+    (parent-side serial fallback)."""
+    import os
+    import signal
+
+    if os.getpid() != parent_pid:
+        os.kill(os.getpid(), signal.SIGKILL)
+    return parent_pid * 2
+
+
+def test_broken_pool_is_recycled_and_batch_recovers(monkeypatch):
+    import os
+
+    from repro.experiments import parallel as par
+    from repro.service.retry import RetryPolicy
+
+    monkeypatch.setattr(
+        par,
+        "DISPATCH_RETRY_POLICY",
+        RetryPolicy(base_delay=0.01, max_delay=0.01),
+    )
+    par.dispatch_stats.reset()
+    parent = os.getpid()
+    # Two tasks so the effective worker count stays > 1 (a one-task batch
+    # would short-circuit to the serial path and never touch the pool).
+    results = run_tasks(
+        _die_if_pooled, [parent, parent], parallel=True, max_workers=2
+    )
+    assert results == [parent * 2] * 2  # serial fallback completed the batch
+    assert par.dispatch_stats.broken_pools == 1
+    assert par.dispatch_stats.pool_recycles == 1
+    assert par.dispatch_stats.backoff_seconds > 0  # backoff was applied
+    assert par._pool is not None  # a warm replacement pool is up
+    assert not par._pool._broken
+    assert "1 pool recycles" in par.dispatch_stats.summary()
+    # The recycled pool is immediately usable.
+    assert run_tasks(
+        _fail_on_negative, [3, 4], parallel=True, max_workers=2
+    ) == [6, 8]
+
+
+def test_recycle_if_broken_is_a_noop_on_healthy_pools():
+    from repro.experiments import parallel as par
+
+    par.dispatch_stats.reset()
+    par.shutdown_pool()
+    assert par.recycle_if_broken() is False  # no pool at all
+    pool = par.get_pool(2)
+    assert par.recycle_if_broken() is False  # healthy pool untouched
+    assert par._pool is pool
+    assert par.dispatch_stats.pool_recycles == 0
+
+
+def test_dispatch_backoff_is_deterministic_and_counted():
+    from repro.experiments import parallel as par
+
+    delay = par.DISPATCH_RETRY_POLICY.delay(1, token="batch")
+    assert delay == par.DISPATCH_RETRY_POLICY.delay(1, token="batch")
+    assert 0.15 <= delay <= 0.25  # base 0.2s within the 25% jitter band
+    before = par.dispatch_stats.backoff_seconds
+    par._backoff(0, token="x")  # zero failures: no delay, nothing logged
+    assert par.dispatch_stats.backoff_seconds == before

@@ -1,0 +1,396 @@
+"""Tests for the crash-safe job service: durable store, supervised
+workers, checkpoint-resumable retries, chaos hooks.
+
+The expensive end-to-end properties (SIGKILL a real worker mid-run,
+resume from checkpoint, bit-identical figure) run one small single-cell
+``fig11`` grid per test with the run cache disabled, so the identity is
+earned by simulation resume rather than a cache hit.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import shutil
+import sqlite3
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.errors import (
+    CATEGORY_CORRUPT,
+    CATEGORY_STALLED,
+    FAIL_FAST_CATEGORIES,
+)
+from repro.service.retry import DEFAULT_POLICY, FAST_POLICY, RetryPolicy
+from repro.service.store import (
+    DEAD,
+    DONE,
+    FAILED,
+    QUEUED,
+    RUNNING,
+    SCHEMA_VERSION,
+    AdmissionError,
+    JobStore,
+    TransitionError,
+)
+from repro.service.supervisor import Supervisor, SupervisorConfig
+
+DEAD_PID = 2**22 + 54321  # beyond default pid_max: never a live process
+
+CELL_KWARGS = {
+    "epochs": 12,
+    "warmup": 2,
+    "schemes": ["a4"],
+    "packet_sizes": [64],
+    "checkpoint_every": 3,
+}
+
+
+def _store(tmp_path, **kwargs) -> JobStore:
+    return JobStore(tmp_path / "jobs.db", **kwargs)
+
+
+def _supervisor(store, tmp_path, **overrides) -> Supervisor:
+    config = SupervisorConfig(
+        results_dir=str(tmp_path / "results"),
+        checkpoint_root=str(tmp_path / "ckpt"),
+        retry=FAST_POLICY,
+        worker_env={"REPRO_CACHE_DISABLE": "1"},
+    )
+    for name, value in overrides.items():
+        setattr(config, name, value)
+    return Supervisor(store, config)
+
+
+# -- retry policy -----------------------------------------------------------
+
+
+def test_retry_policy_backoff_is_bounded_and_deterministic():
+    policy = RetryPolicy(max_attempts=5, base_delay=1.0, max_delay=8.0)
+    raw = [policy.delay(n, token="job") for n in (1, 2, 3, 4, 5)]
+    # Deterministic: the jitter is a pure function of (token, attempt).
+    assert raw == [policy.delay(n, token="job") for n in (1, 2, 3, 4, 5)]
+    # Different tokens decorrelate (thundering-herd protection).
+    assert raw != [policy.delay(n, token="other") for n in (1, 2, 3, 4, 5)]
+    # Exponential up to the cap, within the jitter band.
+    for attempt, delay in enumerate(raw, start=1):
+        nominal = min(8.0, 1.0 * 2 ** (attempt - 1))
+        assert nominal * 0.75 <= delay <= nominal * 1.25
+    assert raw[3] <= 8.0 * 1.25 and raw[4] <= 8.0 * 1.25
+
+
+def test_retry_policy_classification():
+    assert not DEFAULT_POLICY.retryable("config")
+    assert not DEFAULT_POLICY.retryable("corrupt")
+    assert DEFAULT_POLICY.retryable("pool")
+    assert DEFAULT_POLICY.retryable("worker-death")
+    # Fail-fast gives up on attempt one; transient categories get the
+    # full attempt budget.
+    assert DEFAULT_POLICY.gives_up(1, "figure")
+    assert not DEFAULT_POLICY.gives_up(1, "stalled")
+    assert DEFAULT_POLICY.gives_up(DEFAULT_POLICY.max_attempts, "stalled")
+    assert FAIL_FAST_CATEGORIES <= DEFAULT_POLICY.fail_fast
+
+
+# -- store schema / migrations ----------------------------------------------
+
+
+def test_fresh_store_is_at_current_schema(tmp_path):
+    with _store(tmp_path) as store:
+        assert store.schema_version == SCHEMA_VERSION
+
+
+def test_v1_store_migrates_in_place(tmp_path):
+    from repro.service.store import MIGRATIONS
+
+    path = tmp_path / "jobs.db"
+    db = sqlite3.connect(str(path))
+    for statement in MIGRATIONS[0].split(";"):
+        if statement.strip():
+            db.execute(statement)
+    db.execute("PRAGMA user_version=1")
+    db.execute(
+        "INSERT INTO jobs (key, spec, created_at, updated_at) "
+        "VALUES ('k', '{}', 0, 0)"
+    )
+    db.commit()
+    db.close()
+
+    with JobStore(path) as store:
+        assert store.schema_version == SCHEMA_VERSION
+        job = store.job(1)  # pre-migration row readable post-migration
+        assert job.key == "k" and job.result_digest is None
+
+
+def test_newer_schema_is_refused(tmp_path):
+    path = tmp_path / "jobs.db"
+    db = sqlite3.connect(str(path))
+    db.execute(f"PRAGMA user_version={SCHEMA_VERSION + 1}")
+    db.close()
+    with pytest.raises(Exception, match="newer"):
+        JobStore(path)
+
+
+# -- state machine -----------------------------------------------------------
+
+
+def test_illegal_transitions_are_rejected(tmp_path):
+    with _store(tmp_path) as store:
+        job = store.submit({"figure": "f"}, "k").job
+        with pytest.raises(TransitionError):
+            store.mark_done(job.id, "x", "d")  # QUEUED -> DONE skips RUNNING
+        store.claim(owner_pid=os.getpid())
+        with pytest.raises(TransitionError):
+            store.mark_dead(job.id, "e", "runtime")  # RUNNING -> DEAD
+        store.mark_done(job.id, "x", "d")
+        with pytest.raises(TransitionError):
+            store.requeue(job.id)  # DONE is terminal
+
+
+def test_claim_respects_backoff_schedule(tmp_path):
+    with _store(tmp_path) as store:
+        job = store.submit({"figure": "f"}, "k").job
+        store.claim(owner_pid=os.getpid())
+        store.mark_failed(job.id, "boom", "runtime")
+        store.requeue(job.id, delay=30.0)
+        assert store.claim(owner_pid=os.getpid()) is None  # not due yet
+        eta = store.next_eta()
+        assert eta is not None and eta > time.time() + 25
+
+
+# -- dedup / admission -------------------------------------------------------
+
+
+def test_submit_dedups_by_key_and_dead_keys_restart(tmp_path):
+    with _store(tmp_path) as store:
+        first = store.submit({"figure": "f"}, "k")
+        second = store.submit({"figure": "f"}, "k")
+        assert not first.deduped and second.deduped
+        assert second.job.id == first.job.id and second.job.submits == 2
+        assert store.counters()["deduped"] == 1
+
+        store.claim(owner_pid=os.getpid())
+        store.mark_failed(first.job.id, "boom", "config")
+        store.mark_dead(first.job.id, "boom", "config")
+        third = store.submit({"figure": "f"}, "k")
+        assert not third.deduped and third.job.id != first.job.id
+
+
+def test_admission_control_sheds_and_counts(tmp_path):
+    with _store(tmp_path, queue_limit=1) as store:
+        store.submit({"figure": "f"}, "k1")
+        with pytest.raises(AdmissionError, match="limit"):
+            store.submit({"figure": "f"}, "k2")
+        assert store.counters()["shed"] == 1
+        # Dedup joins bypass admission: the job already occupies a slot.
+        assert store.submit({"figure": "f"}, "k1").deduped
+
+
+# -- corruption / recovery ---------------------------------------------------
+
+
+def test_corrupt_spec_row_is_quarantined_at_claim(tmp_path):
+    from repro.faults.service_chaos import corrupt_job_row
+
+    with _store(tmp_path) as store:
+        bad = store.submit({"figure": "f"}, "bad").job
+        good = store.submit({"figure": "f"}, "good").job
+        corrupt_job_row(store.path, bad.id)
+        claimed = store.claim(owner_pid=os.getpid())
+        assert claimed is not None and claimed.id == good.id
+        row = store.job(bad.id)
+        assert row.state == DEAD and row.category == CATEGORY_CORRUPT
+        assert store.counters()["corrupt_rows"] == 1
+
+
+def test_orphaned_running_jobs_requeue_on_open(tmp_path):
+    with _store(tmp_path) as store:
+        job = store.submit({"figure": "f"}, "k").job
+        store.claim(owner_pid=DEAD_PID)
+        store.record_checkpoint(job.id, 4)
+    with _store(tmp_path) as store:  # reopen runs recovery
+        row = store.job(job.id)
+        assert row.state == QUEUED
+        assert row.checkpoint_epoch == 4  # resume pointer survives
+        assert row.attempts == 1  # the interrupted attempt still counts
+        assert store.counters()["recovered"] == 1
+
+
+def test_recovery_leaves_live_owners_alone(tmp_path):
+    with _store(tmp_path) as store:
+        store.submit({"figure": "f"}, "k")
+        store.claim(owner_pid=os.getpid())  # we are alive
+    with _store(tmp_path) as store:
+        assert store.jobs(RUNNING)[0].state == RUNNING
+        assert store.counters()["recovered"] == 0
+
+
+def test_wal_survives_torn_log_write(tmp_path):
+    """A torn append to the -wal file costs the uncommitted suffix, not
+    the database: committed jobs reopen intact."""
+    with _store(tmp_path) as store:
+        committed = store.submit({"figure": "f"}, "committed").job
+        # Flush the committed row into the main db file; the next write's
+        # frames then live only in the WAL and are what the tear destroys.
+        store._db.execute("PRAGMA wal_checkpoint(TRUNCATE)")
+        store.submit({"figure": "f"}, "tail")  # lives in WAL frames
+
+        torn_dir = tmp_path / "torn"
+        torn_dir.mkdir()
+        shutil.copy(store.path, torn_dir / "jobs.db")
+        wal = Path(str(store.path) + "-wal")
+        assert wal.exists() and wal.stat().st_size > 0
+        frames = wal.read_bytes()
+        # Tear mid-frame: keep the header plus half a frame boundary.
+        (torn_dir / "jobs.db-wal").write_bytes(frames[: len(frames) // 2 + 7])
+
+    with JobStore(torn_dir / "jobs.db") as reopened:
+        check = reopened._db.execute("PRAGMA integrity_check").fetchone()[0]
+        assert check == "ok"
+        row = reopened.by_key("committed")
+        assert row is not None and row.id == committed.id
+
+
+# -- supervisor end-to-end ---------------------------------------------------
+
+
+def _cell_spec():
+    from repro.experiments.figures import REGISTRY
+
+    figure = REGISTRY["fig11"]
+    return figure, {"figure": "fig11", "kwargs": CELL_KWARGS}, figure.cache_key(
+        **CELL_KWARGS
+    )
+
+
+def test_sigkill_resumes_from_checkpoint_bit_identical(tmp_path, monkeypatch):
+    from repro.experiments import runcache
+    from repro.faults.service_chaos import KillWorker
+
+    monkeypatch.setenv(runcache.ENV_CACHE_DISABLE, "1")
+    runcache.set_cache(None)
+    figure, spec, key = _cell_spec()
+    with _store(tmp_path) as store:
+        job = store.submit(spec, key).job
+        supervisor = _supervisor(store, tmp_path)
+        chaos = KillWorker(budget=1, after_checkpoint=True)
+        supervisor.chaos = chaos
+        report = supervisor.drain()
+
+        row = store.job(job.id)
+        assert chaos.kills == 1 and report.kills == 1
+        assert row.state == DONE
+        assert row.attempts == 2  # killed once, finished on the retry
+        assert row.resumes >= 1  # and the retry resumed, not re-ran
+        assert store.counters()["resumes"] >= 1
+
+        baseline = figure(**CELL_KWARGS)
+        digest = hashlib.sha256(
+            pickle.dumps(baseline, protocol=pickle.HIGHEST_PROTOCOL)
+        ).hexdigest()
+        assert row.result_digest == digest
+        with open(row.result_path, "rb") as fh:
+            assert pickle.load(fh).rows == baseline.rows
+
+
+def test_stalled_worker_is_killed_and_classified(tmp_path, monkeypatch):
+    from repro.faults.service_chaos import StallHeartbeat
+
+    figure, spec, key = _cell_spec()
+    with _store(tmp_path) as store:
+        job = store.submit(spec, key, max_attempts=1).job
+        supervisor = _supervisor(
+            store,
+            tmp_path,
+            heartbeat_interval=0.05,
+            heartbeat_timeout=0.3,
+        )
+        supervisor.chaos = StallHeartbeat()
+        supervisor.drain()
+        row = store.job(job.id)
+        assert row.state == DEAD  # single attempt, no budget to retry
+        assert row.category == CATEGORY_STALLED
+
+
+def test_failed_fast_category_goes_dead_without_retry(tmp_path):
+    with _store(tmp_path) as store:
+        job = store.submit(
+            {"figure": "no-such-figure", "kwargs": {}}, "bad-figure"
+        ).job
+        supervisor = _supervisor(store, tmp_path)
+        report = supervisor.drain()
+        row = store.job(job.id)
+        assert row.state == DEAD and row.attempts == 1
+        assert report.retries == 0
+        assert "no-such-figure" in row.error
+
+
+def test_supervisor_settles_failed_rows_from_dead_supervisor(tmp_path):
+    """A supervisor that crashed between mark_failed and the retry
+    decision leaves a FAILED row; the next drain adjudicates it."""
+    with _store(tmp_path) as store:
+        job = store.submit({"figure": "f"}, "k", max_attempts=1).job
+        store.claim(owner_pid=os.getpid())
+        store.mark_failed(job.id, "boom", "runtime")
+        supervisor = _supervisor(store, tmp_path)
+        supervisor.settle_failed()
+        assert store.job(job.id).state == DEAD  # budget of 1 already spent
+
+
+# -- job trace events / metrics ----------------------------------------------
+
+
+def test_job_lifecycle_emits_trace_events(tmp_path):
+    from repro import obsv
+
+    tracer = obsv.enable()
+    try:
+        with _store(tmp_path, queue_limit=1) as store:
+            job = store.submit({"figure": "f"}, "k").job
+            with pytest.raises(AdmissionError):
+                store.submit({"figure": "f"}, "other")
+            store.claim(owner_pid=os.getpid())
+            store.mark_failed(job.id, "boom", "runtime")
+            store.requeue(job.id, delay=0.0, resume_epoch=2)
+        names = [e.name for e in tracer.events if e.kind == obsv.KIND_JOB]
+        assert names == ["submit", "shed", "claim", "failed", "requeue"]
+    finally:
+        obsv.disable()
+
+
+def test_collect_service_exports_store_gauges(tmp_path):
+    from repro.obsv.metrics import MetricsRegistry, collect_service
+
+    with _store(tmp_path, queue_limit=1) as store:
+        store.submit({"figure": "f"}, "k")
+        with pytest.raises(AdmissionError):
+            store.submit({"figure": "f"}, "other")
+        registry = collect_service(store, MetricsRegistry())
+        snapshot = registry.snapshot()
+        assert snapshot["repro_service_queue_depth"]["series"][0]["value"] == 1
+        states = {
+            tuple(s["labels"].items()): s["value"]
+            for s in snapshot["repro_service_jobs"]["series"]
+        }
+        assert states[(("state", "queued"),)] == 1
+        assert snapshot["repro_service_shed_total"]["series"][0]["value"] == 1
+
+
+# -- key identity ------------------------------------------------------------
+
+
+def test_service_key_is_the_runcache_key():
+    """The dedup identity of a service job is the figure's cache key, so
+    a service job and a CLI run of the same figure share one cache
+    entry — and checkpoint plumbing kwargs never change it."""
+    from repro.experiments.figures import REGISTRY
+
+    figure = REGISTRY["fig11"]
+    base = figure.cache_key(epochs=4, warmup=1)
+    assert base == figure.cache_key(
+        epochs=4, warmup=1, checkpoint_dir="/elsewhere", checkpoint_every=2
+    )
+    assert base != figure.cache_key(epochs=5, warmup=1)

@@ -1,0 +1,203 @@
+#!/usr/bin/env python
+"""Operator CLI for the crash-safe simulation job service.
+
+Subcommands::
+
+    python tools/service.py submit fig11 --set epochs=12 --set warmup=2
+    python tools/service.py status [--job ID]
+    python tools/service.py watch [--interval 1.0]
+    python tools/service.py drain [--max-jobs N] [--wall-limit SECONDS]
+
+State lives under ``--root`` (default ``.repro-service/``): ``jobs.db``
+is the durable SQLite store, ``results/`` holds pickled figure results
+named by content key, ``ckpt/`` holds per-job checkpoint namespaces.
+``submit`` is cheap and durable — the job survives process death and a
+later ``drain`` (from any process) picks it up; submitting the same
+figure with the same arguments joins the existing job instead of
+queueing a duplicate.  ``drain`` runs a supervisor in this process:
+workers are spawned per job, heartbeat-watched, and retried from their
+newest checkpoint on unclean death.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+for path in (str(ROOT / "src"),):
+    if path not in sys.path:
+        sys.path.insert(0, path)
+
+
+def _parse_set(pairs):
+    """``--set key=value`` arguments into kwargs (values parse as JSON
+    where possible, else stay strings: ``epochs=12`` -> int,
+    ``schemes='["a4"]'`` -> list, ``scheme=a4`` -> str)."""
+    kwargs = {}
+    for pair in pairs or ():
+        if "=" not in pair:
+            raise SystemExit(f"--set needs key=value, got {pair!r}")
+        key, raw = pair.split("=", 1)
+        try:
+            kwargs[key] = json.loads(raw)
+        except ValueError:
+            kwargs[key] = raw
+    return kwargs
+
+
+def _open_store(args, **kwargs):
+    from repro.service.store import JobStore
+
+    root = Path(args.root)
+    return JobStore(root / "jobs.db", **kwargs)
+
+
+def _fmt_job(job) -> str:
+    extra = ""
+    if job.state == "DONE":
+        extra = f" digest={job.result_digest[:12]} -> {job.result_path}"
+    elif job.error:
+        extra = f" [{job.category}] {job.error.splitlines()[0][:60]}"
+    return (
+        f"job {job.id} {job.state:7s} key={job.key[:12]} "
+        f"attempts={job.attempts}/{job.max_attempts} "
+        f"resumes={job.resumes} submits={job.submits}"
+        f"{extra}"
+    )
+
+
+def cmd_submit(args) -> int:
+    from repro.experiments.figures import REGISTRY
+
+    if args.figure not in REGISTRY:
+        known = ", ".join(sorted(REGISTRY))
+        print(f"unknown figure {args.figure!r}; known: {known}")
+        return 2
+    kwargs = _parse_set(args.set)
+    key = REGISTRY[args.figure].cache_key(**kwargs)
+    from repro.service.store import AdmissionError
+
+    with _open_store(args, queue_limit=args.queue_limit) as store:
+        try:
+            outcome = store.submit(
+                {"figure": args.figure, "kwargs": kwargs},
+                key,
+                max_attempts=args.max_attempts,
+            )
+        except AdmissionError as exc:
+            print(f"shed: {exc.reason}")
+            return 3
+        verb = "joined" if outcome.deduped else "queued"
+        print(f"{verb}: {_fmt_job(outcome.job)}")
+    return 0
+
+
+def cmd_status(args) -> int:
+    with _open_store(args) as store:
+        if args.job is not None:
+            job = store.job(args.job)
+            print(_fmt_job(job))
+            if job.checkpoint_epoch is not None:
+                print(f"  resumable from epoch {job.checkpoint_epoch}")
+            return 0
+        counts = store.state_counts()
+        print(
+            "states: "
+            + "  ".join(f"{state}={n}" for state, n in counts.items())
+        )
+        print(f"queue depth: {store.queue_depth()}")
+        counters = store.counters()
+        print(
+            "counters: "
+            + "  ".join(f"{name}={value}" for name, value in counters.items())
+        )
+        for job in store.jobs():
+            print(_fmt_job(job))
+    return 0
+
+
+def cmd_watch(args) -> int:
+    with _open_store(args) as store:
+        last = None
+        while True:
+            counts = store.state_counts()
+            line = "  ".join(f"{s}={n}" for s, n in counts.items() if n)
+            if line != last:
+                print(f"[{time.strftime('%H:%M:%S')}] {line or 'empty'}")
+                last = line
+            if not (counts["QUEUED"] or counts["RUNNING"] or counts["FAILED"]):
+                return 0
+            time.sleep(args.interval)
+
+
+def cmd_drain(args) -> int:
+    from repro.service.supervisor import Supervisor, SupervisorConfig
+
+    root = Path(args.root)
+    with _open_store(args) as store:
+        config = SupervisorConfig(
+            results_dir=str(root / "results"),
+            checkpoint_root=str(root / "ckpt"),
+            heartbeat_timeout=args.heartbeat_timeout,
+        )
+        supervisor = Supervisor(store, config)
+        report = supervisor.drain(
+            max_jobs=args.max_jobs, wall_limit=args.wall_limit
+        )
+        print(f"drain: {report.summary()}")
+        dead = store.jobs("DEAD")
+        for job in dead:
+            print(_fmt_job(job))
+        return 1 if dead else 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--root",
+        default=".repro-service",
+        help="service state directory (default: .repro-service)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("submit", help="queue (or join) one figure job")
+    p.add_argument("figure", help="registry figure id, e.g. fig11")
+    p.add_argument(
+        "--set",
+        action="append",
+        metavar="KEY=VALUE",
+        help="runner kwarg (value parsed as JSON when possible)",
+    )
+    p.add_argument("--max-attempts", type=int, default=3)
+    p.add_argument(
+        "--queue-limit",
+        type=int,
+        default=64,
+        help="admission control: shed submits beyond this live depth",
+    )
+    p.set_defaults(fn=cmd_submit)
+
+    p = sub.add_parser("status", help="show queue state and counters")
+    p.add_argument("--job", type=int, help="show one job in detail")
+    p.set_defaults(fn=cmd_status)
+
+    p = sub.add_parser("watch", help="poll until the queue settles")
+    p.add_argument("--interval", type=float, default=1.0)
+    p.set_defaults(fn=cmd_watch)
+
+    p = sub.add_parser("drain", help="run a supervisor until settled")
+    p.add_argument("--max-jobs", type=int, default=None)
+    p.add_argument("--wall-limit", type=float, default=None)
+    p.add_argument("--heartbeat-timeout", type=float, default=60.0)
+    p.set_defaults(fn=cmd_drain)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,162 @@
+#!/usr/bin/env python
+"""CI smoke test for the crash-safe job service.
+
+Four checks, each fatal on violation:
+
+1. **Kill-resume bit-identity** — submit a one-cell ``fig11`` job with a
+   3-epoch checkpoint cadence, SIGKILL the worker once after its first
+   checkpoint lands, and require the job to finish DONE on attempt 2
+   with at least one checkpoint resume — and with a result digest equal
+   to an uninterrupted in-process run (run cache disabled on both sides,
+   so the equality is earned by simulation resume, not by a cache hit).
+2. **Orphan recovery** — a job left RUNNING by a process that no longer
+   exists is re-queued (checkpoint pointer intact) when the store is
+   next opened.
+3. **Dedup fan-out** — resubmitting the finished job's spec joins the
+   existing row (no new work) and reports the shared result.
+4. **Admission control** — a submit beyond the queue limit is shed with
+   a reason, and the shed is durably counted.
+
+Exit code 0 on success, 1 with a diagnostic on any violation.  Usage::
+
+    python tools/service_smoke.py
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import sys
+import tempfile
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+for path in (str(ROOT / "src"),):
+    if path not in sys.path:
+        sys.path.insert(0, path)
+
+SPEC_KWARGS = {
+    "epochs": 12,
+    "warmup": 2,
+    "schemes": ["a4"],
+    "packet_sizes": [64],
+    "checkpoint_every": 3,
+}
+
+
+def main() -> int:
+    # Both the service worker and the baseline run with the cache off:
+    # the bit-identity below must come from checkpoint resume.
+    os.environ["REPRO_CACHE_DISABLE"] = "1"
+
+    from repro.experiments.figures import REGISTRY
+    from repro.faults.service_chaos import KillWorker
+    from repro.service.retry import FAST_POLICY
+    from repro.service.store import AdmissionError, JobStore
+    from repro.service.supervisor import Supervisor, SupervisorConfig
+
+    figure = REGISTRY["fig11"]
+    key = figure.cache_key(**SPEC_KWARGS)
+    spec = {"figure": "fig11", "kwargs": SPEC_KWARGS}
+
+    with tempfile.TemporaryDirectory(prefix="repro-service-smoke-") as tmp:
+        db_path = Path(tmp) / "jobs.db"
+        store = JobStore(db_path)
+        job = store.submit(spec, key).job
+        chaos = KillWorker(budget=1, after_checkpoint=True)
+        supervisor = Supervisor(
+            store,
+            SupervisorConfig(
+                results_dir=str(Path(tmp) / "results"),
+                checkpoint_root=str(Path(tmp) / "ckpt"),
+                retry=FAST_POLICY,
+                worker_env={"REPRO_CACHE_DISABLE": "1"},
+            ),
+            chaos=chaos,
+        )
+        report = supervisor.drain()
+
+        row = store.job(job.id)
+        if chaos.kills != 1:
+            print(f"FAIL: chaos killed {chaos.kills} workers, wanted 1")
+            return 1
+        if row.state != "DONE":
+            print(f"FAIL: job finished {row.state}, wanted DONE "
+                  f"({row.category}: {row.error})")
+            return 1
+        if row.attempts != 2:
+            print(f"FAIL: job took {row.attempts} attempts, wanted 2 "
+                  "(one kill, one resume)")
+            return 1
+        if row.resumes < 1:
+            print("FAIL: retry did not resume from a checkpoint")
+            return 1
+
+        baseline = figure(**SPEC_KWARGS)
+        digest = hashlib.sha256(
+            pickle.dumps(baseline, protocol=pickle.HIGHEST_PROTOCOL)
+        ).hexdigest()
+        if digest != row.result_digest:
+            print(
+                "FAIL: resumed result diverged from uninterrupted run\n"
+                f"  service:  {row.result_digest}\n"
+                f"  baseline: {digest}"
+            )
+            return 1
+        print(
+            f"OK: kill-resume bit-identity ({report.summary()}; "
+            f"digest {digest[:12]})"
+        )
+
+        # 2. orphan recovery: fake a RUNNING row owned by a dead pid.
+        orphan = store.submit(
+            {"figure": "fig11", "kwargs": {"epochs": 2}}, "orphan-key"
+        ).job
+        claimed = store.claim(owner_pid=2**22 + 12345)  # no such pid
+        if claimed is None or claimed.id != orphan.id:
+            print("FAIL: orphan setup did not claim the expected job")
+            return 1
+        store.close()
+        store = JobStore(db_path)  # reopen triggers recovery
+        row = store.job(orphan.id)
+        if row.state != "QUEUED":
+            print(f"FAIL: orphan not re-queued on reopen (state {row.state})")
+            return 1
+        if store.counters()["recovered"] != 1:
+            print("FAIL: orphan recovery not counted")
+            return 1
+        cleanup = store.claim(owner_pid=os.getpid())
+        store.mark_failed(cleanup.id, "smoke cleanup", "runtime")
+        store.mark_dead(cleanup.id, "smoke cleanup", "runtime")
+        print("OK: RUNNING job with dead owner re-queued on store open")
+
+        # 3. dedup fan-out against the finished job.
+        outcome = store.submit(spec, key)
+        if not outcome.deduped or outcome.job.id != job.id:
+            print("FAIL: identical resubmit did not join the existing job")
+            return 1
+        if outcome.job.result_digest != digest:
+            print("FAIL: deduped submit does not share the result")
+            return 1
+        print(f"OK: resubmit joined job {job.id} "
+              f"(submits={outcome.job.submits})")
+
+        # 4. admission control at queue limit 0 sheds with a reason.
+        store.queue_limit = 0
+        try:
+            store.submit({"figure": "fig11", "kwargs": {}}, "shed-key")
+        except AdmissionError as exc:
+            if store.counters()["shed"] != 1:
+                print("FAIL: shed submit not counted")
+                return 1
+            print(f"OK: overload submit shed ({exc.reason})")
+        else:
+            print("FAIL: submit beyond queue limit was admitted")
+            return 1
+        store.close()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
