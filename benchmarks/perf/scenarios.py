@@ -24,7 +24,12 @@ Registered benchmarks:
   horizon, simulated exactly epoch by epoch;
 * ``sampled_long_horizon``  — the same horizon under
   representative-interval sampling; records wall/structural speedup and
-  the true error vs the exact run (asserted <= the 2% budget).
+  the true error vs the exact run (asserted <= the 2% budget);
+* ``trace_overhead``        — the canonical run with observability off,
+  with in-process tracing, and with the full service-worker setup
+  (context + spooling sink + progress events); asserts the epoch
+  samples are identical all three ways (tracing-off parity) and records
+  the spooled overhead.
 """
 
 from __future__ import annotations
@@ -337,6 +342,73 @@ def bench_sampled_long_horizon(quick: bool) -> Dict[str, float]:
     }
 
 
+def bench_trace_overhead(quick: bool) -> Dict[str, float]:
+    """Tracing-off parity and the cost of the full cross-process layer.
+
+    Runs the canonical scenario three ways — observability disabled,
+    plain in-process tracing, and tracing with a context plus a spooling
+    :class:`~repro.obsv.spool.TraceSink` (the service-worker
+    configuration, including per-epoch progress events) — and asserts the
+    epoch samples are identical across all three: the layer observes the
+    simulation, it never perturbs it.  ``wall_s`` (the gated number) is
+    the tracing-off run; the spooled overhead is recorded alongside."""
+    from repro import obsv
+    from repro.obsv.spool import TraceSink
+
+    epochs = 4 if quick else 8
+
+    def one_run():
+        server = build_canonical(0xA4)
+        started = time.perf_counter()
+        result = server.run(epochs=epochs, warmup=1)
+        return server, result, time.perf_counter() - started
+
+    obsv.disable()
+    _, baseline, off_wall = one_run()
+
+    obsv.enable()
+    try:
+        _, traced, traced_wall = one_run()
+    finally:
+        obsv.disable()
+    assert traced.samples == baseline.samples, (
+        "in-process tracing perturbed the simulation"
+    )
+
+    spool_dir = tempfile.mkdtemp(prefix="repro-bench-spool-")
+    try:
+        sink = TraceSink(Path(spool_dir))
+        obsv.enable(
+            context=obsv.TraceContext(run_id="bench", job_id=1, attempt=1),
+            sink=sink,
+        )
+        server, spooled, spooled_wall = one_run()
+        sink.close()
+        progress_events = len(obsv.TRACER.by_kind(obsv.KIND_PROGRESS))
+    finally:
+        obsv.disable()
+        shutil.rmtree(spool_dir, ignore_errors=True)
+    assert spooled.samples == baseline.samples, (
+        "spooled tracing perturbed the simulation"
+    )
+    assert progress_events == epochs, (
+        f"expected one progress event per epoch, got {progress_events}"
+    )
+
+    events = server.sim.events_executed
+    return {
+        "wall_s": off_wall,
+        "events": events,
+        "events_per_s": events / off_wall if off_wall else 0.0,
+        "epochs": epochs,
+        "traced_wall_s": traced_wall,
+        "spooled_wall_s": spooled_wall,
+        "spooled_overhead_pct": (
+            100.0 * (spooled_wall - off_wall) / off_wall if off_wall else 0.0
+        ),
+    }
+
+
 MACRO_BENCHMARKS = {
     "canonical": bench_canonical,
     "multi_seed": bench_multi_seed,
@@ -347,4 +419,5 @@ MACRO_BENCHMARKS = {
     "batched_cpu": bench_batched_cpu,
     "long_horizon": bench_long_horizon,
     "sampled_long_horizon": bench_sampled_long_horizon,
+    "trace_overhead": bench_trace_overhead,
 }

@@ -33,7 +33,8 @@ figures CLI), tear down with :func:`disable`.
 
 from __future__ import annotations
 
-from typing import Optional
+import os
+from typing import Any, Optional
 
 from repro.obsv.audit import AuditTrail, Decision
 from repro.obsv.metrics import (
@@ -44,6 +45,8 @@ from repro.obsv.metrics import (
 )
 from repro.obsv.profile import PhaseProfiler
 from repro.obsv.tracer import (
+    ENV_TRACE_CONTEXT,
+    ENV_TRACE_SPOOL,
     KIND_CHECKPOINT,
     KIND_CONTROL,
     KIND_DCA,
@@ -54,9 +57,11 @@ from repro.obsv.tracer import (
     KIND_MASK,
     KIND_PHASE,
     KIND_PLATFORM,
+    KIND_PROGRESS,
     KIND_SAMPLE,
     KIND_SPAN,
     KIND_ZONE,
+    TraceContext,
     TraceEvent,
     Tracer,
 )
@@ -75,14 +80,44 @@ def enable(
     capacity: int = Tracer.DEFAULT_CAPACITY,
     audit_capacity: int = AuditTrail.DEFAULT_CAPACITY,
     profile: bool = True,
+    context: Optional[TraceContext] = None,
+    sink: Optional[Any] = None,
 ) -> Tracer:
     """Turn the observability layer on (idempotent: replaces any previous
-    tracer/trail/profiler with fresh, empty ones) and return the tracer."""
+    tracer/trail/profiler with fresh, empty ones) and return the tracer.
+
+    ``context`` stamps every event with run/job identity;``sink`` (a
+    :class:`repro.obsv.spool.TraceSink`) spools segments to disk so the
+    trace survives the process."""
     global TRACER, AUDIT, PROFILER
-    TRACER = Tracer(capacity)
+    _register_at_fork()
+    TRACER = Tracer(capacity, context=context, sink=sink)
     AUDIT = AuditTrail(audit_capacity, tracer=TRACER)
     PROFILER = PhaseProfiler() if profile else None
     return TRACER
+
+
+def enable_from_env(environ=None) -> Optional[Tracer]:
+    """Enable tracing from worker-side environment variables.
+
+    :data:`ENV_TRACE_SPOOL` names the spool directory this process should
+    shard into; :data:`ENV_TRACE_CONTEXT` carries the encoded
+    :class:`TraceContext`.  Returns None (layer untouched) when no spool
+    is requested — the zero-cost-off path for un-traced jobs.  Never
+    raises: an unusable spool directory falls back to in-memory-only
+    tracing so observability can't take a worker down."""
+    env = os.environ if environ is None else environ
+    spool_root = env.get(ENV_TRACE_SPOOL, "")
+    if not spool_root:
+        return None
+    from repro.obsv.spool import TraceSink
+
+    context = TraceContext.from_env(env.get(ENV_TRACE_CONTEXT, ""))
+    try:
+        sink: Optional[Any] = TraceSink(spool_root)
+    except (OSError, ValueError):
+        sink = None
+    return enable(context=context, sink=sink)
 
 
 def disable() -> None:
@@ -97,10 +132,29 @@ def enabled() -> bool:
     return TRACER is not None
 
 
+_at_fork_registered = False
+
+
+def _fork_child() -> None:
+    if TRACER is not None:
+        TRACER.after_fork()
+
+
+def _register_at_fork() -> None:
+    """Make forked children re-stamp their pid (once per process)."""
+    global _at_fork_registered
+    if _at_fork_registered or not hasattr(os, "register_at_fork"):
+        return
+    os.register_at_fork(after_in_child=_fork_child)
+    _at_fork_registered = True
+
+
 __all__ = [
     "AUDIT",
     "AuditTrail",
     "Decision",
+    "ENV_TRACE_CONTEXT",
+    "ENV_TRACE_SPOOL",
     "KIND_CHECKPOINT",
     "KIND_CONTROL",
     "KIND_DCA",
@@ -111,6 +165,7 @@ __all__ = [
     "KIND_MASK",
     "KIND_PHASE",
     "KIND_PLATFORM",
+    "KIND_PROGRESS",
     "KIND_SAMPLE",
     "KIND_SPAN",
     "KIND_ZONE",
@@ -118,10 +173,12 @@ __all__ = [
     "PROFILER",
     "PhaseProfiler",
     "TRACER",
+    "TraceContext",
     "TraceEvent",
     "Tracer",
     "disable",
     "enable",
+    "enable_from_env",
     "enabled",
     "get_registry",
     "merge_counts",

@@ -74,13 +74,39 @@ def to_chrome_trace(events: Iterable[TraceEvent]) -> Dict[str, Any]:
     Simulated time (cycles) is written as the ``ts`` microsecond field —
     the viewer's units are nominal; relative placement is what matters.
     Wall-clock durations (spans, per-epoch simulation time) become ``X``
-    complete events scaled so they remain visible alongside."""
+    complete events scaled so they remain visible alongside.
+
+    Each event lands on the *recorded* emitting process (``event.pid``;
+    legacy pid-0 traces collapse onto the synthetic process 1), with the
+    kind as the thread row — a merged multi-worker spool renders as one
+    track group per worker.  Real pids additionally get a
+    ``process_name`` metadata event labelling the track with the run/job
+    identity they carried."""
     trace_events: List[Dict[str, Any]] = []
+    named_pids: Dict[int, bool] = {}
     for event in events:
+        pid = event.pid or 1
+        if event.pid and event.pid not in named_pids:
+            named_pids[event.pid] = True
+            label = f"worker {event.pid}"
+            if event.run_id:
+                label += f" run={event.run_id}"
+            if event.job_id is not None:
+                label += f" job={event.job_id}/a{event.attempt}"
+            trace_events.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "ts": 0,
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {"name": label},
+                }
+            )
         entry: Dict[str, Any] = {
             "name": event.name,
             "cat": event.kind,
-            "pid": 1,
+            "pid": pid,
             "tid": event.kind,
             "ts": event.ts,
             "args": {"epoch": event.epoch, **event.data},

@@ -1,0 +1,268 @@
+"""Crash-safe trace spooling: per-process JSONL shards + merge reader.
+
+The ring-buffer tracer (:mod:`repro.obsv.tracer`) dies with its process,
+which is exactly when its contents matter most — a SIGKILLed worker takes
+its last epochs of telemetry with it.  The spool fixes that:
+
+* :class:`TraceSink` hangs off ``Tracer.sink`` and buffers every emitted
+  event into a pending segment.  When the segment fills (or
+  ``flush_interval`` wall seconds pass, or :meth:`TraceSink.flush` is
+  called), the segment is written as its own JSONL shard via
+  *tmp-file + atomic rename* — a crash mid-write never leaves a torn
+  shard, only a stale ``.tmp`` that readers ignore.  Total spool size is
+  bounded by ``budget_bytes``; when a flush would exceed it the oldest
+  shards (by mtime, then name) are evicted first, so the spool behaves
+  like the ring buffer: recent history wins.
+* :func:`read_spool` stitches every shard in a directory back into one
+  stream ordered by the cross-process merge key ``(ts, pid, seq)``.
+* :func:`read_pid_tail` pulls the last N events of one process in
+  ``seq`` order — the flight recorder's salvage primitive
+  (:mod:`repro.obsv.flight`).
+* :func:`follow_spool` is a polling generator over a live spool
+  directory (``tools/obsv.py tail --follow``): it yields events from
+  each shard exactly once, in order within the batch, as shards appear.
+
+Shards are named ``events-<pid>-<first_seq:08d>.jsonl`` so a directory
+listing alone reveals which process wrote what and in what order.
+Everything here is plain files — no daemon, no IPC — which is what makes
+the supervisor able to salvage a victim's telemetry after ``kill -9``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Set, Tuple, Union
+
+from repro.obsv.export import read_jsonl, write_jsonl
+from repro.obsv.tracer import KIND_CHECKPOINT, KIND_PROGRESS, TraceEvent
+
+PathLike = Union[str, Path]
+
+SHARD_PREFIX = "events-"
+SHARD_SUFFIX = ".jsonl"
+
+DEFAULT_SEGMENT_EVENTS = 256
+DEFAULT_BUDGET_BYTES = 8 * 1024 * 1024
+DEFAULT_FLUSH_INTERVAL = 2.0
+
+FLUSH_KINDS = frozenset({KIND_PROGRESS, KIND_CHECKPOINT})
+"""Event kinds that force a segment flush: progress marks an epoch
+boundary (live tailers want it now) and checkpoint marks a resume point
+(the flight recorder must be able to salvage everything up to it)."""
+
+
+def shard_name(pid: int, first_seq: int) -> str:
+    return f"{SHARD_PREFIX}{pid}-{first_seq:08d}{SHARD_SUFFIX}"
+
+
+def parse_shard_name(name: str) -> Optional[Tuple[int, int]]:
+    """``(pid, first_seq)`` from a shard filename, or None for non-shards
+    (tmp leftovers, foreign files)."""
+    if not (name.startswith(SHARD_PREFIX) and name.endswith(SHARD_SUFFIX)):
+        return None
+    stem = name[len(SHARD_PREFIX) : -len(SHARD_SUFFIX)]
+    pid_text, _, seq_text = stem.rpartition("-")
+    if not pid_text or not seq_text:
+        return None
+    try:
+        return int(pid_text), int(seq_text)
+    except ValueError:
+        return None
+
+
+def list_shards(root: PathLike) -> List[Path]:
+    """Shard files under ``root``, oldest-first by ``(mtime, name)`` —
+    the eviction order."""
+    root = Path(root)
+    if not root.is_dir():
+        return []
+    shards = [
+        path
+        for path in root.iterdir()
+        if path.is_file() and parse_shard_name(path.name) is not None
+    ]
+    return sorted(shards, key=lambda p: (p.stat().st_mtime, p.name))
+
+
+class TraceSink:
+    """Spools tracer events to bounded, atomically-written JSONL shards.
+
+    Attach via ``obsv.enable(sink=TraceSink(root))`` (or hand one to an
+    existing tracer).  The sink never raises out of :meth:`offer` — a
+    full disk or unwritable spool degrades to dropped segments, counted
+    in :attr:`write_errors`, never a crashed run.
+    """
+
+    def __init__(
+        self,
+        root: PathLike,
+        segment_events: int = DEFAULT_SEGMENT_EVENTS,
+        budget_bytes: int = DEFAULT_BUDGET_BYTES,
+        flush_interval: float = DEFAULT_FLUSH_INTERVAL,
+    ):
+        if segment_events < 1:
+            raise ValueError("segment_events must be positive")
+        if budget_bytes < 1:
+            raise ValueError("budget_bytes must be positive")
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.segment_events = segment_events
+        self.budget_bytes = budget_bytes
+        self.flush_interval = flush_interval
+        self.pending: List[TraceEvent] = []
+        self.segments_written = 0
+        self.events_spooled = 0
+        self.shards_evicted = 0
+        self.write_errors = 0
+        self._last_flush = time.monotonic()
+
+    # -- ingest ------------------------------------------------------------
+
+    def offer(self, event: TraceEvent) -> None:
+        """Buffer one event; flush when the segment fills, goes stale, or
+        the event marks an epoch/checkpoint boundary."""
+        self.pending.append(event)
+        if (
+            len(self.pending) >= self.segment_events
+            or event.kind in FLUSH_KINDS
+            or (
+                self.flush_interval > 0
+                and time.monotonic() - self._last_flush >= self.flush_interval
+            )
+        ):
+            self.flush()
+
+    def flush(self) -> Optional[Path]:
+        """Write the pending segment as one atomic shard; returns its path
+        (None when there was nothing pending or the write failed)."""
+        self._last_flush = time.monotonic()
+        if not self.pending:
+            return None
+        segment, self.pending = self.pending, []
+        first = segment[0]
+        path = self.root / shard_name(first.pid, first.seq)
+        tmp = path.with_name(path.name + ".tmp")
+        try:
+            write_jsonl(segment, tmp)
+            os.replace(tmp, path)
+        except OSError:
+            self.write_errors += 1
+            try:
+                tmp.unlink(missing_ok=True)
+            except OSError:
+                pass
+            return None
+        self.segments_written += 1
+        self.events_spooled += len(segment)
+        self._evict()
+        return path
+
+    def close(self) -> None:
+        """Flush any tail segment (call when the run ends)."""
+        self.flush()
+
+    # -- budget ------------------------------------------------------------
+
+    def _evict(self) -> None:
+        """Drop oldest shards until the spool fits the disk budget.  The
+        newest shard always survives even if it alone exceeds the budget."""
+        shards = list_shards(self.root)
+        sizes = []
+        for path in shards:
+            try:
+                sizes.append(path.stat().st_size)
+            except OSError:
+                sizes.append(0)
+        total = sum(sizes)
+        index = 0
+        while total > self.budget_bytes and index < len(shards) - 1:
+            try:
+                shards[index].unlink()
+                self.shards_evicted += 1
+            except OSError:
+                pass
+            total -= sizes[index]
+            index += 1
+
+
+# -- readers ----------------------------------------------------------------
+
+
+def read_spool(root: PathLike) -> List[TraceEvent]:
+    """All events across every shard under ``root``, merged into one
+    stream ordered by ``(ts, pid, seq)``.  Torn/tmp files are skipped."""
+    events: List[TraceEvent] = []
+    for path in list_shards(root):
+        try:
+            events.extend(read_jsonl(path))
+        except (OSError, ValueError):
+            continue
+    events.sort(key=lambda e: (e.ts, e.pid, e.seq))
+    return events
+
+
+def spool_pids(root: PathLike) -> List[int]:
+    """Distinct writer pids present in a spool directory."""
+    pids: Set[int] = set()
+    for path in list_shards(root):
+        parsed = parse_shard_name(path.name)
+        if parsed is not None:
+            pids.add(parsed[0])
+    return sorted(pids)
+
+
+def read_pid_tail(
+    root: PathLike, pid: int, limit: int = 128
+) -> List[TraceEvent]:
+    """The last ``limit`` events one process spooled, in ``seq`` order.
+
+    This is the flight recorder's salvage path: after the supervisor
+    kills (or loses) a worker it reads the victim's freshest telemetry
+    straight off disk."""
+    mine: List[TraceEvent] = []
+    for path in list_shards(root):
+        parsed = parse_shard_name(path.name)
+        if parsed is None or parsed[0] != pid:
+            continue
+        try:
+            mine.extend(e for e in read_jsonl(path) if e.pid == pid)
+        except (OSError, ValueError):
+            continue
+    mine.sort(key=lambda e: e.seq)
+    return mine[-limit:] if limit > 0 else mine
+
+
+def follow_spool(
+    root: PathLike,
+    poll_interval: float = 0.25,
+    max_seconds: Optional[float] = None,
+) -> Iterator[TraceEvent]:
+    """Yield events from a live spool directory as shards land.
+
+    Each shard is consumed exactly once (atomic renames mean a shard is
+    complete the moment it is visible); within each polling batch events
+    are ordered by ``(ts, pid, seq)``.  Runs until ``max_seconds``
+    elapses (forever when None) — callers break out on their own
+    condition (KeyboardInterrupt, job settled)."""
+    seen: Dict[str, bool] = {}
+    deadline = (
+        time.monotonic() + max_seconds if max_seconds is not None else None
+    )
+    while True:
+        batch: List[TraceEvent] = []
+        for path in list_shards(root):
+            if path.name in seen:
+                continue
+            seen[path.name] = True
+            try:
+                batch.extend(read_jsonl(path))
+            except (OSError, ValueError):
+                continue
+        batch.sort(key=lambda e: (e.ts, e.pid, e.seq))
+        for event in batch:
+            yield event
+        if deadline is not None and time.monotonic() >= deadline:
+            return
+        time.sleep(poll_interval)

@@ -106,6 +106,15 @@ MIGRATIONS: List[str] = [
     """
     ALTER TABLE jobs ADD COLUMN result_digest TEXT;
     """,
+    # v3: claim timestamp (queue-wait / run-duration SLO histograms) and
+    # live progress columns pushed by the worker heartbeat thread.
+    """
+    ALTER TABLE jobs ADD COLUMN claimed_at REAL;
+    ALTER TABLE jobs ADD COLUMN progress_done INTEGER;
+    ALTER TABLE jobs ADD COLUMN progress_total INTEGER;
+    ALTER TABLE jobs ADD COLUMN progress_rate REAL;
+    ALTER TABLE jobs ADD COLUMN progress_eta REAL;
+    """,
 ]
 
 SCHEMA_VERSION = len(MIGRATIONS)
@@ -149,10 +158,22 @@ class Job:
     next_run_at: float
     created_at: float
     updated_at: float
+    claimed_at: Optional[float] = None
+    progress_done: Optional[int] = None
+    progress_total: Optional[int] = None
+    progress_rate: Optional[float] = None
+    progress_eta: Optional[float] = None
 
     @property
     def terminal(self) -> bool:
         return self.state in TERMINAL_STATES
+
+    @property
+    def progress_fraction(self) -> Optional[float]:
+        """Epoch completion in [0, 1], or None before any progress push."""
+        if not self.progress_total or self.progress_done is None:
+            return None
+        return min(1.0, self.progress_done / self.progress_total)
 
 
 def _pid_alive(pid: Optional[int]) -> bool:
@@ -280,6 +301,11 @@ class JobStore:
             next_run_at=row["next_run_at"],
             created_at=row["created_at"],
             updated_at=row["updated_at"],
+            claimed_at=row["claimed_at"],
+            progress_done=row["progress_done"],
+            progress_total=row["progress_total"],
+            progress_rate=row["progress_rate"],
+            progress_eta=row["progress_eta"],
         )
 
     def _transition(
@@ -422,6 +448,11 @@ class JobStore:
                     attempts=row["attempts"] + 1,
                     owner_pid=pid,
                     heartbeat=now,
+                    claimed_at=now,
+                    progress_done=None,
+                    progress_total=None,
+                    progress_rate=None,
+                    progress_eta=None,
                     error=None,
                     category=None,
                 )
@@ -453,6 +484,29 @@ class JobStore:
             "UPDATE jobs SET checkpoint_epoch = ? WHERE id = ?",
             (epoch, job_id),
         )
+
+    def update_progress(
+        self,
+        job_id: int,
+        done: int,
+        total: int,
+        rate: float = 0.0,
+        eta: Optional[float] = None,
+    ) -> None:
+        """Push live run progress (epochs done/total, sim events/s, ETA
+        seconds) onto a RUNNING job.  Workers call this from the same
+        side thread as :meth:`heartbeat`; ``watch`` renders it."""
+        self._db.execute(
+            "UPDATE jobs SET progress_done = ?, progress_total = ?, "
+            "progress_rate = ?, progress_eta = ? WHERE id = ? AND state = ?",
+            (done, total, rate, eta, job_id, RUNNING),
+        )
+
+    def count_crash(self) -> None:
+        """Bump the durable crash counter (unclean worker death or a
+        stale-heartbeat kill — the flight-recorder trigger)."""
+        with self._txn():
+            self._bump("crashes")
 
     # -- completion / failure ------------------------------------------------
 
@@ -630,7 +684,7 @@ class JobStore:
 
     def counters(self) -> Dict[str, int]:
         """Durable incident counters: retries, resumes, shed, deduped,
-        recovered, corrupt_rows (absent names read as 0)."""
+        recovered, corrupt_rows, crashes (absent names read as 0)."""
         base = {
             name: 0
             for name in (
@@ -640,6 +694,7 @@ class JobStore:
                 "deduped",
                 "recovered",
                 "corrupt_rows",
+                "crashes",
             )
         }
         for name, value in self._db.execute(

@@ -33,6 +33,17 @@ process's module-level warm pool if it broke
 (:func:`repro.experiments.parallel.recycle_if_broken`), so a service
 host that also fans figures out over ``--jobs`` never inherits a
 poisoned executor.
+
+Observability: when ``SupervisorConfig.spool_root`` is set, every worker
+gets a per-job trace spool directory (``spool_root/job-<key16>/``) and a
+:class:`~repro.obsv.tracer.TraceContext` through the environment; the
+worker enables tracing with a crash-safe
+:class:`~repro.obsv.spool.TraceSink`, the heartbeat thread pushes live
+epoch progress into the job row, and on any failed settle the
+supervisor's **flight recorder** salvages the victim's last spooled
+events into ``<result>.crash.json`` (:mod:`repro.obsv.flight`).  With
+``spool_root`` unset none of this exists — workers run exactly as
+before.
 """
 
 from __future__ import annotations
@@ -78,11 +89,32 @@ def _emit_job(name: str, data: Dict[str, Any]) -> None:
 # -- the worker process -----------------------------------------------------
 
 
+def _push_progress(store: JobStore, job_id: int) -> None:
+    """Mirror the tracer's latest ``progress`` payload into the job row
+    (no-op while tracing is off or before the first epoch)."""
+    tracer = obsv.TRACER
+    if tracer is None or not tracer.progress:
+        return
+    payload = tracer.progress
+    try:
+        store.update_progress(
+            job_id,
+            int(payload.get("done", 0)),
+            int(payload.get("total", 0)),
+            float(payload.get("events_per_s", 0.0)),
+            payload.get("eta_s"),
+        )
+    except Exception:  # pragma: no cover - progress must never kill work
+        pass
+
+
 def _heartbeat_loop(
     db_path: str, job_id: int, interval: float, stop: threading.Event
 ) -> None:
     """Worker-side liveness thread (its own store connection — sqlite3
-    connections are not shared across threads)."""
+    connections are not shared across threads).  Each beat also pushes
+    the tracer's live progress snapshot onto the row, which is what
+    ``tools/service.py watch`` renders."""
     stall = os.environ.get(ENV_STALL_HEARTBEAT, "") not in ("", "0")
     try:
         store = JobStore(db_path, recover=False)
@@ -91,6 +123,7 @@ def _heartbeat_loop(
     try:
         while not stop.is_set():
             store.heartbeat(job_id)
+            _push_progress(store, job_id)
             if stall:
                 return  # chaos: one beat, then silence
             stop.wait(interval)
@@ -120,6 +153,9 @@ def run_worker(
     from repro.experiments import runcache
 
     runcache.set_cache(None)  # re-read cache settings from the env above
+    # Cross-process tracing: spool + context arrive via the environment
+    # (no-op when the supervisor runs without a spool_root).
+    obsv.enable_from_env()
 
     stop = threading.Event()
     beat = threading.Thread(
@@ -144,6 +180,7 @@ def run_worker(
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
         tmp.write_bytes(payload)
         os.replace(tmp, path)
+        _push_progress(store, job_id)  # land the final 100% row
         store.mark_done(job_id, str(path), digest)
     except Exception as exc:  # noqa: BLE001 - recorded, never raised
         try:
@@ -156,6 +193,9 @@ def run_worker(
             pass
     finally:
         stop.set()
+        tracer = obsv.TRACER
+        if tracer is not None and tracer.sink is not None:
+            tracer.sink.close()
         store.close()
 
 
@@ -180,6 +220,12 @@ class SupervisorConfig:
     mp_context: str = "fork"
     """Multiprocessing start method; falls back to the platform default
     where unavailable."""
+    spool_root: Optional[str] = None
+    """Trace-spool root; when set, workers shard their trace into
+    ``spool_root/job-<key16>/`` and every failed settle produces a
+    flight-recorder crash report.  None (default) = tracing stays off."""
+    crash_events: int = 128
+    """How many salvaged tail events a crash report carries."""
 
 
 @dataclass
@@ -232,12 +278,26 @@ class Supervisor:
     def result_path(self, job: Job) -> Path:
         return Path(self.config.results_dir) / f"{job.key}.pkl"
 
+    def spool_dir(self, job: Job) -> Optional[Path]:
+        """The job's trace-spool directory (None when spooling is off).
+        Keyed like the checkpoint namespace so retries of one job land
+        their shards together."""
+        if self.config.spool_root is None:
+            return None
+        return Path(self.config.spool_root) / f"job-{job.key[:16]}"
+
     # -- one job -------------------------------------------------------------
 
     def _spawn(self, job: Job) -> multiprocessing.Process:
         environ = dict(self.config.worker_env)
         if self.chaos is not None:
             environ.update(self.chaos.worker_env())
+        spool = self.spool_dir(job)
+        if spool is not None:
+            environ[obsv.ENV_TRACE_SPOOL] = str(spool)
+            environ[obsv.ENV_TRACE_CONTEXT] = obsv.TraceContext(
+                run_id=job.key[:16], job_id=job.id, attempt=job.attempts
+            ).to_env()
         process = self._mp.Process(
             target=run_worker,
             args=(
@@ -259,6 +319,7 @@ class Supervisor:
         re-QUEUED for a later attempt).  Returns the final row."""
         self.report.executed += 1
         process = self._spawn(job)
+        worker_pid = process.pid or 0
         if process.pid:
             self.store.set_owner(job.id, process.pid)
         kill_category: Optional[str] = None
@@ -283,9 +344,11 @@ class Supervisor:
             time.sleep(self.config.poll_interval)
         process.join()
         process.close()
-        return self._settle(job, kill_category)
+        return self._settle(job, kill_category, worker_pid)
 
-    def _settle(self, job: Job, kill_category: Optional[str]) -> Job:
+    def _settle(
+        self, job: Job, kill_category: Optional[str], worker_pid: int = 0
+    ) -> Job:
         """Turn whatever the worker left behind into a final transition."""
         from repro.experiments import parallel
 
@@ -293,9 +356,16 @@ class Supervisor:
         if row.state == DONE:
             self.report.done += 1
             return row
+        crash_reason = "retryable_failure"
         if row.state == RUNNING:
             # Unclean death: the worker never got to record its outcome.
             category = kill_category or CATEGORY_WORKER_DEATH
+            crash_reason = (
+                "stale_heartbeat"
+                if kill_category == CATEGORY_STALLED
+                else "worker_death"
+            )
+            self.store.count_crash()
             row = self.store.mark_failed(
                 job.id, f"worker died without recording a result", category
             )
@@ -306,7 +376,41 @@ class Supervisor:
             parallel.recycle_if_broken()
         if row.state != FAILED:  # pragma: no cover - concurrent settle
             return row
+        self._flight_record(row, crash_reason, worker_pid)
         return self._decide_retry(row)
+
+    def _flight_record(
+        self, row: Job, reason: str, worker_pid: int
+    ) -> Optional[Path]:
+        """Salvage the dead worker's spooled tail into a crash report.
+
+        Best-effort: the report is diagnostics, so nothing here may break
+        the settle path."""
+        spool = self.spool_dir(row)
+        if spool is None or not worker_pid:
+            return None
+        from dataclasses import asdict
+
+        from repro.obsv.flight import write_crash_report
+
+        try:
+            path = write_crash_report(
+                self.result_path(row),
+                job=asdict(row),
+                reason=reason,
+                category=row.category or "runtime",
+                spool_root=spool,
+                pid=worker_pid,
+                error=row.error or "",
+                limit=self.config.crash_events,
+            )
+        except Exception:  # pragma: no cover - diagnostics only
+            return None
+        _emit_job(
+            "crash_report",
+            {"job": row.id, "reason": reason, "path": str(path)},
+        )
+        return path
 
     def _decide_retry(self, row: Job) -> Job:
         """FAILED -> QUEUED (with backoff + resume point) or DEAD."""

@@ -379,6 +379,176 @@ def test_collect_service_exports_store_gauges(tmp_path):
         assert snapshot["repro_service_shed_total"]["series"][0]["value"] == 1
 
 
+# -- cross-process observability ---------------------------------------------
+
+
+def test_store_migration_v3_adds_progress_columns(tmp_path):
+    """A v2 store (pre progress/claimed_at) upgrades in place and its old
+    rows read back with the new columns as None."""
+    from repro.service.store import MIGRATIONS
+
+    path = tmp_path / "jobs.db"
+    db = sqlite3.connect(str(path))
+    for migration in MIGRATIONS[:2]:
+        for statement in migration.split(";"):
+            if statement.strip():
+                db.execute(statement)
+    db.execute("PRAGMA user_version=2")
+    db.execute(
+        "INSERT INTO jobs (key, spec, created_at, updated_at) "
+        "VALUES ('k', '{}', 0, 0)"
+    )
+    db.commit()
+    db.close()
+
+    with JobStore(path) as store:
+        assert store.schema_version == SCHEMA_VERSION
+        job = store.job(1)
+        assert job.claimed_at is None
+        assert job.progress_done is None and job.progress_fraction is None
+        assert store.counters()["crashes"] == 0
+
+
+def test_progress_updates_only_touch_running_rows(tmp_path):
+    with _store(tmp_path) as store:
+        job = store.submit({"figure": "f"}, "k").job
+        store.update_progress(job.id, 2, 10, 100.0, 5.0)  # QUEUED: ignored
+        assert store.job(job.id).progress_done is None
+
+        store.claim(owner_pid=os.getpid())
+        claimed = store.job(job.id)
+        assert claimed.claimed_at is not None
+        assert claimed.claimed_at >= claimed.created_at
+
+        store.update_progress(job.id, 3, 12, 250.0, 7.5)
+        row = store.job(job.id)
+        assert (row.progress_done, row.progress_total) == (3, 12)
+        assert row.progress_rate == 250.0 and row.progress_eta == 7.5
+        assert row.progress_fraction == pytest.approx(3 / 12)
+
+        store.mark_done(job.id, "x", "d")
+        store.update_progress(job.id, 12, 12)  # DONE: ignored
+        assert store.job(job.id).progress_done == 3
+
+
+def test_job_lifecycle_ordering_under_retries(tmp_path):
+    """The KIND_JOB stream tells the full retry story in order, with a
+    per-process monotonic seq that pins the order even after a merge."""
+    from repro import obsv
+
+    tracer = obsv.enable()
+    try:
+        with _store(tmp_path) as store:
+            job = store.submit({"figure": "f"}, "k", max_attempts=2).job
+            store.claim(owner_pid=os.getpid())
+            store.mark_failed(job.id, "boom", "runtime")
+            store.requeue(job.id, delay=0.0, resume_epoch=3)
+            store.claim(owner_pid=os.getpid())
+            store.mark_failed(job.id, "boom again", "runtime")
+            store.mark_dead(job.id, "gave up", "runtime")
+        events = [e for e in tracer.events if e.kind == obsv.KIND_JOB]
+        assert [e.name for e in events] == [
+            "submit", "claim", "failed", "requeue",
+            "claim", "failed", "dead",
+        ]
+        attempts = [
+            e.data["attempt"] for e in events if e.name == "claim"
+        ]
+        assert attempts == [1, 2]
+        seqs = [e.seq for e in events]
+        assert seqs == sorted(seqs) and len(set(seqs)) == len(seqs)
+        assert all(e.pid == os.getpid() for e in events)
+    finally:
+        obsv.disable()
+
+
+def test_worker_spools_trace_and_streams_progress(tmp_path, monkeypatch):
+    """With a spool_root configured, the worker shards its trace into the
+    job's spool directory — stamped with the job's context — and pushes
+    per-epoch progress onto the row, landing at 100% when DONE."""
+    from repro.experiments import runcache
+    from repro.obsv.spool import read_spool
+    from repro.obsv.tracer import KIND_PROGRESS
+
+    monkeypatch.setenv(runcache.ENV_CACHE_DISABLE, "1")
+    runcache.set_cache(None)
+    figure, spec, key = _cell_spec()
+    with _store(tmp_path) as store:
+        job = store.submit(spec, key).job
+        supervisor = _supervisor(
+            store, tmp_path, spool_root=str(tmp_path / "spool")
+        )
+        supervisor.drain()
+
+        row = store.job(job.id)
+        assert row.state == DONE
+        assert row.progress_done == row.progress_total == CELL_KWARGS["epochs"]
+        assert row.progress_fraction == 1.0
+
+        spool = supervisor.spool_dir(job)
+        events = read_spool(spool)
+        assert events, "worker spooled nothing"
+        assert all(e.run_id == key[:16] for e in events)
+        assert all(e.job_id == job.id for e in events)
+        assert all(e.attempt == 1 for e in events)
+        pids = {e.pid for e in events}
+        assert len(pids) == 1 and os.getpid() not in pids
+        progress = [e for e in events if e.kind == KIND_PROGRESS]
+        assert [p.data["done"] for p in progress] == list(
+            range(1, CELL_KWARGS["epochs"] + 1)
+        )
+        assert all(
+            p.data["total"] == CELL_KWARGS["epochs"] for p in progress
+        )
+
+
+def test_flight_recorder_salvages_sigkill_tail(tmp_path, monkeypatch):
+    """kill -9 a worker mid-figure: the supervisor emits a crash report
+    whose salvaged tail is exactly the victim's spooled shard tail, and
+    the durable crash counter records the death."""
+    from repro.experiments import runcache
+    from repro.faults.service_chaos import KillWorker
+    from repro.obsv.flight import crash_report_path, read_crash_report
+    from repro.obsv.spool import read_pid_tail
+
+    monkeypatch.setenv(runcache.ENV_CACHE_DISABLE, "1")
+    runcache.set_cache(None)
+    figure, spec, key = _cell_spec()
+    with _store(tmp_path) as store:
+        job = store.submit(spec, key).job
+        supervisor = _supervisor(
+            store, tmp_path, spool_root=str(tmp_path / "spool")
+        )
+        supervisor.chaos = KillWorker(budget=1, after_checkpoint=True)
+        supervisor.drain()
+
+        row = store.job(job.id)
+        assert row.state == DONE  # retry resumed and finished
+        assert store.counters()["crashes"] == 1
+
+        report_path = crash_report_path(supervisor.result_path(job))
+        assert report_path.exists()
+        header, salvaged = read_crash_report(report_path)
+        assert header["reason"] == "worker_death"
+        assert header["job"]["id"] == job.id
+        assert header["pid"] not in (0, os.getpid())
+        assert salvaged, "no events salvaged from the victim's spool"
+        assert all(e.pid == header["pid"] for e in salvaged)
+
+        # The salvaged tail IS the victim's spooled tail, event for event.
+        spooled_tail = read_pid_tail(
+            supervisor.spool_dir(job),
+            header["pid"],
+            limit=supervisor.config.crash_events,
+        )
+        assert salvaged == spooled_tail
+
+        # The finishing attempt wrote its own shards under a new pid.
+        from repro.obsv.spool import spool_pids
+
+        assert len(spool_pids(supervisor.spool_dir(job))) == 2
+
+
 # -- key identity ------------------------------------------------------------
 
 

@@ -1,13 +1,22 @@
 #!/usr/bin/env python3
-"""Inspect a JSONL trace written by ``--trace`` (or ``write_jsonl``).
+"""Inspect JSONL traces written by ``--trace``, ``write_jsonl``, or a
+worker trace spool.
 
 Usage::
 
     python tools/obsv.py summary runs/trace.jsonl
+    python tools/obsv.py summary runs/spool/job-abc123/         # a spool dir
+    python tools/obsv.py summary worker1.jsonl worker2.jsonl    # merged
     python tools/obsv.py timeline runs/trace.jsonl --kind decision --limit 40
     python tools/obsv.py timeline runs/trace.jsonl --epoch 12
     python tools/obsv.py explain-epoch runs/trace.jsonl 12
     python tools/obsv.py explain-epoch runs/trace.jsonl --find reallocate
+    python tools/obsv.py tail runs/spool/job-abc123/ -n 20
+    python tools/obsv.py tail runs/spool/job-abc123/ --follow
+
+Every command accepts one or more JSONL files *or* spool directories
+(the per-worker shard directories a service worker writes); multiple
+sources are merged into one stream ordered by ``(ts, pid, seq)``.
 
 ``summary`` prints event counts per kind and the controller-decision
 tally.  ``timeline`` lists events (filter by kind and/or epoch).
@@ -15,6 +24,9 @@ tally.  ``timeline`` lists events (filter by kind and/or epoch).
 decisions the controller took and the sanitized telemetry inputs and
 thresholds behind each; with ``--find ACTION`` it locates the first epoch
 containing that action and explains it (exit 1 when nothing matches).
+``tail`` shows the newest events; with ``--follow`` it polls a live
+spool directory and streams events as worker shards land (Ctrl-C or
+``--max-seconds`` to stop).
 """
 
 from __future__ import annotations
@@ -30,7 +42,27 @@ sys.path.insert(
 
 from repro.obsv.audit import Decision  # noqa: E402
 from repro.obsv.export import read_jsonl  # noqa: E402
+from repro.obsv.spool import follow_spool, read_spool  # noqa: E402
 from repro.obsv.tracer import KIND_DECISION, TraceEvent  # noqa: E402
+
+
+def _load(sources: List[str]) -> List[TraceEvent]:
+    """Events from files and/or spool directories, as one ordered stream.
+
+    A single plain file keeps its recorded order (legacy traces have no
+    pid/seq stamps to sort by); anything involving a directory or more
+    than one source merges by ``(ts, pid, seq)``."""
+    events: List[TraceEvent] = []
+    merged = len(sources) > 1
+    for source in sources:
+        if os.path.isdir(source):
+            events.extend(read_spool(source))
+            merged = True
+        else:
+            events.extend(read_jsonl(source))
+    if merged:
+        events.sort(key=lambda e: (e.ts, e.pid, e.seq))
+    return events
 
 
 def _decisions(events: List[TraceEvent]) -> List[Decision]:
@@ -52,8 +84,13 @@ def cmd_summary(events: List[TraceEvent], args) -> int:
     for event in events:
         counts[event.kind] = counts.get(event.kind, 0) + 1
     epochs = sorted({e.epoch for e in events if e.epoch >= 0})
-    print(f"{len(events)} events"
-          + (f", epochs {epochs[0]}..{epochs[-1]}" if epochs else ""))
+    pids = sorted({e.pid for e in events if e.pid})
+    line = f"{len(events)} events"
+    if epochs:
+        line += f", epochs {epochs[0]}..{epochs[-1]}"
+    if pids:
+        line += f", {len(pids)} process(es): {' '.join(map(str, pids))}"
+    print(line)
     for kind in sorted(counts):
         print(f"  {kind:<12} {counts[kind]:>7}")
     decisions = _decisions(events)
@@ -70,9 +107,10 @@ def cmd_summary(events: List[TraceEvent], args) -> int:
 def _fmt_event(event: TraceEvent) -> str:
     data = " ".join(f"{k}={v}" for k, v in sorted(event.data.items()))
     wall = f" wall={event.wall * 1e3:.2f}ms" if event.wall else ""
+    pid = f" pid={event.pid}" if event.pid else ""
     return (
         f"[{event.epoch:>4}] t={event.ts:>12.0f} {event.kind:<10} "
-        f"{event.name:<20} {data}{wall}"
+        f"{event.name:<20} {data}{wall}{pid}"
     )
 
 
@@ -122,6 +160,49 @@ def cmd_explain_epoch(events: List[TraceEvent], args) -> int:
     return 0
 
 
+def cmd_tail(events: List[TraceEvent], args) -> int:
+    """The newest events; with --follow, stream a live spool directory."""
+    if args.kind is not None:
+        events = [e for e in events if e.kind == args.kind]
+    for event in events[-args.lines:] if args.lines else events:
+        print(_fmt_event(event))
+    if not args.follow:
+        return 0
+    spools = [s for s in args.trace if os.path.isdir(s)]
+    if not spools:
+        print("--follow needs a spool directory", file=sys.stderr)
+        return 2
+    if len(spools) > 1:
+        print("--follow tails one spool directory at a time", file=sys.stderr)
+        return 2
+    # Already-printed shards would repeat: the follower re-reads the
+    # directory from scratch.  Skip events we have shown above.
+    shown = {(e.pid, e.seq) for e in events}
+    try:
+        for event in follow_spool(
+            spools[0],
+            poll_interval=args.interval,
+            max_seconds=args.max_seconds,
+        ):
+            if (event.pid, event.seq) in shown:
+                continue
+            if args.kind is not None and event.kind != args.kind:
+                continue
+            print(_fmt_event(event), flush=True)
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _add_trace_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "trace",
+        nargs="+",
+        help="JSONL trace file(s) and/or spool director(ies); multiple "
+        "sources merge by (ts, pid, seq)",
+    )
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="tools/obsv.py", description=__doc__.splitlines()[0]
@@ -129,11 +210,11 @@ def main(argv=None) -> int:
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("summary", help="event counts and decision tally")
-    p.add_argument("trace", help="JSONL trace file")
+    _add_trace_arg(p)
     p.set_defaults(func=cmd_summary)
 
     p = sub.add_parser("timeline", help="list events")
-    p.add_argument("trace", help="JSONL trace file")
+    _add_trace_arg(p)
     p.add_argument("--kind", default=None, help="only this event kind")
     p.add_argument("--epoch", type=int, default=None, help="only this epoch")
     p.add_argument(
@@ -146,7 +227,7 @@ def main(argv=None) -> int:
         "explain-epoch",
         help="the controller decisions of one epoch, with their inputs",
     )
-    p.add_argument("trace", help="JSONL trace file")
+    _add_trace_arg(p)
     p.add_argument("epoch", nargs="?", type=int, default=None)
     p.add_argument(
         "--find",
@@ -157,9 +238,43 @@ def main(argv=None) -> int:
     )
     p.set_defaults(func=cmd_explain_epoch)
 
+    p = sub.add_parser(
+        "tail", help="newest events; --follow streams a live spool"
+    )
+    _add_trace_arg(p)
+    p.add_argument(
+        "-n", "--lines", type=int, default=20,
+        help="show the last N events first (0 = all)",
+    )
+    p.add_argument("--kind", default=None, help="only this event kind")
+    p.add_argument(
+        "--follow", action="store_true",
+        help="keep polling a spool directory for new shards",
+    )
+    p.add_argument(
+        "--interval", type=float, default=0.25,
+        help="poll interval in seconds for --follow",
+    )
+    p.add_argument(
+        "--max-seconds", type=float, default=None,
+        help="stop following after this many seconds (default: forever)",
+    )
+    p.set_defaults(func=cmd_tail)
+
     args = parser.parse_args(argv)
+    # argparse hands every positional to the greedy ``trace`` list, so
+    # ``explain-epoch trace.jsonl 12`` parks the epoch there — reclaim a
+    # trailing integer that is not an existing path.
+    if (
+        getattr(args, "epoch", None) is None
+        and args.command == "explain-epoch"
+        and len(args.trace) > 1
+        and args.trace[-1].lstrip("-").isdigit()
+        and not os.path.exists(args.trace[-1])
+    ):
+        args.epoch = int(args.trace.pop())
     try:
-        events = read_jsonl(args.trace)
+        events = _load(args.trace)
     except (OSError, ValueError) as exc:
         print(f"cannot read trace: {exc}", file=sys.stderr)
         return 2

@@ -7,16 +7,24 @@ Subcommands::
     python tools/service.py status [--job ID]
     python tools/service.py watch [--interval 1.0]
     python tools/service.py drain [--max-jobs N] [--wall-limit SECONDS]
+    python tools/service.py metrics [--out FILE] [--slo]
 
 State lives under ``--root`` (default ``.repro-service/``): ``jobs.db``
 is the durable SQLite store, ``results/`` holds pickled figure results
-named by content key, ``ckpt/`` holds per-job checkpoint namespaces.
-``submit`` is cheap and durable — the job survives process death and a
-later ``drain`` (from any process) picks it up; submitting the same
-figure with the same arguments joins the existing job instead of
-queueing a duplicate.  ``drain`` runs a supervisor in this process:
-workers are spawned per job, heartbeat-watched, and retried from their
-newest checkpoint on unclean death.
+named by content key, ``ckpt/`` holds per-job checkpoint namespaces,
+``spool/`` holds per-job worker trace shards (the flight recorder's
+source).  ``submit`` is cheap and durable — the job survives process
+death and a later ``drain`` (from any process) picks it up; submitting
+the same figure with the same arguments joins the existing job instead
+of queueing a duplicate.  ``drain`` runs a supervisor in this process:
+workers are spawned per job, heartbeat-watched, traced into the spool,
+and retried from their newest checkpoint on unclean death (leaving a
+``<result>.crash.json`` flight-recorder report behind).  ``watch`` is a
+live table — state, per-epoch progress %, events/s, ETA, heartbeat age —
+fed by the progress stream workers push through their heartbeat thread.
+``metrics`` renders the service SLO metrics (queue depth, queue-wait and
+run-duration histograms, retry/shed/crash counters) as Prometheus text;
+``--slo`` prints the human p50/p95/p99 report instead.
 """
 
 from __future__ import annotations
@@ -120,16 +128,84 @@ def cmd_status(args) -> int:
     return 0
 
 
+def _eta_str(seconds) -> str:
+    if seconds is None:
+        return "-"
+    seconds = max(0.0, float(seconds))
+    if seconds >= 90:
+        return f"{seconds / 60:.1f}m"
+    return f"{seconds:.1f}s"
+
+
+def _rate_str(rate) -> str:
+    if not rate:
+        return "-"
+    rate = float(rate)
+    if rate >= 1e6:
+        return f"{rate / 1e6:.1f}M ev/s"
+    if rate >= 1e3:
+        return f"{rate / 1e3:.1f}k ev/s"
+    return f"{rate:.0f} ev/s"
+
+
+def _watch_rows(store) -> list:
+    """One table row per job: id, state, progress, rate, ETA, heartbeat
+    age — the live view of the progress stream workers push."""
+    now = time.time()
+    rows = []
+    for job in store.jobs():
+        fraction = job.progress_fraction
+        if fraction is not None:
+            progress = (
+                f"{job.progress_done}/{job.progress_total} "
+                f"{fraction * 100:3.0f}%"
+            )
+        elif job.state == "DONE":
+            progress = "100%"
+        else:
+            progress = "-"
+        if job.state == "RUNNING" and job.heartbeat is not None:
+            beat = f"{max(0.0, now - job.heartbeat):.1f}s"
+        else:
+            beat = "-"
+        rows.append(
+            (
+                str(job.id),
+                job.state,
+                progress,
+                _rate_str(job.progress_rate) if job.state == "RUNNING" else "-",
+                _eta_str(job.progress_eta) if job.state == "RUNNING" else "-",
+                beat,
+            )
+        )
+    return rows
+
+
+def _render_table(rows) -> str:
+    header = ("job", "state", "progress", "rate", "eta", "hb-age")
+    table = [header] + rows
+    widths = [max(len(r[i]) for r in table) for i in range(len(header))]
+    lines = [
+        "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)).rstrip()
+        for row in table
+    ]
+    return "\n".join(lines)
+
+
 def cmd_watch(args) -> int:
     with _open_store(args) as store:
         last = None
         while True:
             counts = store.state_counts()
-            line = "  ".join(f"{s}={n}" for s, n in counts.items() if n)
-            if line != last:
-                print(f"[{time.strftime('%H:%M:%S')}] {line or 'empty'}")
-                last = line
+            rows = _watch_rows(store)
+            rendered = _render_table(rows) if rows else "empty"
+            if rendered != last:
+                print(f"[{time.strftime('%H:%M:%S')}]")
+                print(rendered, flush=True)
+                last = rendered
             if not (counts["QUEUED"] or counts["RUNNING"] or counts["FAILED"]):
+                return 0
+            if args.once:
                 return 0
             time.sleep(args.interval)
 
@@ -143,6 +219,7 @@ def cmd_drain(args) -> int:
             results_dir=str(root / "results"),
             checkpoint_root=str(root / "ckpt"),
             heartbeat_timeout=args.heartbeat_timeout,
+            spool_root=None if args.no_spool else str(root / "spool"),
         )
         supervisor = Supervisor(store, config)
         report = supervisor.drain(
@@ -153,6 +230,34 @@ def cmd_drain(args) -> int:
         for job in dead:
             print(_fmt_job(job))
         return 1 if dead else 0
+
+
+def cmd_metrics(args) -> int:
+    from repro.obsv.export import render_prometheus
+    from repro.obsv.metrics import MetricsRegistry, collect_service
+
+    registry = MetricsRegistry()
+    with _open_store(args) as store:
+        collect_service(store, registry)
+    if args.slo:
+        for name, label in (
+            ("repro_service_queue_wait_seconds", "queue wait"),
+            ("repro_service_run_duration_seconds", "run duration"),
+        ):
+            hist = registry.histogram(name)
+            quantiles = "  ".join(
+                f"p{int(q * 100)}={hist.quantile(q):.3f}s"
+                for q in (0.5, 0.95, 0.99)
+            )
+            print(f"{label:<13} n={hist.count:<5} {quantiles}")
+        return 0
+    text = render_prometheus(registry)
+    if args.out:
+        Path(args.out).write_text(text)
+        print(f"wrote {args.out}")
+    else:
+        sys.stdout.write(text)
+    return 0
 
 
 def main(argv=None) -> int:
@@ -185,15 +290,35 @@ def main(argv=None) -> int:
     p.add_argument("--job", type=int, help="show one job in detail")
     p.set_defaults(fn=cmd_status)
 
-    p = sub.add_parser("watch", help="poll until the queue settles")
+    p = sub.add_parser(
+        "watch", help="live job table (progress, rate, ETA, heartbeat age)"
+    )
     p.add_argument("--interval", type=float, default=1.0)
+    p.add_argument(
+        "--once", action="store_true",
+        help="print one snapshot and exit (scripting/CI)",
+    )
     p.set_defaults(fn=cmd_watch)
 
     p = sub.add_parser("drain", help="run a supervisor until settled")
     p.add_argument("--max-jobs", type=int, default=None)
     p.add_argument("--wall-limit", type=float, default=None)
     p.add_argument("--heartbeat-timeout", type=float, default=60.0)
+    p.add_argument(
+        "--no-spool", action="store_true",
+        help="disable worker trace spooling and the flight recorder",
+    )
     p.set_defaults(fn=cmd_drain)
+
+    p = sub.add_parser(
+        "metrics", help="service SLO metrics as Prometheus text"
+    )
+    p.add_argument("--out", default=None, help="write to a file instead")
+    p.add_argument(
+        "--slo", action="store_true",
+        help="human p50/p95/p99 queue-wait and run-duration report",
+    )
+    p.set_defaults(fn=cmd_metrics)
 
     args = parser.parse_args(argv)
     return args.fn(args)

@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """CI smoke test for the crash-safe job service.
 
-Four checks, each fatal on violation:
+Five checks, each fatal on violation:
 
 1. **Kill-resume bit-identity** — submit a one-cell ``fig11`` job with a
    3-epoch checkpoint cadence, SIGKILL the worker once after its first
@@ -9,12 +9,18 @@ Four checks, each fatal on violation:
    with at least one checkpoint resume — and with a result digest equal
    to an uninterrupted in-process run (run cache disabled on both sides,
    so the equality is earned by simulation resume, not by a cache hit).
-2. **Orphan recovery** — a job left RUNNING by a process that no longer
+   The worker runs with trace spooling *on*, so the equality also proves
+   cross-process tracing does not perturb results.
+2. **Flight recorder** — the SIGKILLed attempt must leave a
+   ``<result>.crash.json`` whose salvaged event tail is exactly the
+   victim's last spooled events, and the finished row must carry live
+   progress at 100%.
+3. **Orphan recovery** — a job left RUNNING by a process that no longer
    exists is re-queued (checkpoint pointer intact) when the store is
    next opened.
-3. **Dedup fan-out** — resubmitting the finished job's spec joins the
+4. **Dedup fan-out** — resubmitting the finished job's spec joins the
    existing row (no new work) and reports the shared result.
-4. **Admission control** — a submit beyond the queue limit is shed with
+5. **Admission control** — a submit beyond the queue limit is shed with
    a reason, and the shed is durably counted.
 
 Exit code 0 on success, 1 with a diagnostic on any violation.  Usage::
@@ -52,6 +58,8 @@ def main() -> int:
 
     from repro.experiments.figures import REGISTRY
     from repro.faults.service_chaos import KillWorker
+    from repro.obsv.flight import crash_report_path, read_crash_report
+    from repro.obsv.spool import read_pid_tail
     from repro.service.retry import FAST_POLICY
     from repro.service.store import AdmissionError, JobStore
     from repro.service.supervisor import Supervisor, SupervisorConfig
@@ -72,6 +80,7 @@ def main() -> int:
                 checkpoint_root=str(Path(tmp) / "ckpt"),
                 retry=FAST_POLICY,
                 worker_env={"REPRO_CACHE_DISABLE": "1"},
+                spool_root=str(Path(tmp) / "spool"),
             ),
             chaos=chaos,
         )
@@ -109,7 +118,45 @@ def main() -> int:
             f"digest {digest[:12]})"
         )
 
-        # 2. orphan recovery: fake a RUNNING row owned by a dead pid.
+        # 2. flight recorder: the SIGKILLed attempt must have left a
+        # crash report whose salvaged tail is the victim's spooled tail.
+        crash_path = crash_report_path(supervisor.result_path(row))
+        if not crash_path.exists():
+            print(f"FAIL: no crash report at {crash_path}")
+            return 1
+        header, salvaged = read_crash_report(crash_path)
+        if header["reason"] != "worker_death":
+            print(f"FAIL: crash reason {header['reason']!r}, "
+                  "wanted 'worker_death'")
+            return 1
+        if header["job"].get("id") != job.id:
+            print("FAIL: crash report names the wrong job")
+            return 1
+        spooled = read_pid_tail(
+            supervisor.spool_dir(row), header["pid"],
+            limit=supervisor.config.crash_events,
+        )
+        if not salvaged or [
+            (e.pid, e.seq) for e in salvaged
+        ] != [(e.pid, e.seq) for e in spooled]:
+            print(
+                f"FAIL: salvaged tail ({len(salvaged)} events) does not "
+                f"match the victim's spooled shard ({len(spooled)} events)"
+            )
+            return 1
+        if row.progress_done != row.progress_total or not row.progress_done:
+            print(
+                "FAIL: finished row progress is "
+                f"{row.progress_done}/{row.progress_total}, wanted 100%"
+            )
+            return 1
+        print(
+            f"OK: flight recorder salvaged {len(salvaged)} events from "
+            f"pid {header['pid']} ({crash_path.name}); "
+            f"progress {row.progress_done}/{row.progress_total}"
+        )
+
+        # 3. orphan recovery: fake a RUNNING row owned by a dead pid.
         orphan = store.submit(
             {"figure": "fig11", "kwargs": {"epochs": 2}}, "orphan-key"
         ).job
@@ -131,7 +178,7 @@ def main() -> int:
         store.mark_dead(cleanup.id, "smoke cleanup", "runtime")
         print("OK: RUNNING job with dead owner re-queued on store open")
 
-        # 3. dedup fan-out against the finished job.
+        # 4. dedup fan-out against the finished job.
         outcome = store.submit(spec, key)
         if not outcome.deduped or outcome.job.id != job.id:
             print("FAIL: identical resubmit did not join the existing job")
@@ -142,7 +189,7 @@ def main() -> int:
         print(f"OK: resubmit joined job {job.id} "
               f"(submits={outcome.job.submits})")
 
-        # 4. admission control at queue limit 0 sheds with a reason.
+        # 5. admission control at queue limit 0 sheds with a reason.
         store.queue_limit = 0
         try:
             store.submit({"figure": "fig11", "kwargs": {}}, "shed-key")
