@@ -25,6 +25,9 @@ Registered benchmarks:
 * ``sampled_long_horizon``  — the same horizon under
   representative-interval sampling; records wall/structural speedup and
   the true error vs the exact run (asserted <= the 2% budget);
+* ``multi_tenant``          — the seeded 6-tenant SLO scenario under the
+  A4 scheme: generator + phased traffic + per-request latency recording
+  + SLO evaluation, the whole tenancy path end to end;
 * ``trace_overhead``        — the canonical run with observability off,
   with in-process tracing, and with the full service-worker setup
   (context + spooling sink + progress events); asserts the epoch
@@ -409,6 +412,31 @@ def bench_trace_overhead(quick: bool) -> Dict[str, float]:
     }
 
 
+def bench_multi_tenant(quick: bool) -> Dict[str, float]:
+    """The seeded 6-tenant scenario end to end: N-tenant generator,
+    phased traffic with per-request latency recording, A4 management,
+    and the per-tenant SLO evaluation — the whole tenancy path."""
+    from repro.experiments.tenants import build_tenant_server, evaluate_slos
+
+    epochs = 4 if quick else 10
+    tenants = 6
+    started = time.perf_counter()
+    server = build_tenant_server(tenants, scheme="a4", seed=0xA4)
+    result = server.run(epochs)
+    slos = evaluate_slos(result, server.tenants())
+    wall = time.perf_counter() - started
+    assert len(slos) == tenants, "SLO report dropped a tenant"
+    events = server.sim.events_executed
+    return {
+        "wall_s": wall,
+        "events": events,
+        "events_per_s": events / wall if wall else 0.0,
+        "epochs": epochs,
+        "tenants": tenants,
+        "slos_met": sum(1 for row in slos if row.met),
+    }
+
+
 MACRO_BENCHMARKS = {
     "canonical": bench_canonical,
     "multi_seed": bench_multi_seed,
@@ -419,5 +447,6 @@ MACRO_BENCHMARKS = {
     "batched_cpu": bench_batched_cpu,
     "long_horizon": bench_long_horizon,
     "sampled_long_horizon": bench_sampled_long_horizon,
+    "multi_tenant": bench_multi_tenant,
     "trace_overhead": bench_trace_overhead,
 }

@@ -82,6 +82,17 @@ class LlcManager(abc.ABC):
 
     # -- convenience accessors (the daemon's 'system call' surface) -------
 
+    @staticmethod
+    def tenant_streams(sample: EpochSample) -> Dict[str, List]:
+        """Group one epoch's stream samples by owning tenant.
+
+        Streams registered pre-tenancy (empty ``info.tenant``) land under
+        ``""``; managers that never look at tenants pay nothing."""
+        groups: Dict[str, List] = {}
+        for stream in sample.streams.values():
+            groups.setdefault(stream.info.tenant, []).append(stream)
+        return groups
+
     def set_ways(self, workload_name: str, first: int, last: int) -> bool:
         """Point the workload's CLOS at way[first:last] (paper notation).
 

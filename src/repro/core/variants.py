@@ -19,6 +19,7 @@ from typing import Optional
 
 from repro.core.a4 import A4Manager
 from repro.core.baselines import DefaultManager, IsolateManager
+from repro.core.ioca import IocaManager
 from repro.core.manager import LlcManager
 from repro.core.policy import A4Policy
 from repro.platform import DEFAULT_PLATFORM, PlatformSpec
@@ -58,7 +59,7 @@ def a4_variant(stage: str, policy: Optional[A4Policy] = None) -> A4Manager:
 
 A4_VARIANTS = ("a4-a", "a4-b", "a4-c", "a4-d")
 
-SCHEMES = ("default", "isolate") + A4_VARIANTS + ("a4",)
+SCHEMES = ("default", "isolate") + A4_VARIANTS + ("a4", "ioca")
 
 
 def make_manager(
@@ -76,6 +77,8 @@ def make_manager(
         return DefaultManager()
     if scheme == "isolate":
         return IsolateManager(ways=platform.llc_ways)
+    if scheme == "ioca":
+        return IocaManager(platform=platform)
     if scheme == "a4":
         return A4Manager(policy or A4Policy.for_platform(platform))
     if scheme.startswith("a4-"):

@@ -70,6 +70,7 @@ QUICK_KWARGS = {
     "ablation-write-update": dict(epochs=5),
     "ablation-replacement": dict(epochs=5),
     "ablation-trash-floor": dict(epochs=5),
+    "ablation-tenants": dict(epochs=8),
     "related-self-invalidation": dict(epochs=5),
     "related-ddio-ways": dict(epochs=5),
 }

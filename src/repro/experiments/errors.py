@@ -69,6 +69,16 @@ class InsufficientEpochsError(ExperimentError, ValueError):
     category = "config"
 
 
+class ConfigError(ExperimentError, ValueError):
+    """A scenario configuration violates a platform/tenant budget — e.g.
+    workload ``cores=`` sums exceed the platform's core count, or a tenant's
+    workloads oversubscribe its declared core budget.  Raised at build time
+    so the failure names the offender instead of surfacing mid-setup as a
+    generic allocation error."""
+
+    category = "config"
+
+
 class CoreAllocationError(ExperimentError, RuntimeError):
     """The scenario requests more cores than the simulated server has."""
 
@@ -127,6 +137,8 @@ def classify_name(exc_type_name: str) -> str:
         "WorkloadConfigError": "config",
         "InsufficientEpochsError": "config",
         "SweepConfigError": "config",
+        "ConfigError": "config",
+        "TenantConfigError": "config",
         "ValueError": "config",
         "TypeError": "config",
         "CoreAllocationError": "resources",

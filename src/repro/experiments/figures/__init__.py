@@ -19,6 +19,7 @@ from repro.experiments.figures import (
     fig13,
     fig14,
     fig15,
+    tenants,
 )
 
 _RUNNERS = {
@@ -40,6 +41,7 @@ _RUNNERS = {
     "fig15c": fig15.run_timing,
 }
 _RUNNERS.update(ablation.ABLATIONS)
+_RUNNERS["ablation-tenants"] = tenants.run_tenant_ablation
 
 REGISTRY = {
     figure_id: runcache.CachedFigure(figure_id, runner)
@@ -51,6 +53,6 @@ run cache (keyed on figure id, call kwargs, runner code identity, and the
 global code salt), so a second invocation with a warm cache does zero
 simulation work.  Disable with ``--no-cache`` / ``$REPRO_CACHE_DISABLE``."""
 
-__all__ = ["REGISTRY", "ablation"] + [
+__all__ = ["REGISTRY", "ablation", "tenants"] + [
     f"fig{n}" for n in (3, 4, 5, 6, 7, 8, 11, 12, 13, 14, 15)
 ]

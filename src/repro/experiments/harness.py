@@ -141,8 +141,20 @@ class Server:
         self._clos[workload.name] = clos
         for core in workload.cores:
             self.cat.associate(core, clos)
+        self.cat.label(clos, workload.tenant.name)
         self.workloads.append(workload)
         self.pcm.register(workload.info())
+        if obsv.TRACER is not None:
+            obsv.TRACER.emit(
+                obsv.KIND_TENANT,
+                workload.tenant.name,
+                {
+                    "workload": workload.name,
+                    "clos": clos,
+                    "tenant_class": workload.tenant.tenant_class,
+                    "cores": list(workload.cores),
+                },
+            )
         if self.manager is not None:
             self.manager.on_workload_change()
         return workload
@@ -170,6 +182,16 @@ class Server:
             if workload.name == name:
                 return workload
         raise KeyError(name)
+
+    def tenants(self):
+        """The :class:`~repro.tenancy.TenantSet` the hosted workloads imply
+        (implicit per-workload tenants merged by name)."""
+        from repro.tenancy import TenantSet
+
+        return TenantSet.from_workloads(self.workloads)
+
+    def tenant_workloads(self, tenant: str) -> List[Workload]:
+        return [w for w in self.workloads if w.tenant.name == tenant]
 
     def set_manager(self, manager) -> None:
         self.manager = manager

@@ -65,6 +65,99 @@ def render_table(result: FigureResult) -> str:
     return "\n".join(lines)
 
 
+@dataclass(frozen=True)
+class TenantSlo:
+    """One tenant's measured service level against its declared SLO."""
+
+    tenant: str
+    tenant_class: str
+    p99_latency: float
+    slo_p99_latency: Union[float, None]
+    throughput: float
+    """Completed requests per window epoch."""
+    slo_min_throughput: Union[float, None]
+
+    @property
+    def latency_attainment(self) -> Union[float, None]:
+        """SLO/measured p99, capped at 1.0 (1 = met); None without an SLO
+        or when the tenant served nothing (vacuously unmeasurable)."""
+        if self.slo_p99_latency is None:
+            return None
+        if self.p99_latency <= 0:
+            return None
+        return min(1.0, self.slo_p99_latency / self.p99_latency)
+
+    @property
+    def throughput_attainment(self) -> Union[float, None]:
+        """measured/SLO throughput, capped at 1.0; None without an SLO."""
+        if self.slo_min_throughput is None:
+            return None
+        return min(1.0, self.throughput / self.slo_min_throughput)
+
+    @property
+    def attainment(self) -> float:
+        """Worst attainment across the declared axes (1.0 = all SLOs met,
+        including the vacuous no-SLO case)."""
+        axes = [
+            a
+            for a in (self.latency_attainment, self.throughput_attainment)
+            if a is not None
+        ]
+        return min(axes) if axes else 1.0
+
+    @property
+    def met(self) -> bool:
+        return self.attainment >= 1.0
+
+
+def slo_attainment_report(
+    figure: str,
+    title: str,
+    by_scheme: Dict[str, List[TenantSlo]],
+) -> FigureResult:
+    """Tabulate per-tenant SLO attainment for several schemes side by side.
+
+    One row per (tenant, scheme); a closing note per scheme gives the
+    fraction of declared SLOs met and the mean attainment — the headline
+    the tenant ablation compares.
+    """
+    result = FigureResult(
+        figure=figure,
+        title=title,
+        columns=(
+            "tenant", "class", "scheme", "p99", "slo_p99",
+            "tput/epoch", "slo_tput", "attainment", "met",
+        ),
+    )
+    for scheme, rows in by_scheme.items():
+        for slo in rows:
+            result.add_row(
+                tenant=slo.tenant,
+                **{"class": slo.tenant_class},
+                scheme=scheme,
+                p99=slo.p99_latency,
+                slo_p99=slo.slo_p99_latency
+                if slo.slo_p99_latency is not None else "-",
+                **{"tput/epoch": slo.throughput},
+                slo_tput=slo.slo_min_throughput
+                if slo.slo_min_throughput is not None else "-",
+                attainment=slo.attainment,
+                met="yes" if slo.met else "NO",
+            )
+    for scheme, rows in by_scheme.items():
+        with_slo = [r for r in rows if r.slo_p99_latency is not None
+                    or r.slo_min_throughput is not None]
+        if not with_slo:
+            continue
+        met = sum(1 for r in with_slo if r.met)
+        mean = sum(r.attainment for r in with_slo) / len(with_slo)
+        result.notes.append(
+            f"{scheme}: {met}/{len(with_slo)} tenant SLOs met, "
+            f"mean attainment {mean:.3f}"
+        )
+    return result
+
+
 def normalize(values: Sequence[float], reference: float) -> List[float]:
     """Values relative to ``reference`` (1.0 = reference; 0s stay 0)."""
     if reference == 0:

@@ -44,13 +44,15 @@ from typing import Any, Callable, Optional
 
 from repro.obsv.metrics import merge_counts
 
-SCHEMA_VERSION = 4
-"""Bumped to 4 when representative-interval sampling entered the run
-protocol: sampled results carry a :class:`SamplingReport` and approximate
-aggregates, so the sampling plan (or its absence) is part of every
-``run_setup``/figure key and v3 entries — which could alias a sampled
-and an exact run — are evicted on first lookup.  (v3 added the platform
-fingerprint to the key payloads.)"""
+SCHEMA_VERSION = 5
+"""Bumped to 5 when tenancy became first-class: every workload now
+carries a :class:`~repro.tenancy.TenantSpec` instead of a bare priority
+string, so workload fingerprints (serialized via ``vars``) changed shape
+— ``priority`` became a derived property and ``tenant`` (the frozen spec,
+with class, core budget, CLOS policy, and SLO targets) entered the
+canonical payload.  v4 entries, keyed on the old shape, are evicted on
+first lookup.  (v4 added the sampling plan to the key payloads; v3 the
+platform fingerprint.)"""
 DEFAULT_CACHE_DIR = ".repro-cache"
 ENV_CACHE_DIR = "REPRO_CACHE_DIR"
 ENV_CACHE_DISABLE = "REPRO_CACHE_DISABLE"

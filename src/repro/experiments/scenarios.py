@@ -13,9 +13,11 @@ from typing import List, Optional
 
 from repro.core.policy import A4Policy
 from repro.core.variants import make_manager
+from repro.experiments.errors import ConfigError
 from repro.experiments.harness import Server
 from repro.platform import DEFAULT_PLATFORM, PlatformSpec, get_platform
 from repro.telemetry.pcm import PRIORITY_HIGH, PRIORITY_LOW
+from repro.tenancy import TenantSet
 from repro.workloads.base import Workload
 from repro.workloads.dpdk import DpdkWorkload
 from repro.workloads.fastclick import fastclick
@@ -28,8 +30,9 @@ from repro.workloads.xmem import xmem_table3
 KB = 1024
 MB = 1024 * KB
 
-SERVER_CORES = 18
-"""The paper's Xeon Gold 6140 core count (one core is the A4 daemon's)."""
+SERVER_CORES = DEFAULT_PLATFORM.cores
+"""The paper's Xeon Gold 6140 core count (one core is the A4 daemon's).
+Back-compat alias — the budget now lives on the platform spec."""
 
 
 def microbenchmark_workloads(
@@ -141,10 +144,44 @@ def chaos_workloads() -> List[Workload]:
     ]
 
 
+def validate_core_budgets(
+    workloads: List[Workload],
+    cores: int,
+) -> TenantSet:
+    """Check workload core demands against the server and tenant budgets.
+
+    Raises :class:`~repro.experiments.errors.ConfigError` naming every
+    over-subscribed tenant, at *build* time — before any setup work — so a
+    bad scenario fails with the offender's name instead of a mid-setup
+    ``CoreAllocationError``.  Returns the implied :class:`TenantSet`.
+    """
+    tenants = TenantSet.from_workloads(workloads)
+    demand = {t.name: 0 for t in tenants}
+    for workload in workloads:
+        demand[workload.tenant.name] += workload.num_cores
+    over = [
+        f"{t.name} (wants {demand[t.name]} cores, budget {t.core_budget})"
+        for t in tenants
+        if demand[t.name] > t.core_budget
+    ]
+    if over:
+        raise ConfigError(
+            f"over-subscribed tenants: {'; '.join(over)}"
+        )
+    total = sum(demand.values())
+    if total > cores:
+        raise ConfigError(
+            f"workloads demand {total} cores but the platform has {cores}; "
+            "tenant demands: "
+            + ", ".join(f"{name}={n}" for name, n in demand.items())
+        )
+    return tenants
+
+
 def build_server(
     workloads: List[Workload],
     scheme: str = "default",
-    cores: int = SERVER_CORES,
+    cores: Optional[int] = None,
     seed: int = 0xA4,
     policy: Optional[A4Policy] = None,
     epoch_cycles: Optional[float] = None,
@@ -157,9 +194,13 @@ def build_server(
     (``REPRO_FAULT_INTENSITY``; see :mod:`repro.faults.plan`) so chaos can
     be switched on for any existing experiment without code changes.
     ``platform`` (a spec or preset name) selects the microarchitecture;
-    default-policy managers are anchored to it automatically.
+    default-policy managers are anchored to it automatically, and the core
+    budget defaults to the platform's core count.
     """
     platform = get_platform(platform)
+    if cores is None:
+        cores = platform.cores
+    validate_core_budgets(workloads, cores)
     kwargs = {}
     if epoch_cycles is not None:
         kwargs["epoch_cycles"] = epoch_cycles

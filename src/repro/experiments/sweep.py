@@ -257,6 +257,103 @@ def sweep_platforms(
     }
 
 
+# -- tenant populations ----------------------------------------------------
+
+
+DEFAULT_TENANT_SCHEMES = ("a4", "ioca", "isolate")
+"""The tenant ablation's comparison set: the paper's scheme, the IOCA
+per-tenant baseline, and static CAT."""
+
+
+@dataclass(frozen=True)
+class TenantCellTask:
+    """One (tenant count, scheme) cell of a tenant-population sweep.
+
+    Frozen + field types all primitive, so it pickles cheaply into the
+    shared process pool (the same shape as :class:`PlatformTask`)."""
+
+    tenants: int
+    scheme: str
+    seed: int
+    epochs: int
+    platform: Optional[str] = None
+
+
+def run_tenant_cell(task: TenantCellTask) -> List:
+    """Worker entry point: one generated population under one scheme.
+
+    Returns the per-tenant :class:`~repro.experiments.report.TenantSlo`
+    rows (frozen dataclasses — picklable back through the pool)."""
+    from repro.experiments.tenants import build_tenant_server, evaluate_slos
+
+    server = build_tenant_server(
+        task.tenants,
+        scheme=task.scheme,
+        seed=task.seed,
+        platform=task.platform,
+    )
+    result = server.run(epochs=task.epochs)
+    return evaluate_slos(result, server.tenants())
+
+
+def tenant_sweep(
+    counts: Sequence[int] = (2, 4, 6),
+    schemes: Sequence[str] = DEFAULT_TENANT_SCHEMES,
+    seed: int = 0xA4,
+    epochs: int = 10,
+    platform: Optional[str] = None,
+    parallel: bool = False,
+    max_workers: Optional[int] = None,
+) -> Dict[Tuple[int, str], List]:
+    """Run every (tenant count, scheme) cell, optionally through the pool.
+
+    Each count draws its population once (same seed), so all schemes in a
+    column face the identical tenants; results come back insertion-ordered
+    as ``{(count, scheme): [TenantSlo, ...]}``.
+    """
+    if not counts or not schemes:
+        raise SweepConfigError("need at least one tenant count and scheme")
+    tasks = [
+        TenantCellTask(n, scheme, seed, epochs, platform)
+        for n in counts
+        for scheme in schemes
+    ]
+    results = run_tasks(
+        run_tenant_cell, tasks, parallel=parallel, max_workers=max_workers
+    )
+    return {
+        (task.tenants, task.scheme): rows
+        for task, rows in zip(tasks, results)
+    }
+
+
+def tenant_sweep_summary(
+    results: Dict[Tuple[int, str], List],
+) -> FigureResult:
+    """Condense a :func:`tenant_sweep`: SLOs met and mean attainment per
+    (tenant count, scheme) cell."""
+    summary = FigureResult(
+        figure="Tenant sweep",
+        title="SLO attainment per tenant count and scheme",
+        columns=["tenants", "scheme", "slos_met", "slos_total",
+                 "mean_attainment"],
+    )
+    for (count, scheme), rows in results.items():
+        with_slo = [r for r in rows if r.slo_p99_latency is not None
+                    or r.slo_min_throughput is not None]
+        summary.add_row(
+            tenants=count,
+            scheme=scheme,
+            slos_met=sum(1 for r in with_slo if r.met),
+            slos_total=len(with_slo),
+            mean_attainment=(
+                sum(r.attainment for r in with_slo) / len(with_slo)
+                if with_slo else 1.0
+            ),
+        )
+    return summary
+
+
 def platform_sweep_summary(
     results: Dict[Tuple[str, str], FigureResult],
 ) -> FigureResult:

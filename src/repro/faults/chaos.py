@@ -98,13 +98,20 @@ def run_chaos(
     seed: int = DEFAULT_SEED,
     policy: Optional[A4Policy] = None,
     label: str = "",
+    fault_tenant: str = "",
 ) -> ChaosResult:
     """One sweep point: run the chaos mix at ``intensity``, checking the
     mask invariant after every epoch.  ``intensity=0`` is the fault-free
-    reference run."""
+    reference run.  ``fault_tenant`` restricts telemetry and device
+    faults to that tenant's streams and workloads (the chaos mix carries
+    the implicit ``hpw``/``lpw`` tenants)."""
     from repro.experiments.scenarios import build_server, chaos_workloads
 
-    plan = FaultPlan.scaled(intensity) if intensity > 0 else None
+    plan = (
+        FaultPlan.scaled(intensity, target_tenant=fault_tenant)
+        if intensity > 0
+        else None
+    )
     if plan is not None and not plan.enabled:
         plan = None
     server = build_server(
@@ -228,21 +235,37 @@ def run_sweep(
     seed: int = DEFAULT_SEED,
     ipc_floor: float = DEFAULT_IPC_FLOOR,
     policy: Optional[A4Policy] = None,
+    fault_tenant: str = "",
 ) -> SweepReport:
     """Run the fault-free reference, every sweep point, and the watchdog
-    probe at the highest intensity."""
+    probe at the highest intensity.
+
+    When ``fault_tenant`` is set the watchdog probe is skipped: faults
+    confined to one tenant may never corrupt the telemetry that drives
+    the bare EXPAND/REVERT loop, so "the watchdog engages" is not a
+    meaningful property of a targeted sweep (the crash/mask/IPC
+    properties still hold point by point).
+    """
     baseline = run_chaos(0.0, epochs=epochs, seed=seed, policy=policy)
     results = [
-        run_chaos(intensity, epochs=epochs, seed=seed, policy=policy)
+        run_chaos(
+            intensity,
+            epochs=epochs,
+            seed=seed,
+            policy=policy,
+            fault_tenant=fault_tenant,
+        )
         for intensity in intensities
     ]
-    probe = run_chaos(
-        max(intensities),
-        epochs=epochs,
-        seed=seed,
-        policy=fsm_policy(),
-        label="probe",
-    )
+    probe = None
+    if not fault_tenant:
+        probe = run_chaos(
+            max(intensities),
+            epochs=epochs,
+            seed=seed,
+            policy=fsm_policy(),
+            label="probe",
+        )
     return SweepReport(
         baseline=baseline, results=results, probe=probe, ipc_floor=ipc_floor
     )

@@ -103,6 +103,20 @@ class FaultInjector:
         if obsv.TRACER is not None:
             obsv.TRACER.emit(obsv.KIND_FAULT, name, data)
 
+    # -- tenant targeting ----------------------------------------------------
+    # Both predicates sit *after* the fault's RNG draw in every caller (the
+    # short-circuit order matters): a targeted run draws the identical
+    # schedule as an untargeted one and merely suppresses the effect on
+    # other tenants' streams/devices.
+
+    def _targets(self, workload) -> bool:
+        target = self.plan.target_tenant
+        return not target or workload.tenant.name == target
+
+    def _targets_stream(self, stream: StreamSample) -> bool:
+        target = self.plan.target_tenant
+        return not target or stream.info.tenant == target
+
     # -- telemetry ----------------------------------------------------------
 
     def filter_sample(self, sample: EpochSample) -> EpochSample:
@@ -113,15 +127,20 @@ class FaultInjector:
         rng = self._pcm
         if plan.zero_cycle_rate and rng.random() < plan.zero_cycle_rate:
             # Fixed-counter glitch: the whole epoch reads as zero cycles.
-            self.counters.zero_cycle_epochs += 1
-            self._trace("zero_cycle_epochs")
-            self._held.update(sample.streams)
-            return replace(sample, epoch_cycles=0.0)
+            # Machine-wide by nature, so a tenant target suppresses it
+            # entirely (the draw above is still consumed).
+            if not plan.target_tenant:
+                self.counters.zero_cycle_epochs += 1
+                self._trace("zero_cycle_epochs")
+                self._held.update(sample.streams)
+                return replace(sample, epoch_cycles=0.0)
         streams: Dict[str, StreamSample] = {}
         touched = False
         for name, stream in sample.streams.items():
             draw = rng.random()
-            if draw < plan.sample_drop_rate:
+            if not self._targets_stream(stream):
+                streams[name] = stream
+            elif draw < plan.sample_drop_rate:
                 self.counters.samples_dropped += 1
                 self._trace("samples_dropped", stream=name)
                 touched = True
@@ -253,7 +272,10 @@ class FaultInjector:
                 generator = nic.generator
                 if workload.name in self._storms:
                     generator.rate_scale = plan.nic_storm_factor
-                elif self._dev.random() < plan.nic_storm_rate:
+                elif (
+                    self._dev.random() < plan.nic_storm_rate
+                    and self._targets(workload)
+                ):
                     self.counters.nic_storms += 1
                     self._trace("nic_storms", workload=workload.name)
                     self._storms[workload.name] = plan.nic_storm_epochs
@@ -262,12 +284,18 @@ class FaultInjector:
                     generator.rate_scale = 1.0
             ssd = getattr(workload, "ssd", None)
             if ssd is not None and plan.nvme_stall_rate:
-                if self._dev.random() < plan.nvme_stall_rate:
+                if (
+                    self._dev.random() < plan.nvme_stall_rate
+                    and self._targets(workload)
+                ):
                     self.counters.nvme_stalls += 1
                     self._trace("nvme_stalls", workload=workload.name)
                     ssd.inject_stall(plan.nvme_stall_cycles)
             if hasattr(workload, "request_flip") and plan.phase_flip_rate:
-                if self._dev.random() < plan.phase_flip_rate:
+                if (
+                    self._dev.random() < plan.phase_flip_rate
+                    and self._targets(workload)
+                ):
                     self.counters.phase_flips += 1
                     self._trace("phase_flips", workload=workload.name)
                     workload.request_flip()

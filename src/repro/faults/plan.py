@@ -84,6 +84,16 @@ class FaultPlan:
     phase_flip_rate: float = 0.0
     """Per phased workload per epoch: force an early phase transition."""
 
+    # -- targeting -------------------------------------------------------
+    target_tenant: str = ""
+    """Restrict telemetry and device/workload faults to one tenant's
+    streams, devices, and workloads (empty = every tenant, the historic
+    behaviour).  Control-plane faults (CAT/DCA applies) are machine-wide
+    operations and ignore the target.  Targeting consumes the same RNG
+    draws as an untargeted run — the fault *fires* identically, the
+    effect is suppressed for other tenants — so adding a target never
+    perturbs the injection schedule."""
+
     def __post_init__(self) -> None:
         for name in _BASE_RATES:
             value = getattr(self, name)
@@ -152,4 +162,6 @@ class FaultPlan:
             for f in fields(self)
             if f.name in _BASE_RATES and getattr(self, f.name) > 0.0
         ]
+        if self.target_tenant:
+            active.append(f"target_tenant={self.target_tenant}")
         return ", ".join(active) or "inert"

@@ -60,6 +60,7 @@ from repro.obsv.tracer import (
     KIND_PROGRESS,
     KIND_SAMPLE,
     KIND_SPAN,
+    KIND_TENANT,
     KIND_ZONE,
     TraceContext,
     TraceEvent,
@@ -168,6 +169,7 @@ __all__ = [
     "KIND_PROGRESS",
     "KIND_SAMPLE",
     "KIND_SPAN",
+    "KIND_TENANT",
     "KIND_ZONE",
     "MetricsRegistry",
     "PROFILER",

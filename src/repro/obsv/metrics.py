@@ -419,3 +419,39 @@ def collect_robustness(
             manager=manager,
         ).set(value)
     return registry
+
+
+def collect_tenants(
+    slos,
+    scheme: str,
+    registry: Optional[MetricsRegistry] = None,
+) -> MetricsRegistry:
+    """Absorb per-tenant SLO rows (:class:`~repro.experiments.report.
+    TenantSlo`) as tenant-labeled gauges, one series per tenant × scheme —
+    the export a fleet dashboard would scrape per co-location cell."""
+    registry = registry or get_registry()
+    for slo in slos:
+        labels = dict(
+            tenant=slo.tenant, tenant_class=slo.tenant_class, scheme=scheme
+        )
+        registry.gauge(
+            "repro_tenant_p99_latency_cycles",
+            help="measured per-tenant p99 request latency",
+            **labels,
+        ).set(slo.p99_latency)
+        registry.gauge(
+            "repro_tenant_throughput_per_epoch",
+            help="measured per-tenant completed requests per epoch",
+            **labels,
+        ).set(slo.throughput)
+        registry.gauge(
+            "repro_tenant_slo_attainment",
+            help="worst declared-axis SLO attainment, capped at 1.0",
+            **labels,
+        ).set(slo.attainment)
+        registry.gauge(
+            "repro_tenant_slo_met",
+            help="1 when every declared SLO axis is met",
+            **labels,
+        ).set(1.0 if slo.met else 0.0)
+    return registry

@@ -65,6 +65,7 @@ KIND_CHECKPOINT = "checkpoint"
 KIND_SAMPLE = "sample"
 KIND_JOB = "job"
 KIND_PROGRESS = "progress"
+KIND_TENANT = "tenant"
 
 ALL_KINDS = (
     KIND_EPOCH,
@@ -81,6 +82,7 @@ ALL_KINDS = (
     KIND_SAMPLE,
     KIND_JOB,
     KIND_PROGRESS,
+    KIND_TENANT,
 )
 
 

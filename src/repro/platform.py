@@ -44,6 +44,8 @@ class PlatformSpec:
     name: str
 
     # -- geometry ----------------------------------------------------------
+    cores: int = 18
+    """Cores sharing the LLC (one socket) — the server's core budget."""
     line_bytes: int = 64
     llc_ways: int = 11
     llc_sets: int = 256
@@ -70,8 +72,9 @@ class PlatformSpec:
     def __post_init__(self) -> None:
         if not self.name:
             raise ValueError("platform name must be non-empty")
-        for attr in ("line_bytes", "llc_ways", "llc_sets", "mlc_sets",
-                     "mlc_ways", "paper_llc_way_bytes", "epoch_cycles"):
+        for attr in ("cores", "line_bytes", "llc_ways", "llc_sets",
+                     "mlc_sets", "mlc_ways", "paper_llc_way_bytes",
+                     "epoch_cycles"):
             if getattr(self, attr) <= 0:
                 raise ValueError(f"{attr} must be positive")
         if self.warmup_epochs < 0:
@@ -217,8 +220,9 @@ non-inclusive LLC shared by 18 cores, 1 MiB private MLCs, two DCA ways
 CASCADELAKE_SP = PlatformSpec(
     name="cascadelake-sp",
     # Same 11-way layout as Skylake-SP (Cascade Lake kept the cache
-    # microarchitecture); a Xeon Gold 6248-class part has a 27.5 MiB LLC
-    # and faster DDR4-2933 memory.
+    # microarchitecture); a Xeon Gold 6248-class part has 20 cores, a
+    # 27.5 MiB LLC, and faster DDR4-2933 memory.
+    cores=20,
     paper_llc_way_bytes=int(27.5 * 1024 * 1024) // 11,
     memory_cycles=190,
     memory_bandwidth_lines_per_cycle=1.4,
@@ -228,10 +232,11 @@ memory bandwidth — separates way-*layout* effects from capacity effects."""
 
 ICELAKE_SP = PlatformSpec(
     name="icelake-sp",
-    # Hypothetical Ice Lake-SP-style part: 12-way non-inclusive LLC with a
-    # 16-way extended directory, bigger private MLCs (1.25 MiB-class), and
-    # DDR4-3200.  Way roles keep A4's shape: DCA left-most, inclusive
-    # right-most, with one extra standard way.
+    # Hypothetical Ice Lake-SP-style part: 28 cores, 12-way non-inclusive
+    # LLC with a 16-way extended directory, bigger private MLCs
+    # (1.25 MiB-class), and DDR4-3200.  Way roles keep A4's shape: DCA
+    # left-most, inclusive right-most, with one extra standard way.
+    cores=28,
     llc_ways=12,
     inclusive_ways=(10, 11),
     extended_dir_ways=16,

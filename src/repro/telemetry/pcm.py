@@ -35,6 +35,8 @@ class StreamInfo:
     cores: tuple = ()
     port_id: Optional[int] = None
     """PCIe port of the associated I/O device, if any."""
+    tenant: str = ""
+    """Owning tenant's name (empty for streams registered pre-tenancy)."""
 
     def __post_init__(self) -> None:
         if self.kind not in (KIND_NETWORK, KIND_STORAGE, KIND_CPU):

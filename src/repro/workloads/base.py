@@ -22,6 +22,7 @@ from repro.telemetry.pcm import (
     PRIORITY_HIGH,
     StreamInfo,
 )
+from repro.tenancy import TenantSpec
 
 METRIC_IPC = "ipc"
 METRIC_THROUGHPUT = "throughput"
@@ -29,19 +30,39 @@ METRIC_LATENCY = "latency"
 
 
 class Workload(abc.ABC):
-    """One co-running workload (the unit of A4's QoS management)."""
+    """One co-running workload (the unit of A4's QoS management).
+
+    Every workload belongs to a :class:`~repro.tenancy.TenantSpec`.  The
+    legacy ``priority`` constructor argument still works: it synthesizes
+    an implicit tenant (named ``hpw``/``lpw``) whose derived priority
+    equals the string passed, so the paper's fixed scenarios are
+    unchanged.  ``workload.priority`` is now a read-only view of the
+    tenant's class.
+    """
 
     kind = KIND_CPU
     performance_metric = METRIC_IPC
 
-    def __init__(self, name: str, priority: str = PRIORITY_HIGH, cores: int = 1):
+    def __init__(
+        self,
+        name: str,
+        priority: str = PRIORITY_HIGH,
+        cores: int = 1,
+        tenant: Optional[TenantSpec] = None,
+    ):
         if cores <= 0:
             raise ValueError("a workload needs at least one core")
         self.name = name
-        self.priority = priority
+        self.tenant = tenant if tenant is not None else \
+            TenantSpec.implicit_for(priority, cores)
         self.num_cores = cores
         self.cores: Tuple[int, ...] = ()
         self.port_id: Optional[int] = None
+
+    @property
+    def priority(self) -> str:
+        """The HPW/LPW view of the owning tenant's class."""
+        return self.tenant.priority
 
     def info(self) -> StreamInfo:
         """Launch-time metadata handed to the monitoring/control plane."""
@@ -51,6 +72,7 @@ class Workload(abc.ABC):
             priority=self.priority,
             cores=self.cores,
             port_id=self.port_id,
+            tenant=self.tenant.name,
         )
 
     @abc.abstractmethod

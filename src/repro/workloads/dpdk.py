@@ -69,8 +69,9 @@ class DpdkWorkload(Workload):
         size_mix=None,
         priority: str = PRIORITY_HIGH,
         nic_cfg: Optional[NicConfig] = None,
+        tenant=None,
     ):
-        super().__init__(name, priority, cores)
+        super().__init__(name, priority, cores, tenant=tenant)
         self.touch = touch
         if forward and not touch:
             raise ValueError("forwarding implies touching the packet")

@@ -80,8 +80,9 @@ class FioWorkload(Workload):
         memory_parallelism: float = 6.0,
         priority: str = PRIORITY_LOW,
         nvme_cfg: Optional[NvmeConfig] = None,
+        tenant=None,
     ):
-        super().__init__(name, priority, cores)
+        super().__init__(name, priority, cores, tenant=tenant)
         if block_bytes <= 0:
             raise ValueError("block_bytes must be positive")
         if io_depth <= 0:

@@ -45,13 +45,21 @@ class PhasedWorkload(Workload):
         active_cycles: float,
         idle_cycles: float,
         cores: int = 1,
+        tenant=None,
+        record_latency: bool = False,
     ):
-        super().__init__(name, priority, cores)
+        super().__init__(name, priority, cores, tenant=tenant)
         if active_cycles <= 0 or idle_cycles < 0:
             raise ValueError("phase lengths must be positive (idle >= 0)")
         self.profile = profile
         self.active_cycles = active_cycles
         self.idle_cycles = idle_cycles
+        self.record_latency = record_latency
+        """Record each access's service time (latency + compute) into the
+        PCM latency tracker, giving the stream per-epoch p50/p99 stats.
+        Off by default — the daemons this class historically models have
+        no request latency; the tenant scenario generator turns it on for
+        latency-critical service tenants with p99 SLOs."""
         self.flip_count = 0
         self._states = []
 
@@ -94,6 +102,9 @@ class PhasedWorkload(Workload):
         profile = self.profile
         sequential = profile.pattern == "seq"
         sim = server.sim
+        tracker = (
+            server.pcm.tracker(self.name) if self.record_latency else None
+        )
         while True:
             if st.phase_end is None:
                 st.flips_seen = self.flip_count
@@ -114,6 +125,8 @@ class PhasedWorkload(Workload):
                     sim.now, core, addr, self.name, write=write
                 )
                 counters.instructions += profile.instructions_per_access
+                if tracker is not None:
+                    tracker.record(latency + profile.compute_cycles)
                 yield latency + profile.compute_cycles
                 continue
             st.phase_end = None

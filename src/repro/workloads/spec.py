@@ -86,8 +86,10 @@ def spec_workload(
     cores: int = 1,
     name: str = "",
     platform: PlatformSpec = DEFAULT_PLATFORM,
+    tenant=None,
 ) -> SyntheticWorkload:
     """Instantiate one SPEC CPU2017 analogue (single-core SPECrate copy)."""
     return SyntheticWorkload(
-        name or benchmark, spec_profile(benchmark, platform), priority, cores
+        name or benchmark, spec_profile(benchmark, platform), priority, cores,
+        tenant=tenant,
     )

@@ -95,8 +95,9 @@ class SyntheticWorkload(Workload):
         profile: AccessProfile,
         priority: str,
         cores: int = 1,
+        tenant=None,
     ):
-        super().__init__(name, priority, cores)
+        super().__init__(name, priority, cores, tenant=tenant)
         self.profile = profile
 
     def setup(self, server) -> None:

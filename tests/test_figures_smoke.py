@@ -17,7 +17,7 @@ def test_registry_covers_all_paper_figures():
         "fig15c",
         "ablation-migration", "ablation-write-update",
         "ablation-replacement", "ablation-trash-floor",
-        "ablation-platforms",
+        "ablation-platforms", "ablation-tenants",
         "related-self-invalidation", "related-ddio-ways",
     }
     assert set(REGISTRY) == expected

@@ -322,16 +322,16 @@ def test_fault_intensity_env_changes_fingerprint(monkeypatch):
     assert fingerprint("payload") not in (clean, faulted)
 
 
-def test_v3_entry_is_evicted_on_first_lookup(tmp_path):
-    """Schema v4 folded sampling into the run protocol (run_setup payloads
-    grew a ``sampling`` field and keys a sampling component); a v3 entry
-    written before the bump must be a MISS *and* deleted on first lookup,
+def test_stale_schema_entry_is_evicted_on_first_lookup(tmp_path):
+    """Schema v5 embedded the tenant spec in workload fingerprints (the
+    ``priority`` attribute became a derived property); an entry written
+    under any older schema must be a MISS *and* deleted on first lookup,
     not deserialized into the new shape."""
-    assert runcache.SCHEMA_VERSION == 4
+    assert runcache.SCHEMA_VERSION == 5
     cache = _cache(tmp_path)
     key = fingerprint("payload")
     wrapper = {
-        "schema": 3,
+        "schema": 4,
         "key": key,
         "value": {"samples": [], "warmup": 0, "epoch_cycles": 1.0},
     }

@@ -46,6 +46,13 @@ def main(argv=None) -> int:
         default=None,
         help="minimum tolerated mean-IPC fraction of the fault-free run",
     )
+    parser.add_argument(
+        "--fault-tenant",
+        default="",
+        metavar="NAME",
+        help="restrict telemetry/device faults to one tenant "
+        "(the chaos mix carries the implicit 'hpw'/'lpw' tenants)",
+    )
     args = parser.parse_args(argv)
 
     from repro.faults import chaos
@@ -62,6 +69,8 @@ def main(argv=None) -> int:
         kwargs["seed"] = args.seed
     if args.ipc_floor is not None:
         kwargs["ipc_floor"] = args.ipc_floor
+    if args.fault_tenant:
+        kwargs["fault_tenant"] = args.fault_tenant
 
     started = time.time()
     try:

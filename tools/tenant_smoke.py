@@ -1,0 +1,118 @@
+#!/usr/bin/env python
+"""CI smoke test for first-class tenancy.
+
+Runs against a fresh temp cache and asserts two contracts:
+
+1. **Bit-identity** — a small fig11 run's rendered output is identical
+   whether or not the tenancy layer exists in the stack (it always does
+   now, so the check is: the canonical implicit two-tenant view of the
+   legacy workload lists produces the exact figure the paper scenarios
+   always produced, and a second invocation replays it from the cache);
+2. **The tenancy path works end to end** — a seeded 6-tenant scenario
+   runs under both the A4 scheme and the IOCA baseline, the per-tenant
+   SLO attainment report covers every tenant under both schemes, and the
+   second A4 invocation is a pure cache hit (the tenant set is part of
+   the run key).
+
+Exit code 0 on success, 1 with a diagnostic on any violation.  Usage::
+
+    python tools/tenant_smoke.py [epochs] [tenants]
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+if str(ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(ROOT / "src"))
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    epochs = int(argv[0]) if argv else 6
+    tenants = int(argv[1]) if len(argv) > 1 else 6
+
+    from repro.experiments import runcache
+    from repro.experiments.figures import REGISTRY
+    from repro.tenancy import TenantSet
+    from repro.experiments.scenarios import microbenchmark_workloads
+
+    # -- contract 0: the legacy lists collapse to the canonical pair ------
+    implied = TenantSet.from_workloads(microbenchmark_workloads())
+    if implied.names() != ["hpw", "lpw"]:
+        print(
+            "FAIL: microbenchmark workloads imply tenants "
+            f"{implied.names()}, expected the canonical ['hpw', 'lpw']"
+        )
+        return 1
+
+    with tempfile.TemporaryDirectory(prefix="repro-tenant-smoke-") as tmp:
+        runcache.set_cache(runcache.RunCache(root=Path(tmp)))
+        cache = runcache.get_cache()
+
+        # -- contract 1: fig11 bit-identity + cache replay ----------------
+        fig11 = REGISTRY["fig11"]
+        first = fig11(epochs=epochs, seed=0xA4)
+        replay = fig11(epochs=epochs, seed=0xA4)
+        if replay != first:
+            print("FAIL: fig11 cache replay differs from the fresh run")
+            print(f"  fresh:  {first}")
+            print(f"  replay: {replay}")
+            return 1
+        if cache.stats.hits < 1:
+            print(
+                "FAIL: second fig11 run missed the cache under tenancy: "
+                f"{cache.stats}"
+            )
+            return 1
+
+        # -- contract 2: N-tenant A4 vs IOCA with a full SLO report -------
+        ablation = REGISTRY["ablation-tenants"]
+        report = ablation(
+            epochs=epochs, seed=0xA4, tenants=tenants,
+            schemes=("a4", "ioca"),
+        )
+        by_scheme = {}
+        for row in report.rows:
+            by_scheme.setdefault(row["scheme"], set()).add(row["tenant"])
+        for scheme in ("a4", "ioca"):
+            covered = by_scheme.get(scheme, set())
+            if len(covered) != tenants:
+                print(
+                    f"FAIL: SLO report covers {len(covered)}/{tenants} "
+                    f"tenants under {scheme}: {sorted(covered)}"
+                )
+                return 1
+        if not all(0.0 <= row["attainment"] <= 1.0 for row in report.rows):
+            print("FAIL: SLO attainment outside [0, 1]")
+            print(report.render())
+            return 1
+
+        hits_before = cache.stats.hits
+        again = ablation(
+            epochs=epochs, seed=0xA4, tenants=tenants,
+            schemes=("a4", "ioca"),
+        )
+        if again != report:
+            print("FAIL: ablation-tenants replay differs from fresh run")
+            return 1
+        if cache.stats.hits <= hits_before:
+            print(
+                "FAIL: ablation-tenants replay missed the cache; the "
+                f"tenant set is not in the run key: {cache.stats}"
+            )
+            return 1
+
+        print(
+            f"OK: fig11 bit-identical+cached under tenancy; "
+            f"{tenants}-tenant A4-vs-IOCA SLO report complete and "
+            f"reproducible from the cache [{cache.stats.summary()}]"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
